@@ -1,0 +1,58 @@
+"""Benchmark A3: rule-based reduction vs classic blocking baselines.
+
+Runs on the small catalog because the canopy baseline computes
+O(|test| x |catalog|) similarities — at paper scale that single
+baseline would dominate the suite (which is precisely the cost blocking
+methods exist to avoid).
+"""
+
+import pytest
+
+from repro.experiments.blocking_comparison import run_blocking_comparison
+
+N_TEST_ITEMS = 300
+SUPPORT = 0.004
+
+
+@pytest.fixture(scope="module")
+def rows(small_catalog):
+    return run_blocking_comparison(
+        small_catalog, n_test_items=N_TEST_ITEMS, support_threshold=SUPPORT
+    )
+
+
+def test_bench_blocking_comparison(benchmark, small_catalog, report_sink):
+    result = benchmark.pedantic(
+        run_blocking_comparison,
+        args=(small_catalog,),
+        kwargs={"n_test_items": N_TEST_ITEMS, "support_threshold": SUPPORT},
+        rounds=1,
+        iterations=1,
+    )
+    header = (
+        "A3 blocking comparison (out-of-sample provider batch)\n"
+        f"{'method':<22}{'pairs':<12}{'RR':>8} {'PC':>9} {'PQ':>9} {'time':>9}"
+    )
+    report_sink(
+        "blocking_comparison",
+        "\n".join([header] + [row.format() for row in result]),
+    )
+
+
+class TestBlockingShape:
+    def test_every_method_reduces_except_fallback(self, rows):
+        for row in rows:
+            assert row.reduction_ratio >= 0.0
+
+    def test_strict_rules_prune_hard(self, rows):
+        by_name = {row.method: row for row in rows}
+        assert by_name["rule-based (strict)"].reduction_ratio > 0.7
+
+    def test_fallback_keeps_completeness(self, rows):
+        by_name = {row.method: row for row in rows}
+        assert by_name["rule-based (paper)"].pairs_completeness > 0.9
+
+    def test_rule_candidates_much_smaller_than_naive(self, rows):
+        by_name = {row.method: row for row in rows}
+        strict = by_name["rule-based (strict)"]
+        assert strict.candidate_pairs < (1 - strict.reduction_ratio + 0.15) * 1e9

@@ -1,0 +1,52 @@
+"""Benchmark X1: the future-work subsumption generalization.
+
+Sweeps the depth budget of the rule generalizer and reports the
+recall / lift trade-off of lifting rules through the class hierarchy
+(paper §6: "infer more general rules by exploiting the semantics of the
+subsumption between classes").
+"""
+
+import pytest
+
+from repro.experiments.generalization import run_generalization
+
+BUDGETS = (2, 4, None)
+
+
+@pytest.fixture(scope="module")
+def reports(thales_catalog):
+    return {
+        budget: run_generalization(thales_catalog, max_depth_lift=budget)
+        for budget in BUDGETS
+    }
+
+
+def test_bench_generalization(benchmark, thales_catalog, report_sink):
+    result = benchmark.pedantic(
+        run_generalization,
+        args=(thales_catalog,),
+        kwargs={"max_depth_lift": 4},
+        rounds=1,
+        iterations=1,
+    )
+    sections = [result.format()]
+    report_sink("generalization", "\n\n".join(sections))
+
+
+class TestGeneralizationShape:
+    def test_recall_never_decreases(self, reports):
+        for report in reports.values():
+            assert report.extended_recall >= report.base_recall - 1e-9
+
+    def test_deeper_budgets_allow_more_rules(self, reports):
+        counts = [reports[b].n_generalized_rules for b in BUDGETS]
+        assert counts == sorted(counts)
+
+    def test_unbounded_lifting_decays_lift(self, reports):
+        unbounded = reports[None]
+        bounded = reports[2]
+        if unbounded.n_generalized_rules and bounded.n_generalized_rules:
+            assert (
+                unbounded.average_generalized_lift
+                <= bounded.average_generalized_lift + 1e-9
+            )

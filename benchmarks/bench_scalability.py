@@ -1,0 +1,51 @@
+"""Benchmark A4: learning cost versus |TS|.
+
+The paper's whole point is avoiding quadratic linking cost; the rule
+learner itself must therefore scale gently in |TS|. The bench measures
+Algorithm 1's wall time at several training-set sizes.
+"""
+
+import pytest
+
+from repro.core import LearnerConfig, RuleLearner
+from repro.datagen import CatalogConfig, ElectronicCatalogGenerator
+from repro.datagen.catalog import PART_NUMBER
+from repro.experiments.sweeps import run_scalability
+
+SIZES = (1000, 2500, 5000, 10265)
+
+
+@pytest.mark.parametrize("n_links", SIZES)
+def test_bench_learning_scales(benchmark, n_links):
+    config = CatalogConfig.thales_like().with_links(n_links)
+    catalog = ElectronicCatalogGenerator(config).generate()
+    training_set = catalog.to_training_set()
+
+    def learn():
+        learner = RuleLearner(
+            LearnerConfig(properties=(PART_NUMBER,), support_threshold=0.002)
+        )
+        return learner.learn(training_set)
+
+    rules = benchmark.pedantic(learn, rounds=3, iterations=1)
+    assert len(rules) > 0
+
+
+def test_bench_scalability_report(benchmark, report_sink):
+    rows = benchmark.pedantic(
+        run_scalability, kwargs={"sizes": SIZES}, rounds=1, iterations=1
+    )
+    header = (
+        "A4 scalability: learning / classification time vs |TS|\n"
+        f"{'|TS|':<8}{'learn(s)':<10}{'classify(s)':<12}{'#rules':<8}"
+    )
+    report_sink(
+        "scalability",
+        "\n".join([header] + [row.format() for row in rows]),
+    )
+    # sanity: growth is roughly linear, not quadratic — 10x links must
+    # cost well under 100x learn time (generous bound for timer noise)
+    by_size = {row.n_links: row for row in rows}
+    small, large = by_size[1000], by_size[10265]
+    if small.learn_seconds > 0.001:
+        assert large.learn_seconds / small.learn_seconds < 60

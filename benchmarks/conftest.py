@@ -1,0 +1,39 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one experiment from DESIGN.md §5. The
+catalogs are session-scoped (generation is setup cost, not measured
+work) and every bench writes its paper-style report to
+``benchmarks/results/<experiment>.txt`` so the tables survive the run.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.datagen import CatalogConfig, ElectronicCatalogGenerator
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def thales_catalog():
+    """The paper-scale catalog (566 classes, |TS| = 10 265)."""
+    return ElectronicCatalogGenerator(CatalogConfig.thales_like()).generate()
+
+
+@pytest.fixture(scope="session")
+def small_catalog():
+    """The small catalog for quadratic baselines (canopy etc.)."""
+    return ElectronicCatalogGenerator(CatalogConfig.small()).generate()
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    """Write a named report file under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}")
+
+    return write

@@ -1,0 +1,41 @@
+"""Compare the paper's rule-based reduction against classic blocking.
+
+The related-work section (§2) positions classification rules against
+standard blocking, sorted neighbourhood and bi-gram indexing. This
+example runs all of them — plus canopy clustering — on one out-of-sample
+provider batch and reports the standard blocking-quality triple:
+
+* RR  (reduction ratio)      — how much of the naive space is pruned;
+* PC  (pairs completeness)   — how many true matches survive;
+* PQ  (pairs quality)        — precision of the candidate set.
+
+Run:  python examples/blocking_comparison.py
+"""
+
+from repro.datagen import CatalogConfig, ElectronicCatalogGenerator
+from repro.experiments import run_blocking_comparison
+
+
+def main() -> None:
+    print("generating catalog and learning rules ...")
+    catalog = ElectronicCatalogGenerator(CatalogConfig.small()).generate()
+    rows = run_blocking_comparison(catalog, n_test_items=400,
+                                   support_threshold=0.004)
+
+    print()
+    print(f"{'method':<22}{'pairs':<12}{'RR':>8} {'PC':>9} {'PQ':>9} {'time':>9}")
+    for row in rows:
+        print(row.format())
+
+    print(
+        "\nreading guide: the rule-based methods know nothing about the\n"
+        "provider schema — they only exploit segments learned from TS.\n"
+        "With the full-catalog fallback they keep completeness at the cost\n"
+        "of reduction; strict mode prunes hard but only for decidable\n"
+        "records. Key-based blocking needs a clean shared key (here the\n"
+        "part number survives corruption well, favouring the baselines)."
+    )
+
+
+if __name__ == "__main__":
+    main()

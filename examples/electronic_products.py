@@ -1,0 +1,110 @@
+"""The paper's scenario end-to-end: provider files against a huge catalog.
+
+Reproduces the §5 workflow at full scale:
+
+1. generate the Thales-like catalog (566 classes / 226 leaves,
+   |TS| = 10 265 expert reconciliations);
+2. learn classification rules at th = 0.002 on the part-number property
+   and print the §5 statistics plus Table 1;
+3. receive a *fresh* provider file (records never seen in TS), predict
+   classes, and link each record only against its predicted classes'
+   instances — then compare cost and quality against linking without
+   the rules.
+
+Run:  python examples/electronic_products.py        (~1-2 minutes)
+"""
+
+import random
+import time
+
+from repro import (
+    CatalogConfig,
+    ElectronicCatalogGenerator,
+    FieldComparator,
+    LearnerConfig,
+    LinkingPipeline,
+    RecordComparator,
+    RecordStore,
+    RuleBasedBlocking,
+    RuleClassifier,
+    RuleLearner,
+    StandardBlocking,
+    ThresholdMatcher,
+)
+from repro.datagen import Corruptor
+from repro.datagen.catalog import MANUFACTURER, PART_NUMBER
+from repro.experiments import run_stats, run_table1
+from repro.rdf import Graph, Literal, Namespace, Triple
+
+
+def fresh_provider_file(catalog, n_items: int, seed: int = 99):
+    """Corrupted provider twins of catalog items not used during training."""
+    rng = random.Random(seed)
+    linked = {link.local for link in catalog.links}
+    unseen = [item for item in catalog.items if item.iri not in linked]
+    chosen = rng.sample(unseen, min(n_items, len(unseen)))
+    ns = Namespace("http://example.org/provider-batch/")
+    graph = Graph(identifier="provider")
+    truth = []
+    corruptor = Corruptor()
+    for i, item in enumerate(chosen):
+        ext = ns.term(f"r{i}")
+        graph.add(Triple(ext, PART_NUMBER,
+                         Literal(corruptor.corrupt(item.part_number, rng))))
+        graph.add(Triple(ext, MANUFACTURER, Literal(item.manufacturer)))
+        truth.append((ext, item.iri))
+    return graph, truth
+
+
+def main() -> None:
+    print("generating the Thales-like catalog ...")
+    catalog = ElectronicCatalogGenerator(CatalogConfig.thales_like()).generate()
+
+    print("\n--- §5 in-text statistics ---")
+    print(run_stats(catalog).format())
+
+    print("\n--- Table 1 ---")
+    print(run_table1(catalog).format())
+
+    # ------------------------------------------------------------------
+    # linking a fresh provider file inside the rule-induced subspaces
+    # ------------------------------------------------------------------
+    print("\n--- linking a fresh provider file (500 records) ---")
+    training_set = catalog.to_training_set()
+    rules = RuleLearner(
+        LearnerConfig(properties=(PART_NUMBER,), support_threshold=0.002)
+    ).learn(training_set)
+    classifier = RuleClassifier(rules.with_min_confidence(0.4))
+
+    provider_graph, truth = fresh_provider_file(catalog, n_items=500)
+    external = RecordStore.from_graph(provider_graph, {"pn": PART_NUMBER})
+    local = RecordStore.from_graph(catalog.local_graph, {"pn": PART_NUMBER})
+
+    comparator = RecordComparator([FieldComparator("pn", weight=1.0)])
+    matcher = ThresholdMatcher(match_threshold=0.90)
+
+    configs = {
+        "rules (paper)": RuleBasedBlocking(
+            classifier, catalog.ontology, provider_graph, fallback_full=False
+        ),
+        "prefix blocking": StandardBlocking.on_field_prefix("pn", length=4),
+    }
+    for name, blocking in configs.items():
+        pipeline = LinkingPipeline(blocking, comparator, matcher)
+        started = time.perf_counter()
+        result = pipeline.run(external, local)
+        elapsed = time.perf_counter() - started
+        quality = result.matching_quality(truth)
+        print(
+            f"{name:<18} compared {result.compared:>9} of "
+            f"{result.naive_pairs} pairs in {elapsed:5.1f}s -> "
+            f"P={quality.precision:.3f} R={quality.recall:.3f} "
+            f"F1={quality.f1:.3f}"
+        )
+    print("\n(undecidable records are skipped by the strict rule-based "
+          "blocking; the paper would fall back to the full catalog scan "
+          "for them)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,201 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands map one-to-one onto the experiment harness plus a rule
+export/import utility:
+
+* ``table1`` — regenerate the paper's Table 1;
+* ``stats`` — the §5 in-text statistics;
+* ``sweeps`` — ablations A1/A2/A4;
+* ``blocking`` — the blocking-baseline comparison (A3);
+* ``generalization`` — the future-work subsumption experiment (X1);
+* ``generality`` — the second-domain (toponym) experiment (X2);
+* ``export-rules`` — learn on a preset catalog and write the rules as
+  JSON or Turtle.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.learner import LearnerConfig, RuleLearner
+from repro.core.serialize import rules_to_json, rules_to_turtle
+from repro.datagen.catalog import PART_NUMBER, ElectronicCatalogGenerator
+from repro.datagen.config import CatalogConfig
+
+
+def _preset(name: str, seed: int | None) -> CatalogConfig:
+    factories = {
+        "thales": CatalogConfig.thales_like,
+        "small": CatalogConfig.small,
+        "tiny": CatalogConfig.tiny,
+    }
+    factory = factories[name]
+    return factory(seed=seed) if seed is not None else factory()
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--preset",
+        choices=("thales", "small", "tiny"),
+        default="thales",
+        help="catalog preset (default: thales = paper scale)",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="generator seed")
+    parser.add_argument(
+        "--support-threshold",
+        type=float,
+        default=0.002,
+        help="the paper's th (default 0.002)",
+    )
+
+
+def _generate(args: argparse.Namespace):
+    config = _preset(args.preset, args.seed)
+    return ElectronicCatalogGenerator(config).generate()
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.experiments.table1 import run_table1
+
+    report = run_table1(_generate(args), support_threshold=args.support_threshold)
+    print(report.format())
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.experiments.stats import run_stats
+
+    print(run_stats(_generate(args), support_threshold=args.support_threshold).format())
+    return 0
+
+
+def _cmd_sweeps(args: argparse.Namespace) -> int:
+    from repro.experiments.sweeps import (
+        run_scalability,
+        run_segmentation_ablation,
+        run_support_sweep,
+    )
+
+    catalog = _generate(args)
+    print("A1 support-threshold sweep")
+    print(f"{'th':<10}{'#rules':<8}{'#freq.cls':<10}{'#dec.':<8}{'prec.':>7} {'recall':>7}")
+    for row in run_support_sweep(catalog):
+        print(row.format())
+    print("\nA2 segmentation ablation")
+    print(
+        f"{'strategy':<14}{'distinct':<10}{'occur.':<10}{'#rules':<8}"
+        f"{'#dec.':<8}{'prec.':>7} {'recall':>7}"
+    )
+    for row in run_segmentation_ablation(catalog, support_threshold=args.support_threshold):
+        print(row.format())
+    print("\nA4 scalability")
+    print(f"{'|TS|':<8}{'learn(s)':<10}{'classify(s)':<12}{'#rules':<8}")
+    for row in run_scalability():
+        print(row.format())
+    return 0
+
+
+def _cmd_blocking(args: argparse.Namespace) -> int:
+    from repro.experiments.blocking_comparison import run_blocking_comparison
+
+    rows = run_blocking_comparison(
+        _generate(args),
+        n_test_items=args.test_items,
+        support_threshold=args.support_threshold,
+    )
+    print(f"{'method':<22}{'pairs':<12}{'RR':>8} {'PC':>9} {'PQ':>9} {'time':>9}")
+    for row in rows:
+        print(row.format())
+    return 0
+
+
+def _cmd_generalization(args: argparse.Namespace) -> int:
+    from repro.experiments.generalization import run_generalization
+
+    report = run_generalization(
+        _generate(args),
+        support_threshold=args.support_threshold,
+        max_depth_lift=args.max_depth_lift,
+    )
+    print(report.format())
+    return 0
+
+
+def _cmd_generality(args: argparse.Namespace) -> int:
+    from repro.experiments.generality import run_generality
+
+    print(run_generality().format())
+    return 0
+
+
+def _cmd_export_rules(args: argparse.Namespace) -> int:
+    catalog = _generate(args)
+    learner = RuleLearner(
+        LearnerConfig(
+            properties=(PART_NUMBER,), support_threshold=args.support_threshold
+        )
+    )
+    rules = learner.learn(catalog.to_training_set())
+    if args.min_confidence > 0:
+        rules = rules.with_min_confidence(args.min_confidence)
+    text = rules_to_turtle(rules) if args.format == "turtle" else rules_to_json(rules)
+    if args.output == "-":
+        print(text)
+    else:
+        with open(args.output, "w", encoding="utf-8") as sink:
+            sink.write(text)
+        print(f"wrote {len(rules)} rules to {args.output}", file=sys.stderr)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Classification Rule Learning for Data Linking' "
+        "(Pernelle & Sais, EDBT/LWDM 2012)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, handler, help_text in (
+        ("table1", _cmd_table1, "regenerate the paper's Table 1"),
+        ("stats", _cmd_stats, "the in-text §5 statistics"),
+        ("sweeps", _cmd_sweeps, "ablations A1/A2/A4"),
+        ("generalization", _cmd_generalization, "future-work experiment X1"),
+        ("generality", _cmd_generality, "second-domain experiment X2"),
+    ):
+        command = sub.add_parser(name, help=help_text)
+        _add_common(command)
+        command.set_defaults(handler=handler)
+
+    blocking = sub.add_parser("blocking", help="blocking comparison A3")
+    _add_common(blocking)
+    blocking.add_argument("--test-items", type=int, default=300)
+    blocking.set_defaults(handler=_cmd_blocking)
+
+    generalization = next(
+        action for action in sub.choices.values() if action.prog.endswith("generalization")
+    )
+    generalization.add_argument("--max-depth-lift", type=int, default=4)
+
+    export = sub.add_parser("export-rules", help="learn and export rules")
+    _add_common(export)
+    export.add_argument("--format", choices=("json", "turtle"), default="json")
+    export.add_argument("--min-confidence", type=float, default=0.0)
+    export.add_argument("--output", default="-", help="file path or '-' for stdout")
+    export.set_defaults(handler=_cmd_export_rules)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,78 @@
+"""The paper's contribution: value-based classification rule learning.
+
+Pipeline (paper §3-§4):
+
+1. :class:`TrainingSet` — expert-validated ``sameAs`` links between the
+   external source ``S_E`` and the local source ``S_L``, with provenance.
+2. :class:`RuleLearner` — Algorithm 1: mine frequent (property, segment)
+   pairs, frequent most-specific classes, then frequent conjunctions, and
+   emit :class:`ClassificationRule` objects qualified by
+   :class:`RuleQualityMeasures` (support / confidence / lift).
+3. :class:`RuleSet` — ordering (confidence first, then lift) and
+   confidence-band grouping as in Table 1.
+4. :class:`RuleClassifier` — apply rules to new external items, producing
+   ranked :class:`ClassPrediction` decisions with duplicate-subspace
+   elimination.
+5. :class:`LinkingSubspace` — the reduced linking space induced by the
+   predictions, with reduction statistics against the naive
+   ``|S_E| x |S_L|`` space.
+6. :class:`RuleGeneralizer` — the paper's future-work extension: lift
+   sibling rules through the subsumption hierarchy.
+"""
+
+from repro.core.training import SameAsLink, TrainingSet, TrainingExample
+from repro.core.measures import RuleQualityMeasures, ContingencyCounts
+from repro.core.rules import ClassificationRule, RuleSet
+from repro.core.learner import LearnerConfig, RuleLearner
+from repro.core.classifier import ClassPrediction, RuleClassifier
+from repro.core.subspace import LinkingSubspace, SubspaceReduction
+from repro.core.generalize import GeneralizedRule, RuleGeneralizer
+from repro.core.conjunctive import ConjunctiveRule, ConjunctiveRuleLearner
+from repro.core.incremental import IncrementalRuleLearner
+from repro.core.ordering import (
+    ORDERINGS,
+    cba_ordering,
+    get_ordering,
+    paper_ordering,
+    subspace_first_ordering,
+)
+from repro.core.serialize import (
+    rules_to_json,
+    rules_from_json,
+    rules_to_graph,
+    rules_from_graph,
+    rules_to_turtle,
+    RuleSerializationError,
+)
+
+__all__ = [
+    "SameAsLink",
+    "TrainingSet",
+    "TrainingExample",
+    "RuleQualityMeasures",
+    "ContingencyCounts",
+    "ClassificationRule",
+    "RuleSet",
+    "LearnerConfig",
+    "RuleLearner",
+    "ClassPrediction",
+    "RuleClassifier",
+    "LinkingSubspace",
+    "SubspaceReduction",
+    "GeneralizedRule",
+    "RuleGeneralizer",
+    "rules_to_json",
+    "rules_from_json",
+    "rules_to_graph",
+    "rules_from_graph",
+    "rules_to_turtle",
+    "RuleSerializationError",
+    "ORDERINGS",
+    "paper_ordering",
+    "cba_ordering",
+    "subspace_first_ordering",
+    "get_ordering",
+    "ConjunctiveRule",
+    "ConjunctiveRuleLearner",
+    "IncrementalRuleLearner",
+]

@@ -1,0 +1,129 @@
+"""Applying classification rules to new external items (paper §4.4).
+
+For a new external item ``i`` every applicable rule contributes a class
+prediction. Predictions are ranked "using the confidence degree first; in
+case of the same confidence degree, the lift measure is used in order to
+consider first the smaller subspaces". Two rules predicting the same
+class for the same item would induce the same linking subspace — the
+duplicate with the worse confidence is dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Iterator, List, Sequence
+
+from repro.core.rules import ClassificationRule, RuleSet, rule_order_key
+from repro.rdf.graph import Graph
+from repro.rdf.terms import IRI, Term
+from repro.text.segmentation import SegmentFunction, SeparatorSegmenter
+
+
+@dataclass(frozen=True, slots=True)
+class ClassPrediction:
+    """One decision: *item* is predicted to belong to *predicted_class*.
+
+    ``rule`` is the best rule (highest confidence, then lift) that
+    produced the decision after duplicate elimination.
+    """
+
+    item: Term
+    predicted_class: IRI
+    rule: ClassificationRule
+
+    @property
+    def confidence(self) -> float:
+        """Confidence inherited from the deciding rule."""
+        return self.rule.confidence
+
+    @property
+    def lift(self) -> float:
+        """Lift inherited from the deciding rule."""
+        return self.rule.lift
+
+    def __str__(self) -> str:
+        return (
+            f"{self.item} ⇒ {self.predicted_class.local_name} "
+            f"(conf={self.confidence:.3f}, lift={self.lift:.1f})"
+        )
+
+
+class RuleClassifier:
+    """Classifies external items with a learned :class:`RuleSet`.
+
+    >>> classifier = RuleClassifier(rules)
+    >>> predictions = classifier.predict(item, external_graph)
+    >>> predictions[0].predicted_class     # best decision first
+    """
+
+    def __init__(
+        self,
+        rules: RuleSet | Iterable[ClassificationRule],
+        segmenter: SegmentFunction | None = None,
+        ordering: "Callable[[ClassificationRule], tuple] | None" = None,
+    ) -> None:
+        """``ordering`` overrides the paper's confidence-then-lift rank
+        (see :mod:`repro.core.ordering` for alternatives like CBA)."""
+        self._rules = rules if isinstance(rules, RuleSet) else RuleSet(rules)
+        self._segmenter = segmenter or SeparatorSegmenter()
+        self._ordering = ordering or rule_order_key
+        # group rules by property so prediction only segments each value once
+        self._by_property: Dict[IRI, List[ClassificationRule]] = {}
+        for rule in self._rules:
+            self._by_property.setdefault(rule.property, []).append(rule)
+
+    @property
+    def rules(self) -> RuleSet:
+        """The rule set driving this classifier."""
+        return self._rules
+
+    # ------------------------------------------------------------------
+    # prediction
+    # ------------------------------------------------------------------
+    def predict(self, item: Term, graph: Graph) -> List[ClassPrediction]:
+        """All ranked decisions for *item* described in *graph*.
+
+        Returns the deduplicated predictions ordered best-first; empty
+        list when no rule applies (the item stays unclassified and must
+        be compared against the whole catalog).
+        """
+        best_per_class: Dict[IRI, ClassificationRule] = {}
+        for prop, rules in self._by_property.items():
+            values = graph.literal_values(item, prop)
+            if not values:
+                continue
+            segments = set()
+            for value in values:
+                segments.update(self._segmenter(value))
+            for rule in rules:
+                if rule.segment not in segments:
+                    continue
+                incumbent = best_per_class.get(rule.conclusion)
+                if incumbent is None or self._ordering(rule) < self._ordering(incumbent):
+                    best_per_class[rule.conclusion] = rule
+        predictions = [
+            ClassPrediction(item=item, predicted_class=cls, rule=rule)
+            for cls, rule in best_per_class.items()
+        ]
+        predictions.sort(key=lambda pred: self._ordering(pred.rule))
+        return predictions
+
+    def predict_class(self, item: Term, graph: Graph) -> IRI | None:
+        """The single best predicted class, or ``None`` if undecidable."""
+        predictions = self.predict(item, graph)
+        return predictions[0].predicted_class if predictions else None
+
+    def predict_all(
+        self,
+        items: Iterable[Term],
+        graph: Graph,
+    ) -> Dict[Term, List[ClassPrediction]]:
+        """Predictions for every item (items with none are included)."""
+        return {item: self.predict(item, graph) for item in items}
+
+    def decided_items(self, items: Iterable[Term], graph: Graph) -> List[Term]:
+        """Items for which at least one rule fires."""
+        return [item for item in items if self.predict(item, graph)]
+
+    def __repr__(self) -> str:
+        return f"<RuleClassifier rules={len(self._rules)}>"

@@ -1,0 +1,158 @@
+"""Incremental rule learning: grow the rule set as experts validate links.
+
+The Thales workflow is continuous — providers keep sending files and
+experts keep validating reconciliations. Re-running Algorithm 1 from
+scratch on every batch is wasteful: all its state is a handful of
+counters. :class:`IncrementalRuleLearner` keeps those counters and
+re-emits the rule set on demand; feeding it the same links in any batch
+split yields exactly the batch learner's output.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, FrozenSet, Iterable, List, Tuple
+
+from repro.core.learner import LearnerConfig, LearningStatistics
+from repro.core.measures import ContingencyCounts, RuleQualityMeasures
+from repro.core.rules import ClassificationRule, RuleSet
+from repro.core.training import SameAsLink, TrainingSet
+from repro.ontology.model import Ontology
+from repro.rdf.graph import Graph
+from repro.rdf.terms import IRI
+
+
+class IncrementalRuleLearner:
+    """Counter-based online version of Algorithm 1.
+
+    >>> learner = IncrementalRuleLearner(LearnerConfig(...), ontology)
+    >>> learner.add_links(first_batch, external_graph)
+    >>> learner.add_links(second_batch, external_graph)
+    >>> rules = learner.rules()
+    """
+
+    def __init__(self, config: LearnerConfig, ontology: Ontology) -> None:
+        self.config = config
+        self._ontology = ontology
+        self._total = 0
+        self._pair_counts: Counter[Tuple[IRI, str]] = Counter()
+        self._class_counts: Counter[IRI] = Counter()
+        self._conjunction_counts: Counter[Tuple[IRI, str, IRI]] = Counter()
+        self._occurrences: Counter[str] = Counter()
+        self._seen: set[SameAsLink] = set()
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    @property
+    def total_links(self) -> int:
+        """Links ingested so far (|TS|)."""
+        return self._total
+
+    def add_links(self, links: Iterable[SameAsLink], external: Graph) -> int:
+        """Ingest a batch of validated links; returns how many were new.
+
+        Duplicate links (already ingested) are skipped, mirroring the
+        set semantics of ``TS``.
+        """
+        if self.config.properties is None:
+            raise ValueError(
+                "IncrementalRuleLearner requires an explicit property "
+                "selection (the 'all properties' default would drift as "
+                "new predicates appear across batches)"
+            )
+        added = 0
+        for link in links:
+            if link in self._seen:
+                continue
+            self._seen.add(link)
+            added += 1
+            self._total += 1
+            per_property: Dict[IRI, set[str]] = {}
+            for prop in self.config.properties:
+                segments: set[str] = set()
+                for value in external.literal_values(link.external, prop):
+                    pieces = self.config.segmenter(value)
+                    self._occurrences.update(pieces)
+                    segments.update(pieces)
+                if segments:
+                    per_property[prop] = segments
+            classes = self._ontology.most_specific_classes_of(link.local)
+            for cls in classes:
+                self._class_counts[cls] += 1
+            for prop, segments in per_property.items():
+                for segment in segments:
+                    self._pair_counts[(prop, segment)] += 1
+                    for cls in classes:
+                        self._conjunction_counts[(prop, segment, cls)] += 1
+        return added
+
+    def add_training_set(self, training_set: TrainingSet) -> int:
+        """Ingest a whole :class:`TrainingSet`."""
+        return self.add_links(training_set.links, training_set.external_graph)
+
+    # ------------------------------------------------------------------
+    # emission
+    # ------------------------------------------------------------------
+    def _min_count(self) -> int:
+        import math
+
+        threshold = self.config.support_threshold * self._total
+        if self.config.strict_threshold:
+            return int(math.floor(threshold)) + 1
+        return max(1, int(math.ceil(threshold)))
+
+    def rules(self) -> RuleSet:
+        """The current rule set under the configured threshold."""
+        if self._total == 0:
+            return RuleSet()
+        min_count = self._min_count()
+        frequent_pairs = {
+            pair for pair, count in self._pair_counts.items() if count >= min_count
+        }
+        frequent_classes = {
+            cls for cls, count in self._class_counts.items() if count >= min_count
+        }
+        rules: List[ClassificationRule] = []
+        for (prop, segment, cls), both in self._conjunction_counts.items():
+            if both < min_count:
+                continue
+            if (prop, segment) not in frequent_pairs or cls not in frequent_classes:
+                continue
+            counts = ContingencyCounts(
+                both=both,
+                premise=self._pair_counts[(prop, segment)],
+                conclusion=self._class_counts[cls],
+                total=self._total,
+            )
+            rules.append(
+                ClassificationRule(
+                    property=prop,
+                    segment=segment,
+                    conclusion=cls,
+                    measures=RuleQualityMeasures.from_counts(counts),
+                    counts=counts,
+                )
+            )
+        return RuleSet(rules)
+
+    def statistics(self) -> LearningStatistics:
+        """Counter snapshot in the batch learner's statistics shape."""
+        min_count = self._min_count() if self._total else 1
+        frequent_pairs = {
+            pair for pair, count in self._pair_counts.items() if count >= min_count
+        }
+        selected_segments = {segment for _, segment in frequent_pairs}
+        return LearningStatistics(
+            total_links=self._total,
+            distinct_segments=len(self._occurrences),
+            segment_occurrences=sum(self._occurrences.values()),
+            selected_segment_occurrences=sum(
+                self._occurrences[s] for s in selected_segments
+            ),
+            frequent_pairs=len(frequent_pairs),
+            frequent_classes=sum(
+                1 for count in self._class_counts.values() if count >= min_count
+            ),
+            rule_count=len(self.rules()),
+        )

@@ -1,0 +1,137 @@
+"""Rule quality measures: support, confidence, lift — and friends.
+
+Paper §4.2 defines three measures over the training set ``TS`` for a rule
+``R : p(X,Y) ∧ subsegment(Y,a) ⇒ c(X)``::
+
+    support(R)    = |{X | premise(X) ∧ c(X)}| / |TS|
+    confidence(R) = |{X | premise(X) ∧ c(X)}| / |{X | premise(X)}|
+    lift(R)       = confidence(R) / (|{X | c(X)}| / |TS|)
+
+(The paper's printed confidence numerator, ``|{X | c(X)}|``, is a typo —
+the prose defines "the proportion of data that are instances of the class
+... among the data that satisfies the premise", which is the standard
+conditional form implemented here.)
+
+The paper cites Guillet & Hamilton's measure catalogue, naming
+``specificity`` and ``coverage`` as further options; those plus
+``leverage`` and ``conviction`` are provided for the ablation benches.
+
+All measures derive from one :class:`ContingencyCounts` 2x2 table, so a
+single counting pass yields every measure consistently.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+class MeasureError(ValueError):
+    """Raised for impossible contingency counts."""
+
+
+@dataclass(frozen=True, slots=True)
+class ContingencyCounts:
+    """The 2x2 premise/conclusion contingency table over ``TS``.
+
+    ``both`` counts examples satisfying premise *and* conclusion,
+    ``premise`` all examples satisfying the premise, ``conclusion`` all
+    examples in the class, ``total`` is ``|TS|``.
+    """
+
+    both: int
+    premise: int
+    conclusion: int
+    total: int
+
+    def __post_init__(self) -> None:
+        if self.total <= 0:
+            raise MeasureError("|TS| must be positive")
+        if not 0 <= self.both <= min(self.premise, self.conclusion):
+            raise MeasureError(
+                f"impossible counts: both={self.both}, premise={self.premise}, "
+                f"conclusion={self.conclusion}"
+            )
+        if self.premise > self.total or self.conclusion > self.total:
+            raise MeasureError("premise/conclusion counts exceed |TS|")
+
+
+@dataclass(frozen=True, slots=True)
+class RuleQualityMeasures:
+    """All quality measures of one classification rule.
+
+    Use :meth:`from_counts` — the direct constructor exists only for
+    tests and deserialization.
+    """
+
+    support: float
+    confidence: float
+    lift: float
+    coverage: float
+    specificity: float
+    leverage: float
+    conviction: float
+
+    @classmethod
+    def from_counts(cls, counts: ContingencyCounts) -> "RuleQualityMeasures":
+        """Derive every measure from one contingency table."""
+        n = counts.total
+        p_premise = counts.premise / n
+        p_class = counts.conclusion / n
+        support = counts.both / n
+
+        if counts.premise == 0:
+            # a rule is never built for an empty premise, but the measures
+            # must stay total functions for sweep code paths
+            confidence = 0.0
+        else:
+            confidence = counts.both / counts.premise
+
+        if p_class == 0.0:
+            lift = 0.0
+        else:
+            lift = confidence / p_class
+
+        coverage = p_premise
+
+        negatives = n - counts.conclusion
+        if negatives == 0:
+            specificity = 1.0
+        else:
+            true_negatives = n - counts.premise - counts.conclusion + counts.both
+            specificity = true_negatives / negatives
+
+        leverage = support - p_premise * p_class
+
+        if confidence >= 1.0:
+            conviction = math.inf
+        else:
+            conviction = (1.0 - p_class) / (1.0 - confidence)
+
+        return cls(
+            support=support,
+            confidence=confidence,
+            lift=lift,
+            coverage=coverage,
+            specificity=specificity,
+            leverage=leverage,
+            conviction=conviction,
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        """All measures as a plain dict (for reports and JSON dumps)."""
+        return {
+            "support": self.support,
+            "confidence": self.confidence,
+            "lift": self.lift,
+            "coverage": self.coverage,
+            "specificity": self.specificity,
+            "leverage": self.leverage,
+            "conviction": self.conviction,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"supp={self.support:.4f} conf={self.confidence:.3f} "
+            f"lift={self.lift:.1f}"
+        )

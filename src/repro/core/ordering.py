@@ -1,0 +1,62 @@
+"""Rule-ordering strategies.
+
+The paper ranks rules by confidence, breaking ties by lift ("in order to
+consider first the smaller subspaces"). The classification-rule-mining
+literature it cites (Liu, Hsu & Ma 1998 — CBA) orders by confidence,
+then support, then generation order; and for space-reduction-first
+applications, lift-major ordering minimizes the candidate set even at
+some confidence cost. All three are provided as key functions usable
+with :class:`~repro.core.rules.RuleSet` and
+:class:`~repro.core.classifier.RuleClassifier`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+from repro.core.rules import ClassificationRule, rule_order_key
+
+#: A total-order key over rules: smaller sorts first (= better).
+OrderingKey = Callable[[ClassificationRule], Tuple]
+
+
+def paper_ordering(rule: ClassificationRule) -> Tuple:
+    """The paper's §4.4 order: confidence desc, then lift desc."""
+    return rule_order_key(rule)
+
+
+def cba_ordering(rule: ClassificationRule) -> Tuple:
+    """CBA (Liu et al. 1998): confidence desc, support desc, then a
+    deterministic textual tail standing in for generation order."""
+    return (
+        -rule.confidence,
+        -rule.support,
+        rule.property.value,
+        rule.segment,
+        rule.conclusion.value,
+    )
+
+
+def subspace_first_ordering(rule: ClassificationRule) -> Tuple:
+    """Smallest-subspace-first: lift desc (small conclusion classes),
+    then confidence desc — maximal space reduction per decision."""
+    return (
+        -rule.lift,
+        -rule.confidence,
+        rule.property.value,
+        rule.segment,
+        rule.conclusion.value,
+    )
+
+
+#: Registry for CLI/notebook use.
+ORDERINGS: dict[str, OrderingKey] = {
+    "paper": paper_ordering,
+    "cba": cba_ordering,
+    "subspace": subspace_first_ordering,
+}
+
+
+def get_ordering(name: str) -> OrderingKey:
+    """Look up an ordering by name; raises :class:`KeyError` if unknown."""
+    return ORDERINGS[name]

@@ -1,0 +1,207 @@
+"""Classification rules and ordered rule sets.
+
+A value-based classification rule (paper §4.1)::
+
+    p(X, Y) ∧ subsegment(Y, a)  ⇒  c(X)
+
+is represented by :class:`ClassificationRule`: the data-type property
+``p``, the segment ``a`` and the concluded class ``c``, plus its quality
+measures over TS. :class:`RuleSet` holds learned rules in the paper's
+order (confidence descending, then lift descending) and provides the
+confidence-band grouping used by Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.core.measures import ContingencyCounts, RuleQualityMeasures
+from repro.rdf.graph import Graph
+from repro.rdf.terms import IRI, Term
+
+
+@dataclass(frozen=True, slots=True)
+class ClassificationRule:
+    """One learned rule ``p(X,Y) ∧ subsegment(Y,a) ⇒ c(X)``.
+
+    ``measures`` carries support/confidence/lift (and extras) computed on
+    the training set; ``counts`` keeps the raw contingency table so that
+    measures can be re-derived or aggregated exactly.
+    """
+
+    property: IRI
+    segment: str
+    conclusion: IRI
+    measures: RuleQualityMeasures
+    counts: ContingencyCounts
+
+    # ------------------------------------------------------------------
+    # convenience accessors (sorting keys)
+    # ------------------------------------------------------------------
+    @property
+    def support(self) -> float:
+        """Support over TS."""
+        return self.measures.support
+
+    @property
+    def confidence(self) -> float:
+        """Confidence over TS."""
+        return self.measures.confidence
+
+    @property
+    def lift(self) -> float:
+        """Lift over TS."""
+        return self.measures.lift
+
+    def applies_to_value(self, value: str, segmenter: Callable[[str], List[str]]) -> bool:
+        """Does *value* contain this rule's segment under *segmenter*?"""
+        return self.segment in segmenter(value)
+
+    def applies_to(
+        self,
+        item: Term,
+        graph: Graph,
+        segmenter: Callable[[str], List[str]],
+    ) -> bool:
+        """Does the rule's premise hold for *item* described in *graph*?
+
+        True when some value of ``property`` on *item* contains the
+        segment (the paper: "the segment a occurs at least one time in
+        the value Y").
+        """
+        return any(
+            self.applies_to_value(value, segmenter)
+            for value in graph.literal_values(item, self.property)
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.property.local_name}(X,Y) ∧ subsegment(Y,'{self.segment}') "
+            f"⇒ {self.conclusion.local_name}(X)  [{self.measures}]"
+        )
+
+
+def rule_order_key(rule: ClassificationRule) -> Tuple[float, float, str, str, str]:
+    """Sort key implementing the paper's rule ordering (§4.4).
+
+    Confidence descending first; "in case of the same confidence degree,
+    the lift measure is used in order to consider first the smaller
+    subspaces" — lift descending second. The textual tail makes the order
+    total and deterministic.
+    """
+    return (
+        -rule.confidence,
+        -rule.lift,
+        rule.property.value,
+        rule.segment,
+        rule.conclusion.value,
+    )
+
+
+class RuleSet:
+    """Learned rules, kept in the paper's ranking order.
+
+    >>> rules = RuleSet(learned)
+    >>> rules.in_confidence_band(0.8, 1.0)      # Table 1 row "0.8"
+    >>> rules.confidence_bands([1.0, 0.8, 0.6, 0.4])
+    """
+
+    def __init__(self, rules: Iterable[ClassificationRule] = ()) -> None:
+        self._rules: List[ClassificationRule] = sorted(rules, key=rule_order_key)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __iter__(self) -> Iterator[ClassificationRule]:
+        return iter(self._rules)
+
+    def __getitem__(self, index: int) -> ClassificationRule:
+        return self._rules[index]
+
+    def __contains__(self, rule: ClassificationRule) -> bool:
+        return rule in self._rules
+
+    @property
+    def rules(self) -> Sequence[ClassificationRule]:
+        """The rules in ranking order (confidence desc, lift desc)."""
+        return tuple(self._rules)
+
+    # ------------------------------------------------------------------
+    # filtering & grouping
+    # ------------------------------------------------------------------
+    def with_min_confidence(self, threshold: float) -> "RuleSet":
+        """Rules with ``confidence >= threshold``."""
+        return RuleSet(r for r in self._rules if r.confidence >= threshold)
+
+    def in_confidence_band(self, low: float, high: float) -> "RuleSet":
+        """Rules with ``low <= confidence < high`` (or == high when high is 1).
+
+        Table 1 groups rules into disjoint bands; the top band is exactly
+        confidence 1, so ``high=1.0`` is inclusive there.
+        """
+        if high >= 1.0:
+            return RuleSet(
+                r for r in self._rules if low <= r.confidence <= 1.0
+            )
+        return RuleSet(r for r in self._rules if low <= r.confidence < high)
+
+    def confidence_bands(self, thresholds: Sequence[float]) -> Dict[float, "RuleSet"]:
+        """Partition into the paper's disjoint bands.
+
+        ``thresholds=[1.0, 0.8, 0.6, 0.4]`` yields ``{1.0: conf==1,
+        0.8: [0.8,1), 0.6: [0.6,0.8), 0.4: [0.4,0.6)}``.
+        """
+        ordered = sorted(thresholds, reverse=True)
+        bands: Dict[float, RuleSet] = {}
+        prev_low: float | None = None
+        for i, low in enumerate(ordered):
+            if i == 0:
+                if low >= 1.0:
+                    members = [r for r in self._rules if r.confidence >= 1.0]
+                else:
+                    members = [r for r in self._rules if low <= r.confidence <= 1.0]
+            else:
+                assert prev_low is not None
+                members = [
+                    r for r in self._rules if low <= r.confidence < prev_low
+                ]
+            bands[low] = RuleSet(members)
+            prev_low = low
+        return bands
+
+    def for_property(self, prop: IRI) -> "RuleSet":
+        """Rules whose premise uses *prop*."""
+        return RuleSet(r for r in self._rules if r.property == prop)
+
+    def for_class(self, cls: IRI) -> "RuleSet":
+        """Rules concluding *cls*."""
+        return RuleSet(r for r in self._rules if r.conclusion == cls)
+
+    def concluded_classes(self) -> frozenset[IRI]:
+        """Distinct classes appearing in rule conclusions.
+
+        The paper: "We have found interesting segments for 16 classes."
+        """
+        return frozenset(r.conclusion for r in self._rules)
+
+    def properties(self) -> frozenset[IRI]:
+        """Distinct properties appearing in rule premises."""
+        return frozenset(r.property for r in self._rules)
+
+    def segments(self) -> frozenset[str]:
+        """Distinct segments appearing in rule premises."""
+        return frozenset(r.segment for r in self._rules)
+
+    def average_lift(self) -> float:
+        """Mean lift of the rules (Table 1's last column); 0 if empty."""
+        if not self._rules:
+            return 0.0
+        return sum(r.lift for r in self._rules) / len(self._rules)
+
+    def merge(self, other: "RuleSet") -> "RuleSet":
+        """Union of two rule sets, re-ranked."""
+        return RuleSet([*self._rules, *other._rules])
+
+    def __repr__(self) -> str:
+        return f"<RuleSet rules={len(self._rules)}>"

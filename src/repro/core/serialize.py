@@ -1,0 +1,182 @@
+"""Persistence of learned rule sets: JSON and RDF.
+
+The paper emphasizes that "the learnt classification rules are concise
+and easy to understand by an expert" — experts review, edit and version
+them. Two formats:
+
+* **JSON** — faithful round-trip including the contingency counts, so
+  reloaded rules re-derive identical measures;
+* **RDF (Turtle)** — rules published into the knowledge base itself,
+  using a small vocabulary under ``http://example.org/rules#``, so a
+  triple store can answer "which segments indicate class c?".
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, Iterable, List
+
+from repro.core.measures import ContingencyCounts, RuleQualityMeasures
+from repro.core.rules import ClassificationRule, RuleSet
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import Namespace, NamespaceManager, RDF
+from repro.rdf.terms import IRI, Literal
+from repro.rdf.triples import Triple
+from repro.rdf.turtle import serialize_turtle
+
+#: Vocabulary for rules-as-RDF.
+RULE = Namespace("http://example.org/rules#")
+
+_JSON_VERSION = 1
+
+
+class RuleSerializationError(ValueError):
+    """Raised on malformed serialized rule data."""
+
+
+# ---------------------------------------------------------------------------
+# JSON
+# ---------------------------------------------------------------------------
+
+def rule_to_dict(rule: ClassificationRule) -> Dict:
+    """One rule as a JSON-ready dict (counts + measures).
+
+    Conviction is ``+inf`` for confidence-1 rules and JSON has no
+    Infinity; it is stored as ``null`` (and re-derived from the counts
+    on load anyway).
+    """
+    measures = rule.measures.as_dict()
+    if math.isinf(measures["conviction"]):
+        measures["conviction"] = None
+    return {
+        "property": rule.property.value,
+        "segment": rule.segment,
+        "conclusion": rule.conclusion.value,
+        "counts": {
+            "both": rule.counts.both,
+            "premise": rule.counts.premise,
+            "conclusion": rule.counts.conclusion,
+            "total": rule.counts.total,
+        },
+        "measures": measures,
+    }
+
+
+def rules_to_json(rules: RuleSet | Iterable[ClassificationRule], indent: int = 2) -> str:
+    """Serialize a rule set as a JSON document."""
+    rule_list = list(rules)
+    payload = {
+        "format": "repro-classification-rules",
+        "version": _JSON_VERSION,
+        "rule_count": len(rule_list),
+        "rules": [rule_to_dict(rule) for rule in rule_list],
+    }
+    return json.dumps(payload, indent=indent, allow_nan=False)
+
+
+def rules_from_json(text: str) -> RuleSet:
+    """Parse a JSON document produced by :func:`rules_to_json`.
+
+    Measures are *re-derived* from the stored counts — the authoritative
+    data — so hand-edited measure fields cannot drift out of sync.
+    """
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise RuleSerializationError(f"invalid JSON: {exc}") from exc
+    if payload.get("format") != "repro-classification-rules":
+        raise RuleSerializationError("not a repro rule document")
+    if payload.get("version") != _JSON_VERSION:
+        raise RuleSerializationError(
+            f"unsupported version: {payload.get('version')!r}"
+        )
+    rules: List[ClassificationRule] = []
+    for entry in payload.get("rules", []):
+        try:
+            counts = ContingencyCounts(
+                both=entry["counts"]["both"],
+                premise=entry["counts"]["premise"],
+                conclusion=entry["counts"]["conclusion"],
+                total=entry["counts"]["total"],
+            )
+            rules.append(
+                ClassificationRule(
+                    property=IRI(entry["property"]),
+                    segment=entry["segment"],
+                    conclusion=IRI(entry["conclusion"]),
+                    measures=RuleQualityMeasures.from_counts(counts),
+                    counts=counts,
+                )
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise RuleSerializationError(f"malformed rule entry: {entry!r}") from exc
+    return RuleSet(rules)
+
+
+# ---------------------------------------------------------------------------
+# RDF
+# ---------------------------------------------------------------------------
+
+def rules_to_graph(rules: RuleSet | Iterable[ClassificationRule]) -> Graph:
+    """Publish rules as RDF: one ``rule:ClassificationRule`` node each."""
+    graph = Graph(identifier="rules")
+    for index, rule in enumerate(rules):
+        node = RULE.term(f"r{index}")
+        graph.add(Triple(node, RDF.type, RULE.ClassificationRule))
+        graph.add(Triple(node, RULE.onProperty, rule.property))
+        graph.add(Triple(node, RULE.segment, Literal(rule.segment)))
+        graph.add(Triple(node, RULE.concludesClass, rule.conclusion))
+        graph.add(Triple(node, RULE.support, Literal(repr(rule.support))))
+        graph.add(Triple(node, RULE.confidence, Literal(repr(rule.confidence))))
+        graph.add(Triple(node, RULE.lift, Literal(repr(rule.lift))))
+        counts = rule.counts
+        graph.add(Triple(node, RULE.countBoth, Literal(str(counts.both))))
+        graph.add(Triple(node, RULE.countPremise, Literal(str(counts.premise))))
+        graph.add(Triple(node, RULE.countConclusion, Literal(str(counts.conclusion))))
+        graph.add(Triple(node, RULE.countTotal, Literal(str(counts.total))))
+    return graph
+
+
+def rules_from_graph(graph: Graph) -> RuleSet:
+    """Load rules back from the RDF form (counts are authoritative)."""
+    rules: List[ClassificationRule] = []
+    for node in graph.subjects(RDF.type, RULE.ClassificationRule):
+        def value_of(prop: IRI) -> str:
+            term = graph.value(node, prop)
+            if term is None:
+                raise RuleSerializationError(
+                    f"rule node {node} is missing {prop.local_name}"
+                )
+            return term.lexical if isinstance(term, Literal) else term.value
+
+        prop_term = graph.value(node, RULE.onProperty)
+        conclusion_term = graph.value(node, RULE.concludesClass)
+        if not isinstance(prop_term, IRI) or not isinstance(conclusion_term, IRI):
+            raise RuleSerializationError(f"rule node {node} has malformed terms")
+        try:
+            counts = ContingencyCounts(
+                both=int(value_of(RULE.countBoth)),
+                premise=int(value_of(RULE.countPremise)),
+                conclusion=int(value_of(RULE.countConclusion)),
+                total=int(value_of(RULE.countTotal)),
+            )
+        except ValueError as exc:
+            raise RuleSerializationError(f"bad counts on {node}") from exc
+        rules.append(
+            ClassificationRule(
+                property=prop_term,
+                segment=value_of(RULE.segment),
+                conclusion=conclusion_term,
+                measures=RuleQualityMeasures.from_counts(counts),
+                counts=counts,
+            )
+        )
+    return RuleSet(rules)
+
+
+def rules_to_turtle(rules: RuleSet | Iterable[ClassificationRule]) -> str:
+    """Rules as a Turtle document (human-reviewable)."""
+    manager = NamespaceManager()
+    manager.bind("rule", RULE)
+    return serialize_turtle(rules_to_graph(rules), manager)

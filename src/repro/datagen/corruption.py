@@ -1,0 +1,98 @@
+"""Provider-side corruption of catalog part numbers.
+
+Provider files describe the same physical products with real-world mess:
+different case, different separator conventions, occasional typos and
+decorative suffixes. The corruption model is deliberately gentle on the
+*informative* structure (series codes survive most of the time — they are
+what providers copy carefully) and harsher on serials, mirroring why the
+paper's rules work on provider data at all.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass
+
+from repro.datagen import names
+from repro.datagen.grammar import SEPARATORS
+
+_SPLIT_RE = re.compile(r"([^0-9a-zA-Z]+)")
+
+
+class CorruptionError(ValueError):
+    """Raised for invalid corruption configurations."""
+
+
+@dataclass(frozen=True, slots=True)
+class CorruptionConfig:
+    """Per-part-number corruption probabilities."""
+
+    p_separator_swap: float = 0.35
+    p_case_change: float = 0.30
+    p_typo: float = 0.06
+    p_drop_segment: float = 0.04
+    p_suffix: float = 0.15
+
+    def __post_init__(self) -> None:
+        for name in (
+            "p_separator_swap",
+            "p_case_change",
+            "p_typo",
+            "p_drop_segment",
+            "p_suffix",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise CorruptionError(f"{name} must be a probability, got {value}")
+
+
+class Corruptor:
+    """Applies the corruption model with a caller-provided RNG.
+
+    >>> corruptor = Corruptor(CorruptionConfig())
+    >>> corruptor.corrupt("CRCW0805-10K-4722", rng)
+    'crcw0805.10k.4723'
+    """
+
+    def __init__(self, config: CorruptionConfig | None = None) -> None:
+        self.config = config or CorruptionConfig()
+
+    def corrupt(self, part_number: str, rng: random.Random) -> str:
+        """Return the provider's rendition of *part_number*."""
+        config = self.config
+        pieces = _SPLIT_RE.split(part_number)
+        segments = pieces[0::2]
+        separators = pieces[1::2]
+
+        if len(segments) > 2 and rng.random() < config.p_drop_segment:
+            # drop a random *serial-looking* segment (never the first —
+            # providers keep the leading series code)
+            victim = rng.randrange(1, len(segments))
+            del segments[victim]
+            if separators:
+                del separators[min(victim - 1, len(separators) - 1)]
+
+        if rng.random() < config.p_typo:
+            index = rng.randrange(len(segments))
+            segment = segments[index]
+            if segment:
+                pos = rng.randrange(len(segment))
+                replacement = rng.choice("0123456789abcdefghijklmnopqrstuvwxyz")
+                segments[index] = segment[:pos] + replacement + segment[pos + 1:]
+
+        if rng.random() < config.p_suffix:
+            segments.append(rng.choice(names.PROVIDER_SUFFIXES))
+            separators.append(rng.choice(SEPARATORS))
+
+        if rng.random() < config.p_separator_swap:
+            swap = rng.choice(SEPARATORS)
+            separators = [swap] * len(separators)
+
+        rebuilt = segments[0]
+        for separator, segment in zip(separators, segments[1:]):
+            rebuilt += separator + segment
+
+        if rng.random() < config.p_case_change:
+            rebuilt = rebuilt.upper() if rng.random() < 0.5 else rebuilt.lower()
+        return rebuilt

@@ -1,0 +1,95 @@
+"""Name pools for the synthetic electronics catalog.
+
+Everything here is deterministic data — the random choices happen in the
+generator. The first leaf names echo the classes the paper mentions
+(Fixed-film resistance, Tantalum capacitor) so examples read like §5.
+"""
+
+from __future__ import annotations
+
+#: Top-level product families; also the unit-segment families.
+FAMILY_NAMES = (
+    "Resistors",
+    "Capacitors",
+    "Inductors",
+    "Diodes",
+    "Transistors",
+    "Integrated Circuits",
+    "Connectors",
+    "Relays",
+    "Switches",
+    "Crystals and Oscillators",
+    "Fuses",
+    "Transformers",
+)
+
+#: Unit segments per family — the shared, family-indicative vocabulary
+#: ("measure units can be used to determine the category of the
+#: products ('ohm', 'Kg', 'meter')").
+FAMILY_UNITS = (
+    ("ohm", "kohm", "mohm", "5w"),
+    ("uf", "nf", "pf", "63v", "esr"),
+    ("uh", "mh", "nh", "idc"),
+    ("vrrm", "ifav", "trr"),
+    ("hfe", "vceo", "icmax"),
+    ("mhz", "lqfp", "sram", "gpio"),
+    ("pos", "pitch", "awg"),
+    ("coil", "vdc", "spdt"),
+    ("dpdt", "latch", "mom"),
+    ("khz", "ppm", "xtal"),
+    ("amp", "slow", "fast"),
+    ("vain", "vaout", "turns"),
+)
+
+#: Qualifiers used to name intermediate hierarchy levels.
+QUALIFIERS = (
+    "Fixed",
+    "Variable",
+    "Precision",
+    "Power",
+    "Surface Mount",
+    "Through Hole",
+    "High Voltage",
+    "Low Noise",
+    "Miniature",
+    "Industrial",
+    "Automotive",
+    "Military",
+    "General Purpose",
+    "High Frequency",
+    "Shielded",
+)
+
+#: Leaf names seeded with the classes the paper names explicitly.
+SEED_LEAF_NAMES = (
+    "Fixed-film resistance",
+    "Tantalum capacitor",
+    "Wirewound resistor",
+    "Ceramic capacitor",
+    "Electrolytic capacitor",
+    "Zener diode",
+    "Schottky diode",
+    "Power inductor",
+    "Signal relay",
+    "Crystal oscillator",
+)
+
+#: Prefix pool for class-indicative series codes (CRCW0805-like).
+SERIES_PREFIXES = (
+    "CRCW", "T", "MAX", "LM", "BC", "IRF", "WSL", "ERJ", "GRM", "C0G",
+    "RN", "MKT", "TPS", "AD", "NE", "UF", "BZX", "MMBT", "SS", "RC",
+)
+
+#: Manufacturer pool ("almost all manufacturers provide products that
+#: belong to distinct classes" — so manufacturers are deliberately
+#: uninformative about the class).
+MANUFACTURERS = (
+    "Vishay", "Murata", "TDK", "Kemet", "Panasonic", "Yageo", "Bourns",
+    "AVX", "Nichicon", "Rubycon", "Texas Instruments", "Analog Devices",
+    "STMicro", "Infineon", "NXP", "ON Semi", "Rohm", "Diodes Inc",
+    "Littelfuse", "TE Connectivity", "Molex", "Amphenol", "Omron",
+    "Epson", "Abracon", "Susumu", "KOA", "Walsin", "Samsung EM", "Taiyo Yuden",
+)
+
+#: Provider-side decorative suffixes occasionally appended to part numbers.
+PROVIDER_SUFFIXES = ("rohs", "tr", "reel", "bulk", "ct", "pbfree")

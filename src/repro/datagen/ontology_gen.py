@@ -1,0 +1,176 @@
+"""Generate a product ontology with exact class/leaf counts.
+
+The paper's ontology has 566 classes of which 226 are leaves — i.e. 340
+internal classes, a *deep* taxonomy (more internal nodes than leaves).
+:func:`generate_hierarchy` builds such a tree for any valid (classes,
+leaves) pair:
+
+1. build an internal skeleton of ``n_internal`` nodes by breadth-first
+   fanout, choosing the largest fanout whose childless-node count does
+   not exceed ``n_leaves`` (falls back to a chain, fanout 1);
+2. attach one leaf to every childless skeleton node (so every internal
+   node really is internal), then distribute the remaining leaves
+   round-robin over the skeleton bottom.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from typing import List, Sequence, Tuple
+
+from repro.datagen import names
+from repro.datagen.config import CatalogConfig, ConfigError
+from repro.ontology.model import Ontology
+from repro.rdf.namespace import Namespace
+from repro.rdf.terms import IRI
+
+#: Namespace of all generated catalog resources.
+CATALOG = Namespace("http://example.org/catalog/")
+
+
+def _skeleton_childless(n_internal: int, fanout: int) -> int:
+    """How many childless nodes a BFS skeleton of that fanout has."""
+    if n_internal <= 1:
+        return n_internal
+    parents_needed = 0
+    remaining = n_internal - 1  # children to place under earlier nodes
+    placed = 1
+    index = 0
+    children_of: List[int] = [0]
+    while remaining > 0:
+        take = min(fanout, remaining)
+        children_of[index] = take
+        remaining -= take
+        placed += take
+        children_of.extend([0] * take)
+        index += 1
+    return sum(1 for c in children_of if c == 0)
+
+
+def _build_skeleton(n_internal: int, fanout: int) -> List[int]:
+    """Return parent indexes: parent[i] for node i (node 0 = root)."""
+    parent = [-1]
+    remaining = n_internal - 1
+    frontier = 0
+    while remaining > 0:
+        take = min(fanout, remaining)
+        for _ in range(take):
+            parent.append(frontier)
+        remaining -= take
+        frontier += 1
+    return parent
+
+
+def generate_hierarchy(n_classes: int, n_leaves: int) -> Tuple[List[int], List[bool]]:
+    """Build a tree with exactly *n_classes* nodes, *n_leaves* leaves.
+
+    Returns ``(parent, is_leaf)`` where ``parent[i]`` is the parent index
+    of node ``i`` (root has -1). Internal nodes come first (indexes
+    ``0..n_internal-1``), then leaf nodes.
+    """
+    if n_leaves >= n_classes or n_leaves < 1:
+        raise ConfigError(
+            f"invalid hierarchy spec: {n_classes} classes / {n_leaves} leaves"
+        )
+    n_internal = n_classes - n_leaves
+
+    fanout = 1
+    for candidate in (6, 5, 4, 3, 2):
+        if _skeleton_childless(n_internal, candidate) <= n_leaves:
+            fanout = candidate
+            break
+
+    parent = _build_skeleton(n_internal, fanout)
+    children_count = [0] * n_internal
+    for node, par in enumerate(parent):
+        if par >= 0:
+            children_count[par] += 1
+
+    childless = [i for i in range(n_internal) if children_count[i] == 0]
+    assert len(childless) <= n_leaves, "fanout selection violated its invariant"
+
+    is_leaf = [False] * n_internal
+    attach_order: List[int] = list(childless)
+    extra = n_leaves - len(childless)
+    # distribute surplus leaves round-robin over the skeleton bottom
+    # (childless first, then deepest internal nodes)
+    pool = childless if childless else list(range(n_internal))
+    i = 0
+    while extra > 0:
+        attach_order.append(pool[i % len(pool)])
+        i += 1
+        extra -= 1
+
+    for host in attach_order:
+        parent.append(host)
+        is_leaf.append(True)
+
+    assert len(parent) == n_classes
+    assert sum(is_leaf) == n_leaves
+    return parent, is_leaf
+
+
+_SLUG_RE = re.compile(r"[^0-9A-Za-z]+")
+
+
+def _slug(name: str) -> str:
+    return _SLUG_RE.sub("_", name).strip("_")
+
+
+def _internal_name(index: int, depth: int, rng: random.Random) -> str:
+    if index == 0:
+        return "Electronic Component"
+    if depth == 1 and index - 1 < len(names.FAMILY_NAMES):
+        return names.FAMILY_NAMES[index - 1]
+    qualifier = names.QUALIFIERS[(index * 7) % len(names.QUALIFIERS)]
+    family = names.FAMILY_NAMES[index % len(names.FAMILY_NAMES)]
+    return f"{qualifier} {family} {index}"
+
+
+def _leaf_name(leaf_index: int) -> str:
+    if leaf_index < len(names.SEED_LEAF_NAMES):
+        return names.SEED_LEAF_NAMES[leaf_index]
+    family = names.FAMILY_NAMES[leaf_index % len(names.FAMILY_NAMES)]
+    qualifier = names.QUALIFIERS[(leaf_index * 5) % len(names.QUALIFIERS)]
+    singular = family.rstrip("s")
+    return f"{qualifier} {singular} {leaf_index}"
+
+
+def generate_product_ontology(config: CatalogConfig) -> Tuple[Ontology, List[IRI]]:
+    """Build the ontology; return it plus the leaf class IRIs in order.
+
+    Naming is deterministic given the config seed. Leaf IRIs are returned
+    in leaf-index order — the grammar assigns Zipf ranks over this list.
+    """
+    rng = random.Random(config.seed + 101)
+    parent, is_leaf = generate_hierarchy(config.n_classes, config.n_leaves)
+
+    depths = [0] * len(parent)
+    for node in range(1, len(parent)):
+        depths[node] = depths[parent[node]] + 1
+
+    onto = Ontology(name="synthetic-electronics")
+    iris: List[IRI] = []
+    leaf_iris: List[IRI] = []
+    leaf_counter = 0
+    used_slugs: set[str] = set()
+    for node, par in enumerate(parent):
+        if is_leaf[node]:
+            label = _leaf_name(leaf_counter)
+            leaf_counter += 1
+        else:
+            label = _internal_name(node, depths[node], rng)
+        slug = _slug(label)
+        if slug in used_slugs:
+            slug = f"{slug}_{node}"
+        used_slugs.add(slug)
+        iri = CATALOG.term("class/" + slug)
+        iris.append(iri)
+        onto.add_class(iri, label=label)
+        if is_leaf[node]:
+            leaf_iris.append(iri)
+        if par >= 0:
+            onto.add_subclass(iri, iris[par])
+
+    return onto, leaf_iris

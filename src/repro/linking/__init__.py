@@ -1,0 +1,70 @@
+"""Data-linking substrate: records, blocking, matching, evaluation.
+
+The paper's contribution *reduces the linking space*; this package hosts
+everything around that reduction so the repository is a complete linking
+system:
+
+* :class:`Record` / :class:`RecordStore` — a field view over RDF items;
+* blocking baselines from the related-work section (§2): standard
+  blocking (Jaro 1989), sorted neighbourhood (Yan et al. 2007), bi-gram
+  indexing (Baxter et al. 2003), canopy clustering — plus
+  :class:`RuleBasedBlocking`, the paper's method adapted to the same
+  interface for head-to-head comparison;
+* pairwise comparison vectors and matchers (weighted threshold and
+  Fellegi-Sunter);
+* the end-to-end :class:`LinkingPipeline` producing ``owl:sameAs`` links;
+* evaluation metrics for both blocking quality (reduction ratio, pairs
+  completeness, pairs quality) and matching quality (P/R/F1).
+"""
+
+from repro.linking.records import Record, RecordStore
+from repro.linking.blocking import (
+    BlockingMethod,
+    StandardBlocking,
+    SortedNeighbourhood,
+    QGramBlocking,
+    CanopyBlocking,
+    RuleBasedBlocking,
+    FullIndex,
+)
+from repro.linking.filtering import DisjointnessFiltering
+from repro.linking.comparators import FieldComparator, ComparisonVector, RecordComparator
+from repro.linking.matchers import (
+    MatchDecision,
+    MatchStatus,
+    ThresholdMatcher,
+    FellegiSunterMatcher,
+)
+from repro.linking.pipeline import LinkingPipeline, LinkingResult
+from repro.linking.evaluation import (
+    BlockingQuality,
+    MatchingQuality,
+    evaluate_blocking,
+    evaluate_matching,
+)
+
+__all__ = [
+    "Record",
+    "RecordStore",
+    "BlockingMethod",
+    "StandardBlocking",
+    "SortedNeighbourhood",
+    "QGramBlocking",
+    "CanopyBlocking",
+    "RuleBasedBlocking",
+    "FullIndex",
+    "DisjointnessFiltering",
+    "FieldComparator",
+    "ComparisonVector",
+    "RecordComparator",
+    "MatchDecision",
+    "MatchStatus",
+    "ThresholdMatcher",
+    "FellegiSunterMatcher",
+    "LinkingPipeline",
+    "LinkingResult",
+    "BlockingQuality",
+    "MatchingQuality",
+    "evaluate_blocking",
+    "evaluate_matching",
+]

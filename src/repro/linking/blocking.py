@@ -1,0 +1,299 @@
+"""Blocking methods: the related-work baselines plus the paper's method.
+
+Paper §2 surveys exactly these families:
+
+* **standard blocking** — "persons that share the same first five
+  characters of their last name belong to the same block" (Jaro);
+* **sorted neighbourhood** — sort by a key, slide a fixed window (Yan et
+  al.);
+* **bi-gram indexing** — "attribute values are converted into sub-strings
+  of two characters and sub-lists of all possible permutations are built
+  using a threshold", inverted-indexed (Baxter et al.);
+* **canopy clustering** — cheap-similarity canopies (classic blocking
+  baseline, included for the comparison bench).
+
+:class:`RuleBasedBlocking` adapts the paper's classification rules to the
+same ``candidate_pairs`` interface so experiment A3 can compare all of
+them on reduction ratio and pairs completeness. :class:`FullIndex` is the
+naive ``|S_E| x |S_L|`` cartesian product, the paper's strawman.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from abc import ABC, abstractmethod
+from collections import defaultdict
+from typing import Callable, Dict, Iterable, Iterator, List, Sequence, Set, Tuple
+
+from repro.core.classifier import RuleClassifier
+from repro.core.subspace import LinkingSubspace
+from repro.linking.records import Record, RecordStore
+from repro.ontology.model import Ontology
+from repro.rdf.graph import Graph
+from repro.rdf.terms import Term
+from repro.text.normalize import normalize_value
+from repro.text.similarity import qgram_cosine_similarity
+
+#: A candidate pair: (external record id, local record id).
+CandidatePair = Tuple[Term, Term]
+
+
+class BlockingMethod(ABC):
+    """Produces candidate pairs between an external and a local store."""
+
+    @abstractmethod
+    def candidate_pairs(
+        self, external: RecordStore, local: RecordStore
+    ) -> Iterator[CandidatePair]:
+        """Yield (external id, local id) pairs worth comparing."""
+
+    def pair_count(self, external: RecordStore, local: RecordStore) -> int:
+        """Number of candidate pairs (materializes the iterator)."""
+        return sum(1 for _ in self.candidate_pairs(external, local))
+
+
+class FullIndex(BlockingMethod):
+    """No blocking at all: the naive cartesian product ``|S_E| x |S_L|``."""
+
+    def candidate_pairs(
+        self, external: RecordStore, local: RecordStore
+    ) -> Iterator[CandidatePair]:
+        for ext in external.ids():
+            for loc in local.ids():
+                yield ext, loc
+
+
+class StandardBlocking(BlockingMethod):
+    """Exact-key blocking on a derived blocking key.
+
+    ``key`` maps a record to its blocking key (e.g. first five characters
+    of a field, or a Soundex code); records with equal non-empty keys land
+    in the same block and all cross-source pairs inside a block become
+    candidates.
+    """
+
+    def __init__(self, key: Callable[[Record], str]) -> None:
+        self._key = key
+
+    @classmethod
+    def on_field_prefix(cls, field_name: str, length: int = 5) -> "StandardBlocking":
+        """The paper's example: same first *length* characters of a field."""
+        def key(record: Record) -> str:
+            return normalize_value(record.value(field_name))[:length]
+
+        return cls(key)
+
+    @classmethod
+    def on_field_transform(
+        cls, field_name: str, transform: Callable[[str], str]
+    ) -> "StandardBlocking":
+        """Key = ``transform(field value)`` (e.g. a phonetic encoder)."""
+        def key(record: Record) -> str:
+            return transform(record.value(field_name))
+
+        return cls(key)
+
+    def candidate_pairs(
+        self, external: RecordStore, local: RecordStore
+    ) -> Iterator[CandidatePair]:
+        blocks: Dict[str, List[Term]] = defaultdict(list)
+        for record in local:
+            key = self._key(record)
+            if key:
+                blocks[key].append(record.id)
+        for record in external:
+            key = self._key(record)
+            if not key:
+                continue
+            for local_id in blocks.get(key, ()):
+                yield record.id, local_id
+
+
+class SortedNeighbourhood(BlockingMethod):
+    """Sorted-neighbourhood method (merge the sources, slide a window).
+
+    Records of both sources are sorted together by the sorting key; a
+    window of ``window_size`` consecutive records moves over the sorted
+    list and every external/local pair inside the window becomes a
+    candidate — the adaptive variant of Yan et al. is approximated by
+    skipping same-source pairs.
+    """
+
+    def __init__(self, key: Callable[[Record], str], window_size: int = 5) -> None:
+        if window_size < 2:
+            raise ValueError(f"window size must be >= 2, got {window_size}")
+        self._key = key
+        self._window = window_size
+
+    @classmethod
+    def on_field(cls, field_name: str, window_size: int = 5) -> "SortedNeighbourhood":
+        """Sort by the normalized value of *field_name*."""
+        def key(record: Record) -> str:
+            return normalize_value(record.value(field_name))
+
+        return cls(key, window_size)
+
+    def candidate_pairs(
+        self, external: RecordStore, local: RecordStore
+    ) -> Iterator[CandidatePair]:
+        tagged: List[Tuple[str, bool, Term]] = []
+        for record in external:
+            tagged.append((self._key(record), True, record.id))
+        for record in local:
+            tagged.append((self._key(record), False, record.id))
+        tagged.sort(key=lambda entry: (entry[0], str(entry[2])))
+        seen: Set[CandidatePair] = set()
+        for start in range(len(tagged)):
+            window = tagged[start:start + self._window]
+            for (_, is_ext_a, id_a), (_, is_ext_b, id_b) in itertools.combinations(window, 2):
+                if is_ext_a == is_ext_b:
+                    continue
+                pair = (id_a, id_b) if is_ext_a else (id_b, id_a)
+                if pair not in seen:
+                    seen.add(pair)
+                    yield pair
+
+
+class QGramBlocking(BlockingMethod):
+    """Bi-gram (q-gram) indexing as sketched by Baxter et al.
+
+    Each value is turned into its sorted list of q-grams; sub-lists of
+    length ``ceil(len * threshold)`` (all combinations) are generated and
+    inserted into an inverted index. Records sharing at least one
+    sub-list key become candidates. ``threshold=1.0`` degenerates into
+    exact q-gram-set blocking.
+
+    ``max_grams`` caps the combinatorial explosion on long values (the
+    classic implementations do the same).
+    """
+
+    def __init__(
+        self,
+        field_name: str,
+        q: int = 2,
+        threshold: float = 0.8,
+        max_grams: int = 12,
+    ) -> None:
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+        if q < 1:
+            raise ValueError(f"q must be >= 1, got {q}")
+        self._field = field_name
+        self._q = q
+        self._threshold = threshold
+        self._max_grams = max_grams
+
+    def _keys(self, record: Record) -> Set[str]:
+        value = normalize_value(record.value(self._field))
+        if not value:
+            return set()
+        grams = sorted(
+            {value[i:i + self._q] for i in range(max(1, len(value) - self._q + 1))}
+        )[: self._max_grams]
+        keep = max(1, math.ceil(len(grams) * self._threshold))
+        if keep >= len(grams):
+            return {"".join(grams)}
+        return {
+            "".join(combo) for combo in itertools.combinations(grams, keep)
+        }
+
+    def candidate_pairs(
+        self, external: RecordStore, local: RecordStore
+    ) -> Iterator[CandidatePair]:
+        index: Dict[str, List[Term]] = defaultdict(list)
+        for record in local:
+            for key in self._keys(record):
+                index[key].append(record.id)
+        seen: Set[CandidatePair] = set()
+        for record in external:
+            for key in self._keys(record):
+                for local_id in index.get(key, ()):
+                    pair = (record.id, local_id)
+                    if pair not in seen:
+                        seen.add(pair)
+                        yield pair
+
+
+class CanopyBlocking(BlockingMethod):
+    """Canopy clustering with a cheap q-gram cosine similarity.
+
+    Local records are indexed; each external record seeds a canopy of
+    local records within ``loose`` similarity. The classic tight/loose
+    two-threshold scheme removes locals within ``tight`` similarity from
+    future canopies, bounding redundancy.
+    """
+
+    def __init__(
+        self,
+        field_name: str,
+        loose: float = 0.4,
+        tight: float = 0.9,
+        q: int = 2,
+    ) -> None:
+        if not 0.0 <= loose <= tight <= 1.0:
+            raise ValueError(
+                f"need 0 <= loose <= tight <= 1, got loose={loose}, tight={tight}"
+            )
+        self._field = field_name
+        self._loose = loose
+        self._tight = tight
+        self._q = q
+
+    def candidate_pairs(
+        self, external: RecordStore, local: RecordStore
+    ) -> Iterator[CandidatePair]:
+        remaining: Dict[Term, str] = {
+            record.id: normalize_value(record.value(self._field)) for record in local
+        }
+        for record in external:
+            value = normalize_value(record.value(self._field))
+            if not value:
+                continue
+            claimed: List[Term] = []
+            for local_id, local_value in remaining.items():
+                sim = qgram_cosine_similarity(value, local_value, q=self._q)
+                if sim >= self._loose:
+                    yield record.id, local_id
+                    if sim >= self._tight:
+                        claimed.append(local_id)
+            for local_id in claimed:
+                del remaining[local_id]
+
+
+class RuleBasedBlocking(BlockingMethod):
+    """The paper's method behind the common blocking interface.
+
+    Classifies each external record with the learned rules and emits
+    pairs against the instances of the predicted classes. Undecided
+    records fall back to the full local store (``fallback_full=True``,
+    the fair default for completeness comparisons) or to no pairs.
+    """
+
+    def __init__(
+        self,
+        classifier: RuleClassifier,
+        ontology: Ontology,
+        external_graph: Graph,
+        fallback_full: bool = True,
+    ) -> None:
+        self._classifier = classifier
+        self._ontology = ontology
+        self._graph = external_graph
+        self._fallback_full = fallback_full
+
+    def candidate_pairs(
+        self, external: RecordStore, local: RecordStore
+    ) -> Iterator[CandidatePair]:
+        predictions = self._classifier.predict_all(list(external.ids()), self._graph)
+        subspace = LinkingSubspace.from_predictions(predictions, self._ontology)
+        local_ids = set(local.ids())
+        for ext_id in external.ids():
+            candidates = subspace.candidates_for(ext_id)
+            if not candidates and self._fallback_full:
+                for local_id in local_ids:
+                    yield ext_id, local_id
+                continue
+            for candidate in candidates:
+                if candidate in local_ids:
+                    yield ext_id, candidate

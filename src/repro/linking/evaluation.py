@@ -1,0 +1,131 @@
+"""Evaluation metrics for blocking and matching.
+
+Blocking quality (the record-linkage survey standards):
+
+* **reduction ratio** — fraction of the naive space pruned;
+* **pairs completeness** — fraction of true matches surviving blocking
+  (recall of the candidate set);
+* **pairs quality** — fraction of candidates that are true matches
+  (precision of the candidate set).
+
+Matching quality: precision / recall / F1 of declared links against the
+expert truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Set, Tuple
+
+from repro.rdf.terms import Term
+
+Pair = Tuple[Term, Term]
+
+
+@dataclass(frozen=True, slots=True)
+class BlockingQuality:
+    """Candidate-set quality against ground truth."""
+
+    candidate_pairs: int
+    naive_pairs: int
+    true_matches: int
+    matches_covered: int
+
+    @property
+    def reduction_ratio(self) -> float:
+        """``1 - candidates / naive``."""
+        if self.naive_pairs == 0:
+            return 0.0
+        return 1.0 - self.candidate_pairs / self.naive_pairs
+
+    @property
+    def pairs_completeness(self) -> float:
+        """``covered matches / true matches`` (blocking recall)."""
+        if self.true_matches == 0:
+            return 1.0
+        return self.matches_covered / self.true_matches
+
+    @property
+    def pairs_quality(self) -> float:
+        """``covered matches / candidates`` (blocking precision)."""
+        if self.candidate_pairs == 0:
+            return 0.0
+        return self.matches_covered / self.candidate_pairs
+
+    def __str__(self) -> str:
+        return (
+            f"RR={self.reduction_ratio:.4f} "
+            f"PC={self.pairs_completeness:.4f} "
+            f"PQ={self.pairs_quality:.4f} "
+            f"({self.candidate_pairs}/{self.naive_pairs} pairs)"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class MatchingQuality:
+    """Declared-link quality against ground truth."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP); 1.0 when nothing was declared."""
+        declared = self.true_positives + self.false_positives
+        if declared == 0:
+            return 1.0
+        return self.true_positives / declared
+
+    @property
+    def recall(self) -> float:
+        """TP / (TP + FN); 1.0 when there is nothing to find."""
+        actual = self.true_positives + self.false_negatives
+        if actual == 0:
+            return 1.0
+        return self.true_positives / actual
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        p, r = self.precision, self.recall
+        if p + r == 0.0:
+            return 0.0
+        return 2 * p * r / (p + r)
+
+    def __str__(self) -> str:
+        return (
+            f"P={self.precision:.4f} R={self.recall:.4f} F1={self.f1:.4f} "
+            f"(TP={self.true_positives} FP={self.false_positives} "
+            f"FN={self.false_negatives})"
+        )
+
+
+def evaluate_blocking(
+    candidates: Iterable[Pair],
+    truth: Iterable[Pair],
+    naive_pairs: int,
+) -> BlockingQuality:
+    """Score a candidate set against the true match pairs."""
+    candidate_set: Set[Pair] = set(candidates)
+    truth_set: Set[Pair] = set(truth)
+    return BlockingQuality(
+        candidate_pairs=len(candidate_set),
+        naive_pairs=naive_pairs,
+        true_matches=len(truth_set),
+        matches_covered=len(candidate_set & truth_set),
+    )
+
+
+def evaluate_matching(
+    declared: Iterable[Pair],
+    truth: Iterable[Pair],
+) -> MatchingQuality:
+    """Score declared links against the true match pairs."""
+    declared_set: Set[Pair] = set(declared)
+    truth_set: Set[Pair] = set(truth)
+    return MatchingQuality(
+        true_positives=len(declared_set & truth_set),
+        false_positives=len(declared_set - truth_set),
+        false_negatives=len(truth_set - declared_set),
+    )

@@ -1,0 +1,120 @@
+"""Records: a flat field view over RDF-described items.
+
+Blocking and matching literature speaks in *records with fields*; RDF
+sources speak in triples. :class:`RecordStore` bridges the two: given a
+graph and a field map (field name -> property IRI), every subject with at
+least one mapped value becomes a :class:`Record`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence
+
+from repro.rdf.graph import Graph
+from repro.rdf.terms import IRI, Literal, Term
+
+
+@dataclass(frozen=True, slots=True)
+class Record:
+    """An item with named textual fields.
+
+    Multi-valued fields keep every value; :meth:`value` returns the first
+    (deterministically sorted) one, which is what key-based blocking
+    wants.
+    """
+
+    id: Term
+    fields: Mapping[str, tuple[str, ...]]
+
+    def value(self, field_name: str, default: str = "") -> str:
+        """First value of the field, or *default* when absent."""
+        values = self.fields.get(field_name)
+        return values[0] if values else default
+
+    def values(self, field_name: str) -> tuple[str, ...]:
+        """All values of the field (empty tuple when absent)."""
+        return self.fields.get(field_name, ())
+
+    def __str__(self) -> str:
+        parts = ", ".join(f"{k}={v[0]!r}" for k, v in sorted(self.fields.items()) if v)
+        return f"Record({self.id}, {parts})"
+
+
+class RecordStore:
+    """A collection of records keyed by item identity.
+
+    >>> store = RecordStore.from_graph(
+    ...     graph, {"part_number": EX.partNumber, "maker": EX.manufacturer}
+    ... )
+    >>> store[EX.p1].value("part_number")
+    'CRCW0805-10K'
+    """
+
+    def __init__(self, records: Iterable[Record] = ()) -> None:
+        self._records: Dict[Term, Record] = {}
+        for record in records:
+            self.add(record)
+
+    @classmethod
+    def from_graph(
+        cls,
+        graph: Graph,
+        field_map: Mapping[str, IRI],
+        subjects: Iterable[Term] | None = None,
+    ) -> "RecordStore":
+        """Build records for *subjects* (default: all subjects in graph).
+
+        Values are sorted for determinism; subjects with no mapped value
+        are skipped unless explicitly listed in *subjects*, in which case
+        they yield records with empty fields (the pipeline still needs to
+        account for them).
+        """
+        store = cls()
+        explicit = subjects is not None
+        pool = list(subjects) if explicit else list(graph.subjects())
+        for subject in pool:
+            fields: Dict[str, tuple[str, ...]] = {}
+            non_empty = False
+            for name, prop in field_map.items():
+                values = tuple(sorted(graph.literal_values(subject, prop)))
+                fields[name] = values
+                if values:
+                    non_empty = True
+            if non_empty or explicit:
+                store.add(Record(id=subject, fields=fields))
+        return store
+
+    def add(self, record: Record) -> None:
+        """Insert or replace the record with the same id."""
+        self._records[record.id] = record
+
+    def __getitem__(self, item_id: Term) -> Record:
+        return self._records[item_id]
+
+    def get(self, item_id: Term) -> Record | None:
+        """Record by id, or ``None``."""
+        return self._records.get(item_id)
+
+    def __contains__(self, item_id: Term) -> bool:
+        return item_id in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self._records.values())
+
+    def ids(self) -> Iterator[Term]:
+        """Iterate over record ids."""
+        yield from self._records
+
+    def field_names(self) -> frozenset[str]:
+        """Union of field names across records."""
+        names: set[str] = set()
+        for record in self._records.values():
+            names.update(record.fields.keys())
+        return frozenset(names)
+
+    def __repr__(self) -> str:
+        return f"<RecordStore records={len(self)}>"

@@ -1,0 +1,30 @@
+"""Ontology substrate: class model, subsumption hierarchy and reasoning.
+
+The paper assumes the local source ``S_L`` conforms to an OWL ontology
+``O_L`` (566 classes, 226 of them leaves, in the Thales evaluation). The
+learning algorithm needs exactly these ontology services:
+
+* the set of classes and the subsumption (``rdfs:subClassOf``) hierarchy;
+* the *leaves* of the hierarchy and, for a redundantly typed instance,
+  its *most specific* classes (Algorithm 1 counts class frequency "only
+  for the most specific classes of the ontology O_L");
+* disjointness axioms (the related-work filtering baseline of Saïs et
+  al. 2009 prunes pairs from disjoint classes);
+* the future-work extension generalizes rules along subsumption, which
+  needs ancestor/descendant navigation and least common subsumers.
+"""
+
+from repro.ontology.model import OntClass, Ontology, OntologyError
+from repro.ontology.hierarchy import ClassHierarchy
+from repro.ontology.loader import ontology_from_graph, ontology_to_graph
+from repro.ontology.reasoner import RDFSReasoner
+
+__all__ = [
+    "OntClass",
+    "Ontology",
+    "OntologyError",
+    "ClassHierarchy",
+    "ontology_from_graph",
+    "ontology_to_graph",
+    "RDFSReasoner",
+]

@@ -1,0 +1,201 @@
+"""Subsumption hierarchy: a DAG of classes under ``rdfs:subClassOf``.
+
+The hierarchy is kept acyclic (cycle attempts raise), supports multiple
+inheritance, and precomputes nothing — ancestor/descendant queries are
+BFS traversals with memoization that is invalidated on mutation, which is
+plenty fast for ontologies of a few thousand classes (the paper's has 566).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, Iterator, Set
+
+from repro.rdf.terms import IRI
+
+
+class HierarchyError(ValueError):
+    """Raised on structurally invalid hierarchy mutations (e.g. cycles)."""
+
+
+class ClassHierarchy:
+    """A DAG over class IRIs with subsumption queries.
+
+    Edges point child -> parent (``add_edge(sub, sup)`` states
+    ``sub rdfs:subClassOf sup``).
+    """
+
+    def __init__(self) -> None:
+        self._parents: Dict[IRI, Set[IRI]] = {}
+        self._children: Dict[IRI, Set[IRI]] = {}
+        self._ancestor_cache: Dict[IRI, FrozenSet[IRI]] = {}
+        self._descendant_cache: Dict[IRI, FrozenSet[IRI]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_class(self, cls: IRI) -> None:
+        """Register *cls* as a node (idempotent)."""
+        self._parents.setdefault(cls, set())
+        self._children.setdefault(cls, set())
+
+    def add_edge(self, sub: IRI, sup: IRI) -> None:
+        """State ``sub rdfs:subClassOf sup``; reject self-loops and cycles."""
+        if sub == sup:
+            raise HierarchyError(f"self-subsumption is not allowed: {sub}")
+        self.add_class(sub)
+        self.add_class(sup)
+        if self.is_subclass_of(sup, sub):
+            raise HierarchyError(
+                f"adding {sub} subClassOf {sup} would create a cycle"
+            )
+        self._parents[sub].add(sup)
+        self._children[sup].add(sub)
+        self._ancestor_cache.clear()
+        self._descendant_cache.clear()
+
+    # ------------------------------------------------------------------
+    # membership / basic structure
+    # ------------------------------------------------------------------
+    def __contains__(self, cls: IRI) -> bool:
+        return cls in self._parents
+
+    def __len__(self) -> int:
+        return len(self._parents)
+
+    def classes(self) -> Iterator[IRI]:
+        """Iterate over all class IRIs."""
+        yield from self._parents
+
+    def parents(self, cls: IRI) -> FrozenSet[IRI]:
+        """Direct superclasses of *cls*."""
+        self._require(cls)
+        return frozenset(self._parents[cls])
+
+    def children(self, cls: IRI) -> FrozenSet[IRI]:
+        """Direct subclasses of *cls*."""
+        self._require(cls)
+        return frozenset(self._children[cls])
+
+    def roots(self) -> FrozenSet[IRI]:
+        """Classes with no superclass."""
+        return frozenset(c for c, ps in self._parents.items() if not ps)
+
+    def leaves(self) -> FrozenSet[IRI]:
+        """Classes with no subclass — the paper's "leaves of the ontology"."""
+        return frozenset(c for c, ch in self._children.items() if not ch)
+
+    def is_leaf(self, cls: IRI) -> bool:
+        """True when *cls* has no subclass."""
+        self._require(cls)
+        return not self._children[cls]
+
+    def _require(self, cls: IRI) -> None:
+        if cls not in self._parents:
+            raise HierarchyError(f"unknown class: {cls}")
+
+    # ------------------------------------------------------------------
+    # transitive queries
+    # ------------------------------------------------------------------
+    def ancestors(self, cls: IRI) -> FrozenSet[IRI]:
+        """All strict superclasses of *cls* (transitive closure)."""
+        self._require(cls)
+        cached = self._ancestor_cache.get(cls)
+        if cached is not None:
+            return cached
+        result = self._closure(cls, self._parents)
+        self._ancestor_cache[cls] = result
+        return result
+
+    def descendants(self, cls: IRI) -> FrozenSet[IRI]:
+        """All strict subclasses of *cls* (transitive closure)."""
+        self._require(cls)
+        cached = self._descendant_cache.get(cls)
+        if cached is not None:
+            return cached
+        result = self._closure(cls, self._children)
+        self._descendant_cache[cls] = result
+        return result
+
+    @staticmethod
+    def _closure(start: IRI, edges: Dict[IRI, Set[IRI]]) -> FrozenSet[IRI]:
+        seen: Set[IRI] = set()
+        queue = deque(edges[start])
+        while queue:
+            node = queue.popleft()
+            if node in seen:
+                continue
+            seen.add(node)
+            queue.extend(edges[node])
+        return frozenset(seen)
+
+    def is_subclass_of(self, sub: IRI, sup: IRI) -> bool:
+        """Reflexive-transitive subsumption test (``sub ⊑ sup``)."""
+        if sub == sup:
+            return sub in self._parents
+        if sub not in self._parents or sup not in self._parents:
+            return False
+        return sup in self.ancestors(sub)
+
+    def depth(self, cls: IRI) -> int:
+        """Longest path from a root down to *cls* (roots have depth 0)."""
+        self._require(cls)
+        best = 0
+        stack = [(cls, 0)]
+        seen_at: Dict[IRI, int] = {}
+        while stack:
+            node, d = stack.pop()
+            if seen_at.get(node, -1) >= d:
+                continue
+            seen_at[node] = d
+            best = max(best, d)
+            for parent in self._parents[node]:
+                stack.append((parent, d + 1))
+        return best
+
+    def most_specific(self, classes: Iterable[IRI]) -> FrozenSet[IRI]:
+        """Drop every class that subsumes another class of the input.
+
+        For an instance typed ``{Component, Resistor, FixedFilmResistor}``
+        this returns ``{FixedFilmResistor}`` — the paper computes class
+        frequency only on such most-specific classes.
+        """
+        pool = {c for c in classes if c in self._parents}
+        redundant: Set[IRI] = set()
+        for cls in pool:
+            redundant.update(self.ancestors(cls) & pool)
+        return frozenset(pool - redundant)
+
+    def least_common_subsumers(self, a: IRI, b: IRI) -> FrozenSet[IRI]:
+        """Minimal elements of the common (reflexive) ancestors of *a*, *b*.
+
+        Used by the rule-generalization extension: the best superclass to
+        lift two sibling rules to.
+        """
+        self._require(a)
+        self._require(b)
+        common = (self.ancestors(a) | {a}) & (self.ancestors(b) | {b})
+        return self.most_specific(common)
+
+    def topological_order(self) -> list[IRI]:
+        """Classes ordered parents-before-children (Kahn's algorithm)."""
+        in_degree = {c: len(ps) for c, ps in self._parents.items()}
+        queue = deque(sorted((c for c, d in in_degree.items() if d == 0),
+                             key=lambda c: c.value))
+        order: list[IRI] = []
+        while queue:
+            node = queue.popleft()
+            order.append(node)
+            for child in sorted(self._children[node], key=lambda c: c.value):
+                in_degree[child] -= 1
+                if in_degree[child] == 0:
+                    queue.append(child)
+        if len(order) != len(self._parents):
+            raise HierarchyError("hierarchy contains a cycle")  # defensive
+        return order
+
+    def __repr__(self) -> str:
+        return (
+            f"<ClassHierarchy classes={len(self)} "
+            f"roots={len(self.roots())} leaves={len(self.leaves())}>"
+        )

@@ -1,0 +1,92 @@
+"""Load an :class:`~repro.ontology.model.Ontology` from RDF and back.
+
+Recognized vocabulary (the RDFS/OWL subset the paper's setting needs):
+
+* ``c rdf:type owl:Class`` / ``c rdf:type rdfs:Class`` — class declaration;
+* ``sub rdfs:subClassOf sup`` — subsumption;
+* ``a owl:disjointWith b`` — disjointness;
+* ``c rdfs:label "..."`` — display label;
+* ``i rdf:type c`` for non-class ``c`` — instance typing.
+"""
+
+from __future__ import annotations
+
+from repro.ontology.model import Ontology
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import OWL, RDF, RDFS
+from repro.rdf.terms import IRI, Literal
+from repro.rdf.triples import Triple
+
+
+def ontology_from_graph(graph: Graph, name: str | None = None) -> Ontology:
+    """Build an ontology from the RDFS/OWL triples in *graph*.
+
+    Typing triples whose object turns out to be a declared class become
+    instance assertions; ``rdf:type owl:Class`` etc. become declarations.
+    """
+    onto = Ontology(name=name)
+
+    class_iris = set()
+    for marker in (OWL.Class, RDFS.Class):
+        for triple in graph.triples(None, RDF.type, marker):
+            if isinstance(triple.subject, IRI):
+                class_iris.add(triple.subject)
+    # subClassOf implies both sides are classes even without declarations
+    for triple in graph.triples(None, RDFS.subClassOf, None):
+        if isinstance(triple.subject, IRI):
+            class_iris.add(triple.subject)
+        if isinstance(triple.object, IRI):
+            class_iris.add(triple.object)
+    for triple in graph.triples(None, OWL.disjointWith, None):
+        if isinstance(triple.subject, IRI):
+            class_iris.add(triple.subject)
+        if isinstance(triple.object, IRI):
+            class_iris.add(triple.object)
+
+    for cls in class_iris:
+        label_term = graph.value(cls, RDFS.label)
+        label = label_term.lexical if isinstance(label_term, Literal) else None
+        onto.add_class(cls, label=label)
+
+    for triple in graph.triples(None, RDFS.subClassOf, None):
+        if isinstance(triple.subject, IRI) and isinstance(triple.object, IRI):
+            onto.add_subclass(triple.subject, triple.object)
+
+    for triple in graph.triples(None, OWL.disjointWith, None):
+        if isinstance(triple.subject, IRI) and isinstance(triple.object, IRI):
+            onto.add_disjoint(triple.subject, triple.object)
+
+    for triple in graph.triples(None, RDF.type, None):
+        obj = triple.object
+        if isinstance(obj, IRI) and obj in onto and obj not in (OWL.Class, RDFS.Class):
+            onto.add_instance(triple.subject, obj)
+
+    return onto
+
+
+def ontology_to_graph(onto: Ontology) -> Graph:
+    """Serialize the schema and instance assertions of *onto* as RDF."""
+    graph = Graph()
+    for declared in onto.classes():
+        graph.add(Triple(declared.iri, RDF.type, OWL.Class))
+        if declared.label:
+            graph.add(Triple(declared.iri, RDFS.label, Literal(declared.label)))
+        for parent in onto.hierarchy.parents(declared.iri):
+            graph.add(Triple(declared.iri, RDFS.subClassOf, parent))
+    emitted_disjoint = set()
+    for declared in onto.classes():
+        for other in onto.class_iris():
+            pair = tuple(sorted((declared.iri.value, other.value)))
+            if pair in emitted_disjoint or declared.iri == other:
+                continue
+            # only serialize directly stated axioms, not inherited ones:
+            # we over-approximate by checking are_disjoint on roots of the
+            # statement, which is acceptable for round-tripping generated
+            # ontologies whose axioms are stated at the top level.
+            if other in onto._disjoint.get(declared.iri, ()):  # noqa: SLF001
+                graph.add(Triple(declared.iri, OWL.disjointWith, other))
+                emitted_disjoint.add(pair)
+    for instance in onto.instances():
+        for cls in onto.classes_of(instance):
+            graph.add(Triple(instance, RDF.type, cls))
+    return graph

@@ -1,0 +1,208 @@
+"""The ontology model: classes, labels, disjointness and instance typing.
+
+:class:`Ontology` wraps a :class:`~repro.ontology.hierarchy.ClassHierarchy`
+with the services Algorithm 1 and the linking pipeline consume:
+
+* ``classes_of(instance)`` / ``most_specific_classes_of(instance)`` against
+  an instance-typing map maintained by :meth:`add_instance`;
+* ``instances_of(cls)`` with or without subclass inference — the linking
+  subspace of a predicted class `c` is exactly ``instances_of(c)``;
+* disjointness bookkeeping used by the logical-filtering baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, Set
+
+from repro.ontology.hierarchy import ClassHierarchy, HierarchyError
+from repro.rdf.terms import IRI, Term
+
+
+class OntologyError(ValueError):
+    """Raised on invalid ontology operations (unknown class, bad axiom)."""
+
+
+@dataclass(frozen=True, slots=True)
+class OntClass:
+    """A class declaration: IRI plus an optional human-readable label."""
+
+    iri: IRI
+    label: str | None = None
+
+    def __str__(self) -> str:
+        return self.label or self.iri.local_name
+
+
+class Ontology:
+    """An OWL-lite ontology: classes, subsumption, disjointness, instances.
+
+    >>> onto = Ontology()
+    >>> onto.add_class(EX.Resistor, label="Resistor")
+    >>> onto.add_subclass(EX.FixedFilm, EX.Resistor)
+    >>> onto.add_instance(EX.p1, EX.FixedFilm)
+    >>> onto.instances_of(EX.Resistor, include_subclasses=True)
+    frozenset({IRI('http://example.org/p1')})
+    """
+
+    def __init__(self, name: str | None = None) -> None:
+        #: Optional display name of the ontology.
+        self.name = name
+        self._hierarchy = ClassHierarchy()
+        self._declarations: Dict[IRI, OntClass] = {}
+        self._disjoint: Dict[IRI, Set[IRI]] = {}
+        self._instance_classes: Dict[Term, Set[IRI]] = {}
+        self._class_instances: Dict[IRI, Set[Term]] = {}
+
+    # ------------------------------------------------------------------
+    # schema construction
+    # ------------------------------------------------------------------
+    def add_class(self, iri: IRI, label: str | None = None) -> OntClass:
+        """Declare a class (idempotent; a later label wins)."""
+        self._hierarchy.add_class(iri)
+        declared = OntClass(iri, label or self._label_of(iri))
+        self._declarations[iri] = declared
+        self._disjoint.setdefault(iri, set())
+        return declared
+
+    def _label_of(self, iri: IRI) -> str | None:
+        existing = self._declarations.get(iri)
+        return existing.label if existing else None
+
+    def add_subclass(self, sub: IRI, sup: IRI) -> None:
+        """State ``sub rdfs:subClassOf sup``, declaring both as needed."""
+        self.add_class(sub)
+        self.add_class(sup)
+        try:
+            self._hierarchy.add_edge(sub, sup)
+        except HierarchyError as exc:
+            raise OntologyError(str(exc)) from exc
+
+    def add_disjoint(self, a: IRI, b: IRI) -> None:
+        """State ``a owl:disjointWith b`` (symmetric)."""
+        if a == b:
+            raise OntologyError(f"a class cannot be disjoint with itself: {a}")
+        self.add_class(a)
+        self.add_class(b)
+        self._disjoint[a].add(b)
+        self._disjoint[b].add(a)
+
+    # ------------------------------------------------------------------
+    # schema queries
+    # ------------------------------------------------------------------
+    @property
+    def hierarchy(self) -> ClassHierarchy:
+        """The underlying subsumption DAG."""
+        return self._hierarchy
+
+    def __contains__(self, iri: IRI) -> bool:
+        return iri in self._hierarchy
+
+    def __len__(self) -> int:
+        return len(self._hierarchy)
+
+    def classes(self) -> Iterator[OntClass]:
+        """Iterate over class declarations."""
+        for iri in self._hierarchy.classes():
+            yield self._declarations[iri]
+
+    def class_iris(self) -> Iterator[IRI]:
+        """Iterate over class IRIs."""
+        yield from self._hierarchy.classes()
+
+    def declaration(self, iri: IRI) -> OntClass:
+        """Return the :class:`OntClass` for *iri*, raising if unknown."""
+        try:
+            return self._declarations[iri]
+        except KeyError:
+            raise OntologyError(f"unknown class: {iri}") from None
+
+    def label(self, iri: IRI) -> str:
+        """Human-readable label (falls back to the IRI local name)."""
+        return str(self.declaration(iri))
+
+    def leaves(self) -> FrozenSet[IRI]:
+        """Leaf classes — where the paper's indicative segments live."""
+        return self._hierarchy.leaves()
+
+    def roots(self) -> FrozenSet[IRI]:
+        """Top-level classes."""
+        return self._hierarchy.roots()
+
+    def is_subclass_of(self, sub: IRI, sup: IRI) -> bool:
+        """Reflexive-transitive subsumption test."""
+        return self._hierarchy.is_subclass_of(sub, sup)
+
+    def are_disjoint(self, a: IRI, b: IRI) -> bool:
+        """Disjointness test, inherited down the hierarchy.
+
+        If ``A owl:disjointWith B`` is stated, every subclass pair
+        (A' ⊑ A, B' ⊑ B) is disjoint too.
+        """
+        if a not in self._hierarchy or b not in self._hierarchy:
+            return False
+        ups_a = self._hierarchy.ancestors(a) | {a}
+        ups_b = self._hierarchy.ancestors(b) | {b}
+        for x in ups_a:
+            stated = self._disjoint.get(x)
+            if stated and stated & ups_b:
+                return True
+        return False
+
+    def most_specific(self, classes: Iterable[IRI]) -> FrozenSet[IRI]:
+        """Filter *classes* down to the most specific ones."""
+        return self._hierarchy.most_specific(classes)
+
+    # ------------------------------------------------------------------
+    # instances (the A-box)
+    # ------------------------------------------------------------------
+    def add_instance(self, instance: Term, cls: IRI) -> None:
+        """Assert ``instance rdf:type cls``."""
+        if cls not in self._hierarchy:
+            raise OntologyError(f"unknown class: {cls}")
+        self._instance_classes.setdefault(instance, set()).add(cls)
+        self._class_instances.setdefault(cls, set()).add(instance)
+
+    def classes_of(self, instance: Term) -> FrozenSet[IRI]:
+        """Asserted classes of *instance* (no inference)."""
+        return frozenset(self._instance_classes.get(instance, ()))
+
+    def inferred_classes_of(self, instance: Term) -> FrozenSet[IRI]:
+        """Asserted classes plus all their superclasses."""
+        result: Set[IRI] = set()
+        for cls in self._instance_classes.get(instance, ()):
+            result.add(cls)
+            result.update(self._hierarchy.ancestors(cls))
+        return frozenset(result)
+
+    def most_specific_classes_of(self, instance: Term) -> FrozenSet[IRI]:
+        """The most specific asserted classes of *instance*."""
+        return self._hierarchy.most_specific(self.classes_of(instance))
+
+    def instances_of(self, cls: IRI, include_subclasses: bool = False) -> FrozenSet[Term]:
+        """Instances asserted in *cls* (optionally in its subclasses too).
+
+        This is the paper's *linking subspace* for a predicted class.
+        """
+        if cls not in self._hierarchy:
+            raise OntologyError(f"unknown class: {cls}")
+        result: Set[Term] = set(self._class_instances.get(cls, ()))
+        if include_subclasses:
+            for sub in self._hierarchy.descendants(cls):
+                result.update(self._class_instances.get(sub, ()))
+        return frozenset(result)
+
+    def instances(self) -> Iterator[Term]:
+        """Iterate over all typed instances."""
+        yield from self._instance_classes
+
+    def instance_count(self) -> int:
+        """Number of distinct typed instances."""
+        return len(self._instance_classes)
+
+    def __repr__(self) -> str:
+        name = f" {self.name!r}" if self.name else ""
+        return (
+            f"<Ontology{name} classes={len(self)} "
+            f"leaves={len(self.leaves())} instances={self.instance_count()}>"
+        )

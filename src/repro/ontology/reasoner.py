@@ -1,0 +1,137 @@
+"""A forward-chaining reasoner for the RDFS subset the paper relies on.
+
+Implemented entailment rules (names follow the RDFS spec where they exist):
+
+* **rdfs9** — ``i rdf:type C`` and ``C rdfs:subClassOf D`` entail
+  ``i rdf:type D`` (type inheritance);
+* **rdfs11** — transitivity of ``rdfs:subClassOf``;
+* **rdfs2** — ``p rdfs:domain C`` and ``s p o`` entail ``s rdf:type C``;
+* **rdfs3** — ``p rdfs:range C`` and ``s p o`` entail ``o rdf:type C``
+  (only when ``o`` is not a literal);
+* **disjointness check** — ``a owl:disjointWith b`` plus an instance typed
+  in both raises an inconsistency report rather than inferring new facts.
+
+The reasoner materializes entailments into the graph; it is deliberately
+naive (semi-naive iteration to fixpoint) — the ontologies here have a few
+hundred classes, so clarity beats sophistication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set, Tuple
+
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import OWL, RDF, RDFS
+from repro.rdf.terms import IRI, Literal, Term
+from repro.rdf.triples import Triple
+
+
+@dataclass
+class InconsistencyReport:
+    """Typing conflicts found against ``owl:disjointWith`` axioms."""
+
+    conflicts: List[Tuple[Term, IRI, IRI]] = field(default_factory=list)
+
+    @property
+    def consistent(self) -> bool:
+        """True when no instance is typed by two disjoint classes."""
+        return not self.conflicts
+
+    def __str__(self) -> str:
+        if self.consistent:
+            return "consistent"
+        lines = [
+            f"{instance} typed by disjoint classes {a.local_name} / {b.local_name}"
+            for instance, a, b in self.conflicts
+        ]
+        return "; ".join(lines)
+
+
+class RDFSReasoner:
+    """Materializes RDFS entailments in a graph, to fixpoint.
+
+    >>> reasoner = RDFSReasoner()
+    >>> added = reasoner.materialize(graph)
+    >>> report = reasoner.check_consistency(graph)
+    """
+
+    def materialize(self, graph: Graph) -> int:
+        """Apply rdfs2/3/9/11 until fixpoint; return #new triples."""
+        added_total = 0
+        while True:
+            new_triples = self._round(graph)
+            fresh = graph.add_all(new_triples)
+            added_total += fresh
+            if fresh == 0:
+                return added_total
+
+    def _round(self, graph: Graph) -> List[Triple]:
+        out: List[Triple] = []
+
+        # rdfs11: subClassOf transitivity
+        sub_edges = [
+            (t.subject, t.object)
+            for t in graph.triples(None, RDFS.subClassOf, None)
+            if isinstance(t.subject, IRI) and isinstance(t.object, IRI)
+        ]
+        supers: dict[IRI, Set[IRI]] = {}
+        for sub, sup in sub_edges:
+            supers.setdefault(sub, set()).add(sup)
+        for sub, direct in supers.items():
+            for mid in list(direct):
+                for far in supers.get(mid, ()):
+                    if far != sub:
+                        out.append(Triple(sub, RDFS.subClassOf, far))
+
+        # rdfs9: type inheritance through subClassOf
+        for t in graph.triples(None, RDF.type, None):
+            cls = t.object
+            if not isinstance(cls, IRI):
+                continue
+            for sup in supers.get(cls, ()):
+                out.append(Triple(t.subject, RDF.type, sup))
+
+        # rdfs2 / rdfs3: domain and range typing
+        for dom in graph.triples(None, RDFS.domain, None):
+            if not isinstance(dom.object, IRI):
+                continue
+            prop = dom.subject
+            if not isinstance(prop, IRI):
+                continue
+            for usage in graph.triples(None, prop, None):
+                out.append(Triple(usage.subject, RDF.type, dom.object))
+        for rng in graph.triples(None, RDFS.range, None):
+            if not isinstance(rng.object, IRI):
+                continue
+            prop = rng.subject
+            if not isinstance(prop, IRI):
+                continue
+            for usage in graph.triples(None, prop, None):
+                if not isinstance(usage.object, Literal):
+                    out.append(Triple(usage.object, RDF.type, rng.object))
+
+        return out
+
+    def check_consistency(self, graph: Graph) -> InconsistencyReport:
+        """Report instances typed by two (stated) disjoint classes.
+
+        Call :meth:`materialize` first if inherited types should count.
+        """
+        report = InconsistencyReport()
+        disjoint_pairs = [
+            (t.subject, t.object)
+            for t in graph.triples(None, OWL.disjointWith, None)
+            if isinstance(t.subject, IRI) and isinstance(t.object, IRI)
+        ]
+        if not disjoint_pairs:
+            return report
+        types_of: dict[Term, Set[IRI]] = {}
+        for t in graph.triples(None, RDF.type, None):
+            if isinstance(t.object, IRI):
+                types_of.setdefault(t.subject, set()).add(t.object)
+        for instance, classes in types_of.items():
+            for a, b in disjoint_pairs:
+                if a in classes and b in classes:
+                    report.conflicts.append((instance, a, b))
+        return report

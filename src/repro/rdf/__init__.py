@@ -1,0 +1,72 @@
+"""RDF substrate: terms, triples, indexed graphs, namespaces and I/O.
+
+This package is a small, dependency-free RDF data model sufficient to host
+the paper's data: a local catalog source ``S_L`` typed against an OWL
+ontology ``O_L``, an external provider source ``S_E`` with unknown schema,
+and the expert-validated ``sameAs`` training set ``TS`` with provenance.
+
+The model follows RDF 1.1 concepts: :class:`IRI`, :class:`Literal` and
+:class:`BNode` terms, immutable :class:`Triple` statements, an indexed
+:class:`Graph` supporting pattern matching, and a provenance-aware
+:class:`Dataset` of named graphs.
+"""
+
+from repro.rdf.terms import IRI, Literal, BNode, Term, term_from_python
+from repro.rdf.triples import Triple
+from repro.rdf.graph import Graph
+from repro.rdf.dataset import Dataset
+from repro.rdf.namespace import (
+    Namespace,
+    NamespaceManager,
+    RDF,
+    RDFS,
+    OWL,
+    XSD,
+    EX,
+)
+from repro.rdf.ntriples import (
+    parse_ntriples,
+    serialize_ntriples,
+    NTriplesParseError,
+)
+from repro.rdf.turtle import (
+    parse_turtle,
+    serialize_turtle,
+    TurtleParseError,
+)
+from repro.rdf.query import (
+    Variable,
+    match_bgp,
+    select,
+    ask,
+    QueryError,
+)
+
+__all__ = [
+    "IRI",
+    "Literal",
+    "BNode",
+    "Term",
+    "term_from_python",
+    "Triple",
+    "Graph",
+    "Dataset",
+    "Namespace",
+    "NamespaceManager",
+    "RDF",
+    "RDFS",
+    "OWL",
+    "XSD",
+    "EX",
+    "parse_ntriples",
+    "serialize_ntriples",
+    "NTriplesParseError",
+    "parse_turtle",
+    "serialize_turtle",
+    "TurtleParseError",
+    "Variable",
+    "match_bgp",
+    "select",
+    "ask",
+    "QueryError",
+]

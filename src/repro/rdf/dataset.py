@@ -1,0 +1,98 @@
+"""A provenance-aware collection of named graphs.
+
+The paper stores each linked pair "with their provenance information
+(external or local)". The :class:`Dataset` models exactly that: named
+graphs keyed by a provenance label (e.g. ``"local"`` / ``"external"``),
+plus cross-graph queries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from repro.rdf.graph import Graph
+from repro.rdf.terms import IRI, Term
+from repro.rdf.triples import Triple
+
+#: Conventional graph names for the paper's two sources.
+LOCAL = "local"
+EXTERNAL = "external"
+
+
+class Dataset:
+    """Named graphs with provenance-tracking helpers.
+
+    >>> ds = Dataset()
+    >>> ds.graph("local").add(Triple(EX.p1, RDF.type, EX.Resistor))
+    >>> ds.provenance_of(EX.p1)
+    {'local'}
+    """
+
+    def __init__(self) -> None:
+        self._graphs: Dict[str, Graph] = {}
+
+    def graph(self, name: str) -> Graph:
+        """Return the named graph, creating it on first access."""
+        if name not in self._graphs:
+            self._graphs[name] = Graph(identifier=name)
+        return self._graphs[name]
+
+    @property
+    def local(self) -> Graph:
+        """The conventional local-source graph (catalog ``S_L``)."""
+        return self.graph(LOCAL)
+
+    @property
+    def external(self) -> Graph:
+        """The conventional external-source graph (provider ``S_E``)."""
+        return self.graph(EXTERNAL)
+
+    def names(self) -> Iterator[str]:
+        """Yield the names of all graphs in the dataset."""
+        yield from self._graphs
+
+    def graphs(self) -> Iterator[Graph]:
+        """Yield all graphs in the dataset."""
+        yield from self._graphs.values()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._graphs
+
+    def __len__(self) -> int:
+        """Total number of triples across all graphs."""
+        return sum(len(g) for g in self._graphs.values())
+
+    def quads(self) -> Iterator[Tuple[Triple, str]]:
+        """Yield (triple, graph-name) pairs across the dataset."""
+        for name, graph in self._graphs.items():
+            for triple in graph:
+                yield triple, name
+
+    def triples(
+        self,
+        s: Term | None = None,
+        p: IRI | None = None,
+        o: Term | None = None,
+    ) -> Iterator[Triple]:
+        """Pattern-match across all graphs (duplicates across graphs kept)."""
+        for graph in self._graphs.values():
+            yield from graph.triples(s, p, o)
+
+    def provenance_of(self, subject: Term) -> set[str]:
+        """Names of the graphs in which *subject* appears as a subject."""
+        return {
+            name
+            for name, graph in self._graphs.items()
+            if next(graph.triples(subject, None, None), None) is not None
+        }
+
+    def union(self) -> Graph:
+        """Merge every named graph into one new anonymous graph."""
+        merged = Graph()
+        for graph in self._graphs.values():
+            merged.add_all(graph.triples())
+        return merged
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{n}:{len(g)}" for n, g in self._graphs.items())
+        return f"<Dataset {parts or 'empty'}>"

@@ -1,0 +1,236 @@
+"""An in-memory RDF graph with three triple indexes.
+
+The graph maintains SPO, POS and OSP nested-dictionary indexes so that any
+triple pattern — with ``None`` as a wildcard — is answered by iterating the
+most selective index. This is the workhorse container for the catalog
+source ``S_L``, the provider source ``S_E`` and the training-set graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
+
+from repro.rdf.terms import IRI, Literal, Term
+from repro.rdf.triples import Triple
+
+_Pattern = Tuple[Optional[Term], Optional[IRI], Optional[Term]]
+_Index = Dict[Term, Dict[Term, Set[Term]]]
+
+
+def _index_add(index: _Index, a: Term, b: Term, c: Term) -> None:
+    index.setdefault(a, {}).setdefault(b, set()).add(c)
+
+
+def _index_remove(index: _Index, a: Term, b: Term, c: Term) -> None:
+    level1 = index.get(a)
+    if level1 is None:
+        return
+    level2 = level1.get(b)
+    if level2 is None:
+        return
+    level2.discard(c)
+    if not level2:
+        del level1[b]
+    if not level1:
+        del index[a]
+
+
+class Graph:
+    """A set of RDF triples with pattern-matching access.
+
+    >>> g = Graph()
+    >>> g.add(Triple(EX.p1, EX.partNumber, Literal("CRCW0805-10K")))
+    >>> list(g.objects(EX.p1, EX.partNumber))
+    [Literal(lexical='CRCW0805-10K', ...)]
+    """
+
+    __slots__ = ("_spo", "_pos", "_osp", "_size", "identifier")
+
+    def __init__(
+        self,
+        triples: Iterable[Triple] = (),
+        identifier: str | None = None,
+    ) -> None:
+        self._spo: _Index = {}
+        self._pos: _Index = {}
+        self._osp: _Index = {}
+        self._size = 0
+        #: Optional graph name; used by :class:`repro.rdf.dataset.Dataset`.
+        self.identifier = identifier
+        for triple in triples:
+            self.add(triple)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add(self, triple: Triple) -> bool:
+        """Add *triple*; return ``True`` if it was not already present."""
+        s, p, o = triple
+        existing = self._spo.get(s, {}).get(p)
+        if existing is not None and o in existing:
+            return False
+        _index_add(self._spo, s, p, o)
+        _index_add(self._pos, p, o, s)
+        _index_add(self._osp, o, s, p)
+        self._size += 1
+        return True
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        """Add every triple in *triples*; return how many were new."""
+        return sum(1 for t in triples if self.add(t))
+
+    def remove(self, triple: Triple) -> bool:
+        """Remove *triple*; return ``True`` if it was present."""
+        s, p, o = triple
+        existing = self._spo.get(s, {}).get(p)
+        if existing is None or o not in existing:
+            return False
+        _index_remove(self._spo, s, p, o)
+        _index_remove(self._pos, p, o, s)
+        _index_remove(self._osp, o, s, p)
+        self._size -= 1
+        return True
+
+    def remove_matching(self, s: Term | None, p: IRI | None, o: Term | None) -> int:
+        """Remove all triples matching the pattern; return the count."""
+        doomed = list(self.triples(s, p, o))
+        for triple in doomed:
+            self.remove(triple)
+        return len(doomed)
+
+    # ------------------------------------------------------------------
+    # pattern matching
+    # ------------------------------------------------------------------
+    def triples(
+        self,
+        s: Term | None = None,
+        p: IRI | None = None,
+        o: Term | None = None,
+    ) -> Iterator[Triple]:
+        """Yield triples matching the (s, p, o) pattern; ``None`` = wildcard."""
+        if s is not None:
+            po = self._spo.get(s)
+            if po is None:
+                return
+            if p is not None:
+                objs = po.get(p)
+                if objs is None:
+                    return
+                if o is not None:
+                    if o in objs:
+                        yield Triple(s, p, o)
+                    return
+                for obj in objs:
+                    yield Triple(s, p, obj)
+                return
+            for pred, objs in po.items():
+                if o is not None:
+                    if o in objs:
+                        yield Triple(s, pred, o)
+                    continue
+                for obj in objs:
+                    yield Triple(s, pred, obj)
+            return
+        if p is not None:
+            os_ = self._pos.get(p)
+            if os_ is None:
+                return
+            if o is not None:
+                subs = os_.get(o)
+                if subs is None:
+                    return
+                for sub in subs:
+                    yield Triple(sub, p, o)
+                return
+            for obj, subs in os_.items():
+                for sub in subs:
+                    yield Triple(sub, p, obj)
+            return
+        if o is not None:
+            sp = self._osp.get(o)
+            if sp is None:
+                return
+            for sub, preds in sp.items():
+                for pred in preds:
+                    yield Triple(sub, pred, o)
+            return
+        for sub, po in self._spo.items():
+            for pred, objs in po.items():
+                for obj in objs:
+                    yield Triple(sub, pred, obj)
+
+    def subjects(self, p: IRI | None = None, o: Term | None = None) -> Iterator[Term]:
+        """Yield distinct subjects of triples matching ``(?, p, o)``."""
+        seen: Set[Term] = set()
+        for triple in self.triples(None, p, o):
+            if triple.subject not in seen:
+                seen.add(triple.subject)
+                yield triple.subject
+
+    def predicates(self, s: Term | None = None, o: Term | None = None) -> Iterator[IRI]:
+        """Yield distinct predicates of triples matching ``(s, ?, o)``."""
+        seen: Set[IRI] = set()
+        for triple in self.triples(s, None, o):
+            if triple.predicate not in seen:
+                seen.add(triple.predicate)
+                yield triple.predicate
+
+    def objects(self, s: Term | None = None, p: IRI | None = None) -> Iterator[Term]:
+        """Yield distinct objects of triples matching ``(s, p, ?)``."""
+        seen: Set[Term] = set()
+        for triple in self.triples(s, p, None):
+            if triple.object not in seen:
+                seen.add(triple.object)
+                yield triple.object
+
+    def value(self, s: Term | None = None, p: IRI | None = None, o: Term | None = None) -> Term | None:
+        """Return one term filling the single ``None``-but-wanted slot.
+
+        Exactly the convenience of rdflib's ``Graph.value``: with ``(s, p)``
+        given, returns one object or ``None``.
+        """
+        if s is None and o is not None:
+            for triple in self.triples(None, p, o):
+                return triple.subject
+            return None
+        for triple in self.triples(s, p, None):
+            return triple.object
+        return None
+
+    def literal_values(self, s: Term, p: IRI) -> list[str]:
+        """Return the lexical forms of literal objects of ``(s, p, ?)``."""
+        return [
+            obj.lexical
+            for obj in self.objects(s, p)
+            if isinstance(obj, Literal)
+        ]
+
+    # ------------------------------------------------------------------
+    # set protocol
+    # ------------------------------------------------------------------
+    def __contains__(self, triple: Triple) -> bool:
+        objs = self._spo.get(triple.subject, {}).get(triple.predicate)
+        return objs is not None and triple.object in objs
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[Triple]:
+        return self.triples()
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def copy(self) -> "Graph":
+        """Return a shallow copy (terms are immutable, so this is safe)."""
+        return Graph(self.triples(), identifier=self.identifier)
+
+    def __or__(self, other: "Graph") -> "Graph":
+        """Union of two graphs as a new graph."""
+        merged = self.copy()
+        merged.add_all(other.triples())
+        return merged
+
+    def __repr__(self) -> str:
+        name = f" {self.identifier!r}" if self.identifier else ""
+        return f"<Graph{name} size={self._size}>"

@@ -1,0 +1,127 @@
+"""Namespaces and CURIE management for readable IRIs.
+
+A :class:`Namespace` mints IRIs by attribute or item access::
+
+    EX = Namespace("http://example.org/")
+    EX.partNumber        # IRI("http://example.org/partNumber")
+    EX["Fixed-film"]     # IRI("http://example.org/Fixed-film")
+
+The well-known vocabularies used throughout the repository (RDF, RDFS, OWL,
+XSD) are provided as module-level constants, plus ``EX`` as the default
+namespace for examples and generated data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from repro.rdf.terms import IRI
+
+
+class Namespace:
+    """A factory of IRIs sharing a common prefix."""
+
+    __slots__ = ("_base",)
+
+    def __init__(self, base: str) -> None:
+        if not base:
+            raise ValueError("namespace base must be non-empty")
+        self._base = base
+
+    @property
+    def base(self) -> str:
+        """The namespace IRI prefix string."""
+        return self._base
+
+    def term(self, name: str) -> IRI:
+        """Mint the IRI ``base + name``."""
+        return IRI(self._base + name)
+
+    def __getattr__(self, name: str) -> IRI:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return self.term(name)
+
+    def __getitem__(self, name: str) -> IRI:
+        return self.term(name)
+
+    def __contains__(self, iri: IRI | str) -> bool:
+        value = iri.value if isinstance(iri, IRI) else iri
+        return value.startswith(self._base)
+
+    def local(self, iri: IRI) -> str:
+        """Strip the namespace prefix from *iri*.
+
+        Raises :class:`ValueError` when the IRI is outside this namespace.
+        """
+        if iri not in self:
+            raise ValueError(f"{iri} is not in namespace {self._base}")
+        return iri.value[len(self._base):]
+
+    def __repr__(self) -> str:
+        return f"Namespace({self._base!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Namespace) and other._base == self._base
+
+    def __hash__(self) -> int:
+        return hash(("Namespace", self._base))
+
+
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+OWL = Namespace("http://www.w3.org/2002/07/owl#")
+XSD = Namespace("http://www.w3.org/2001/XMLSchema#")
+EX = Namespace("http://example.org/")
+
+
+class NamespaceManager:
+    """Bidirectional prefix <-> namespace registry used for CURIE display.
+
+    The manager is purely cosmetic — graphs store full IRIs — but examples
+    and reports benefit from compact, human-readable qualified names.
+    """
+
+    def __init__(self) -> None:
+        self._by_prefix: Dict[str, Namespace] = {}
+        self.bind("rdf", RDF)
+        self.bind("rdfs", RDFS)
+        self.bind("owl", OWL)
+        self.bind("xsd", XSD)
+
+    def bind(self, prefix: str, namespace: Namespace | str) -> None:
+        """Register *prefix* for *namespace*, replacing any previous binding."""
+        if isinstance(namespace, str):
+            namespace = Namespace(namespace)
+        self._by_prefix[prefix] = namespace
+
+    def namespaces(self) -> Iterator[Tuple[str, Namespace]]:
+        """Iterate over (prefix, namespace) bindings."""
+        yield from self._by_prefix.items()
+
+    def expand(self, curie: str) -> IRI:
+        """Expand ``prefix:local`` into a full IRI.
+
+        Raises :class:`KeyError` for unknown prefixes and
+        :class:`ValueError` when the input has no colon.
+        """
+        if ":" not in curie:
+            raise ValueError(f"not a CURIE: {curie!r}")
+        prefix, local = curie.split(":", 1)
+        return self._by_prefix[prefix].term(local)
+
+    def qname(self, iri: IRI) -> str:
+        """Compact *iri* into ``prefix:local`` if a binding matches.
+
+        Longest-prefix match wins; unmatched IRIs come back as ``<iri>``.
+        """
+        best: Tuple[int, str, Namespace] | None = None
+        for prefix, ns in self._by_prefix.items():
+            if iri in ns:
+                candidate = (len(ns.base), prefix, ns)
+                if best is None or candidate[0] > best[0]:
+                    best = candidate
+        if best is None:
+            return iri.n3()
+        _, prefix, ns = best
+        return f"{prefix}:{ns.local(iri)}"

@@ -1,0 +1,203 @@
+"""N-Triples parsing and serialization (RDF 1.1 N-Triples subset).
+
+Supports the full term syntax needed by this repository: IRIs in angle
+brackets, blank node labels, and literals with escapes, language tags and
+datatype IRIs. Unicode ``\\uXXXX`` / ``\\UXXXXXXXX`` escapes are handled.
+Comments (``# ...``) and blank lines are skipped.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+from typing import Iterable, Iterator, TextIO
+
+from repro.rdf.graph import Graph
+from repro.rdf.terms import BNode, IRI, Literal, Term, TermError
+from repro.rdf.triples import Triple
+
+
+class NTriplesParseError(ValueError):
+    """Raised on malformed N-Triples input, with line information."""
+
+    def __init__(self, message: str, line_no: int, line: str) -> None:
+        super().__init__(f"line {line_no}: {message}: {line.strip()!r}")
+        self.line_no = line_no
+        self.line = line
+
+
+_UNESCAPES = {
+    "t": "\t",
+    "b": "\b",
+    "n": "\n",
+    "r": "\r",
+    "f": "\f",
+    '"': '"',
+    "'": "'",
+    "\\": "\\",
+}
+
+_ESCAPE_RE = re.compile(r"\\(u[0-9a-fA-F]{4}|U[0-9a-fA-F]{8}|[tbnrf\"'\\])")
+
+
+def _unescape(text: str) -> str:
+    def replace(match: re.Match[str]) -> str:
+        body = match.group(1)
+        if body[0] == "u":
+            return chr(int(body[1:], 16))
+        if body[0] == "U":
+            return chr(int(body[1:], 16))
+        return _UNESCAPES[body]
+
+    return _ESCAPE_RE.sub(replace, text)
+
+
+class _LineScanner:
+    """Single-pass scanner over one N-Triples line."""
+
+    def __init__(self, line: str, line_no: int) -> None:
+        self.line = line
+        self.line_no = line_no
+        self.pos = 0
+
+    def error(self, message: str) -> NTriplesParseError:
+        return NTriplesParseError(message, self.line_no, self.line)
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.line) and self.line[self.pos] in " \t":
+            self.pos += 1
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.line)
+
+    def peek(self) -> str:
+        if self.at_end():
+            raise self.error("unexpected end of line")
+        return self.line[self.pos]
+
+    def expect(self, char: str) -> None:
+        if self.at_end() or self.line[self.pos] != char:
+            raise self.error(f"expected {char!r}")
+        self.pos += 1
+
+    def read_iri(self) -> IRI:
+        self.expect("<")
+        end = self.line.find(">", self.pos)
+        if end < 0:
+            raise self.error("unterminated IRI")
+        raw = self.line[self.pos:end]
+        self.pos = end + 1
+        try:
+            return IRI(_unescape(raw))
+        except TermError as exc:
+            # e.g. an embedded space from an unterminated IRI swallowing
+            # the following token
+            raise self.error(f"invalid IRI ({exc})") from exc
+
+    def read_bnode(self) -> BNode:
+        self.expect("_")
+        self.expect(":")
+        start = self.pos
+        while self.pos < len(self.line) and (
+            self.line[self.pos].isalnum() or self.line[self.pos] in "-_."
+        ):
+            self.pos += 1
+        if self.pos == start:
+            raise self.error("empty blank node label")
+        return BNode(self.line[start:self.pos])
+
+    def read_literal(self) -> Literal:
+        self.expect('"')
+        # find the closing unescaped quote
+        chunk_start = self.pos
+        while True:
+            if self.pos >= len(self.line):
+                raise self.error("unterminated literal")
+            ch = self.line[self.pos]
+            if ch == "\\":
+                self.pos += 2
+                continue
+            if ch == '"':
+                break
+            self.pos += 1
+        lexical = _unescape(self.line[chunk_start:self.pos])
+        self.pos += 1  # consume closing quote
+        if not self.at_end() and self.peek() == "@":
+            self.pos += 1
+            start = self.pos
+            while self.pos < len(self.line) and (
+                self.line[self.pos].isalnum() or self.line[self.pos] == "-"
+            ):
+                self.pos += 1
+            if self.pos == start:
+                raise self.error("empty language tag")
+            return Literal(lexical, language=self.line[start:self.pos])
+        if not self.at_end() and self.peek() == "^":
+            self.expect("^")
+            self.expect("^")
+            datatype = self.read_iri()
+            return Literal(lexical, datatype=datatype.value)
+        return Literal(lexical)
+
+    def read_subject(self) -> Term:
+        ch = self.peek()
+        if ch == "<":
+            return self.read_iri()
+        if ch == "_":
+            return self.read_bnode()
+        raise self.error("subject must be IRI or blank node")
+
+    def read_object(self) -> Term:
+        ch = self.peek()
+        if ch == "<":
+            return self.read_iri()
+        if ch == "_":
+            return self.read_bnode()
+        if ch == '"':
+            return self.read_literal()
+        raise self.error("object must be IRI, blank node or literal")
+
+
+def parse_ntriples_lines(lines: Iterable[str]) -> Iterator[Triple]:
+    """Parse an iterable of N-Triples lines into triples."""
+    for line_no, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        scanner = _LineScanner(raw.rstrip("\n"), line_no)
+        scanner.skip_ws()
+        subject = scanner.read_subject()
+        scanner.skip_ws()
+        predicate = scanner.read_iri()
+        scanner.skip_ws()
+        obj = scanner.read_object()
+        scanner.skip_ws()
+        scanner.expect(".")
+        scanner.skip_ws()
+        if not scanner.at_end() and not scanner.line[scanner.pos:].lstrip().startswith("#"):
+            raise scanner.error("trailing content after '.'")
+        yield Triple(subject, predicate, obj)
+
+
+def parse_ntriples(source: str | TextIO) -> Graph:
+    """Parse N-Triples from a string or text stream into a new graph."""
+    if isinstance(source, str):
+        source = io.StringIO(source)
+    graph = Graph()
+    graph.add_all(parse_ntriples_lines(source))
+    return graph
+
+
+def serialize_ntriples(graph: Iterable[Triple], sink: TextIO | None = None) -> str:
+    """Serialize triples as N-Triples text, sorted for reproducible output.
+
+    When *sink* is given the text is also written there; the serialized
+    string is always returned.
+    """
+    lines = sorted(triple.n3() for triple in graph)
+    text = "\n".join(lines)
+    if lines:
+        text += "\n"
+    if sink is not None:
+        sink.write(text)
+    return text

@@ -1,0 +1,149 @@
+"""Basic graph pattern (BGP) matching — a SPARQL-lite for the substrate.
+
+Enough query power for catalog exploration and tests without a full
+SPARQL engine: conjunctive triple patterns with shared variables,
+solved by backtracking with a most-selective-pattern-first order.
+
+>>> i, c = Variable("i"), Variable("c")
+>>> list(match_bgp(graph, [
+...     (i, RDF.type, c),
+...     (i, EX.partNumber, Literal("T83-220uF")),
+... ]))
+[{Variable('i'): IRI(...), Variable('c'): IRI(...)}]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple, Union
+
+from repro.rdf.graph import Graph
+from repro.rdf.terms import IRI, Term
+
+
+@dataclass(frozen=True, slots=True)
+class Variable:
+    """A query variable, compared and hashed by name."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("variable name must be non-empty")
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+
+PatternTerm = Union[Term, Variable]
+TriplePattern = Tuple[PatternTerm, PatternTerm, PatternTerm]
+Bindings = Dict[Variable, Term]
+
+
+class QueryError(ValueError):
+    """Raised for structurally invalid queries."""
+
+
+def _substitute(term: PatternTerm, bindings: Bindings) -> PatternTerm:
+    if isinstance(term, Variable):
+        return bindings.get(term, term)
+    return term
+
+
+def _ground(term: PatternTerm) -> Term | None:
+    """The term if ground, else None (wildcard for Graph.triples)."""
+    return None if isinstance(term, Variable) else term
+
+
+def _pattern_selectivity(pattern: TriplePattern, bindings: Bindings, graph: Graph) -> int:
+    """Rough cost: number of triples matching with current bindings."""
+    s, p, o = (_substitute(t, bindings) for t in pattern)
+    s_g, p_g, o_g = _ground(s), _ground(p), _ground(o)
+    if p_g is not None and not isinstance(p_g, IRI):
+        return 0  # a non-IRI predicate can never match
+    return sum(1 for _ in graph.triples(s_g, p_g, o_g))  # small graphs: fine
+
+
+def _solve(
+    graph: Graph,
+    patterns: List[TriplePattern],
+    bindings: Bindings,
+) -> Iterator[Bindings]:
+    if not patterns:
+        yield dict(bindings)
+        return
+    # choose the most selective remaining pattern under current bindings
+    costed = sorted(
+        range(len(patterns)),
+        key=lambda i: _pattern_selectivity(patterns[i], bindings, graph),
+    )
+    index = costed[0]
+    pattern = patterns[index]
+    rest = patterns[:index] + patterns[index + 1:]
+
+    s, p, o = (_substitute(t, bindings) for t in pattern)
+    p_g = _ground(p)
+    if p_g is not None and not isinstance(p_g, IRI):
+        return
+    for triple in graph.triples(_ground(s), p_g, _ground(o)):
+        new_bindings = dict(bindings)
+        consistent = True
+        for pattern_term, bound_term in (
+            (s, triple.subject),
+            (p, triple.predicate),
+            (o, triple.object),
+        ):
+            if isinstance(pattern_term, Variable):
+                existing = new_bindings.get(pattern_term)
+                if existing is None:
+                    new_bindings[pattern_term] = bound_term
+                elif existing != bound_term:
+                    consistent = False
+                    break
+        if consistent:
+            yield from _solve(graph, rest, new_bindings)
+
+
+def match_bgp(
+    graph: Graph,
+    patterns: Sequence[TriplePattern],
+) -> Iterator[Bindings]:
+    """Yield every variable binding satisfying all *patterns* jointly."""
+    if not patterns:
+        raise QueryError("a BGP needs at least one triple pattern")
+    for pattern in patterns:
+        if len(pattern) != 3:
+            raise QueryError(f"not a triple pattern: {pattern!r}")
+    yield from _solve(graph, list(patterns), {})
+
+
+def select(
+    graph: Graph,
+    variables: Sequence[Variable],
+    patterns: Sequence[TriplePattern],
+    distinct: bool = True,
+) -> List[Tuple[Term, ...]]:
+    """SELECT-style projection of :func:`match_bgp` solutions.
+
+    Returns rows in deterministic (sorted) order; ``distinct`` removes
+    duplicate rows (the default, as in SPARQL ``SELECT DISTINCT``).
+    """
+    if not variables:
+        raise QueryError("select needs at least one projection variable")
+    rows = []
+    for bindings in match_bgp(graph, patterns):
+        try:
+            rows.append(tuple(bindings[v] for v in variables))
+        except KeyError as exc:
+            raise QueryError(
+                f"projection variable {exc.args[0]} is not bound by the patterns"
+            ) from None
+    if distinct:
+        rows = list(set(rows))
+    rows.sort(key=lambda row: tuple(term.n3() for term in row))
+    return rows
+
+
+def ask(graph: Graph, patterns: Sequence[TriplePattern]) -> bool:
+    """ASK-style: does at least one solution exist?"""
+    return next(iter(match_bgp(graph, patterns)), None) is not None

@@ -1,0 +1,53 @@
+"""The RDF statement: an immutable (subject, predicate, object) triple."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.rdf.terms import BNode, IRI, Literal, Term, TermError
+
+
+@dataclass(frozen=True, slots=True)
+class Triple:
+    """An RDF triple.
+
+    RDF 1.1 constraints are enforced at construction time:
+
+    * the subject is an :class:`IRI` or :class:`BNode` (never a literal);
+    * the predicate is an :class:`IRI`;
+    * the object is any term.
+    """
+
+    subject: Term
+    predicate: IRI
+    object: Term
+
+    def __post_init__(self) -> None:
+        if isinstance(self.subject, Literal):
+            raise TermError("triple subject cannot be a literal")
+        if not isinstance(self.subject, (IRI, BNode)):
+            raise TermError(
+                f"triple subject must be IRI or BNode, got {type(self.subject).__name__}"
+            )
+        if not isinstance(self.predicate, IRI):
+            raise TermError(
+                f"triple predicate must be IRI, got {type(self.predicate).__name__}"
+            )
+        if not isinstance(self.object, (IRI, BNode, Literal)):
+            raise TermError(
+                f"triple object must be an RDF term, got {type(self.object).__name__}"
+            )
+
+    def __iter__(self) -> Iterator[Term]:
+        """Support ``s, p, o = triple`` unpacking."""
+        yield self.subject
+        yield self.predicate
+        yield self.object
+
+    def n3(self) -> str:
+        """Return the N-Triples line for this triple (without newline)."""
+        return f"{self.subject.n3()} {self.predicate.n3()} {self.object.n3()} ."
+
+    def __str__(self) -> str:
+        return self.n3()

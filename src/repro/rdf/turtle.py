@@ -1,0 +1,330 @@
+"""Turtle (subset) parsing and serialization.
+
+Catalog exchanges in the wild are Turtle more often than N-Triples;
+this module implements the pragmatic subset that covers them:
+
+* ``@prefix`` / ``PREFIX`` declarations and prefixed names;
+* ``a`` as ``rdf:type``;
+* predicate lists (``;``) and object lists (``,``);
+* IRIs, blank node labels, and literals with escapes, language tags and
+  datatypes (including the ``'...'`` and long ``\"\"\"...\"\"\"`` forms);
+* integer / decimal / boolean abbreviations;
+* comments.
+
+Not supported (raises :class:`TurtleParseError`): collections ``( )``,
+anonymous blank nodes ``[ ]``, and ``@base``-relative IRIs. The
+serializer groups triples by subject with predicate lists and compacts
+IRIs through a :class:`~repro.rdf.namespace.NamespaceManager`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterator, List, Tuple
+
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import RDF, NamespaceManager
+from repro.rdf.ntriples import _unescape
+from repro.rdf.terms import (
+    BNode,
+    IRI,
+    Literal,
+    Term,
+    TermError,
+    XSD_BOOLEAN,
+    XSD_DECIMAL,
+    XSD_INTEGER,
+)
+
+
+class TurtleParseError(ValueError):
+    """Raised on malformed or unsupported Turtle input."""
+
+    def __init__(self, message: str, position: int, text: str) -> None:
+        line = text.count("\n", 0, position) + 1
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+_PNAME_RE = re.compile(r"([A-Za-z_][\w.-]*)?:([\w.-]*)")
+_NUMBER_RE = re.compile(r"[+-]?\d+(\.\d+)?([eE][+-]?\d+)?")
+_PREFIX_RE = re.compile(
+    r"(@prefix|PREFIX)\s+([A-Za-z_][\w.-]*)?:\s*<([^>]*)>\s*\.?",
+    re.IGNORECASE,
+)
+
+
+class _TurtleScanner:
+    """Cursor-based scanner over the whole Turtle document."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+        self.prefixes: Dict[str, str] = {}
+
+    def error(self, message: str) -> TurtleParseError:
+        return TurtleParseError(message, self.pos, self.text)
+
+    def at_end(self) -> bool:
+        self.skip_ws()
+        return self.pos >= len(self.text)
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text):
+            ch = self.text[self.pos]
+            if ch in " \t\r\n":
+                self.pos += 1
+            elif ch == "#":
+                newline = self.text.find("\n", self.pos)
+                self.pos = len(self.text) if newline < 0 else newline + 1
+            else:
+                return
+
+    def peek(self) -> str:
+        if self.pos >= len(self.text):
+            raise self.error("unexpected end of input")
+        return self.text[self.pos]
+
+    def expect(self, token: str) -> None:
+        self.skip_ws()
+        if not self.text.startswith(token, self.pos):
+            raise self.error(f"expected {token!r}")
+        self.pos += len(token)
+
+    def try_token(self, token: str) -> bool:
+        self.skip_ws()
+        if self.text.startswith(token, self.pos):
+            self.pos += len(token)
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # directives
+    # ------------------------------------------------------------------
+    def try_prefix(self) -> bool:
+        self.skip_ws()
+        match = _PREFIX_RE.match(self.text, self.pos)
+        if not match:
+            if self.text.startswith("@base", self.pos) or self.text.startswith(
+                "BASE", self.pos
+            ):
+                raise self.error("@base is not supported by this subset")
+            return False
+        prefix = match.group(2) or ""
+        self.prefixes[prefix] = match.group(3)
+        self.pos = match.end()
+        return True
+
+    # ------------------------------------------------------------------
+    # terms
+    # ------------------------------------------------------------------
+    def read_iri_or_pname(self) -> IRI:
+        self.skip_ws()
+        ch = self.peek()
+        if ch == "<":
+            end = self.text.find(">", self.pos + 1)
+            if end < 0:
+                raise self.error("unterminated IRI")
+            raw = self.text[self.pos + 1:end]
+            self.pos = end + 1
+            try:
+                return IRI(_unescape(raw))
+            except TermError as exc:
+                raise self.error(f"invalid IRI ({exc})") from exc
+        match = _PNAME_RE.match(self.text, self.pos)
+        if not match:
+            raise self.error("expected IRI or prefixed name")
+        prefix = match.group(1) or ""
+        local = match.group(2)
+        if prefix not in self.prefixes:
+            raise self.error(f"unknown prefix {prefix!r}")
+        self.pos = match.end()
+        return IRI(self.prefixes[prefix] + local)
+
+    def read_subject(self) -> Term:
+        self.skip_ws()
+        ch = self.peek()
+        if ch == "_":
+            return self.read_bnode()
+        if ch == "[":
+            raise self.error("anonymous blank nodes are not supported")
+        return self.read_iri_or_pname()
+
+    def read_predicate(self) -> IRI:
+        self.skip_ws()
+        if (
+            self.text.startswith("a", self.pos)
+            and self.pos + 1 < len(self.text)
+            and self.text[self.pos + 1] in " \t\r\n<"
+        ):
+            self.pos += 1
+            return RDF.type
+        return self.read_iri_or_pname()
+
+    def read_bnode(self) -> BNode:
+        self.expect("_")
+        self.expect(":")
+        match = re.match(r"[\w.-]+", self.text[self.pos:])
+        if not match:
+            raise self.error("empty blank node label")
+        self.pos += match.end()
+        return BNode(match.group(0))
+
+    def read_object(self) -> Term:
+        self.skip_ws()
+        ch = self.peek()
+        # boolean abbreviations first — but 'true:x' is a prefixed name
+        # and 'truely' a (hypothetical) pname fragment, so the word must
+        # end at a non-name character
+        for word in ("true", "false"):
+            if self.text.startswith(word, self.pos):
+                follow = self.text[self.pos + len(word):self.pos + len(word) + 1]
+                if not follow or not (follow.isalnum() or follow in "_.-:"):
+                    self.pos += len(word)
+                    return Literal(word, datatype=XSD_BOOLEAN)
+        # blank nodes before prefixed names: '_:b1' matches the pname
+        # pattern too, but Turtle prefix names never start with '_'
+        if ch == "_" and self.text.startswith("_:", self.pos):
+            return self.read_bnode()
+        if ch == "<" or _PNAME_RE.match(self.text, self.pos):
+            return self.read_iri_or_pname()
+        if ch == "(":
+            raise self.error("collections are not supported")
+        if ch == "[":
+            raise self.error("anonymous blank nodes are not supported")
+        if ch in "\"'":
+            return self.read_literal()
+        match = _NUMBER_RE.match(self.text, self.pos)
+        if match:
+            lexical = match.group(0)
+            self.pos = match.end()
+            datatype = XSD_DECIMAL if ("." in lexical or "e" in lexical.lower()) else XSD_INTEGER
+            return Literal(lexical, datatype=datatype)
+        raise self.error("expected an object term")
+
+    def read_literal(self) -> Literal:
+        quote = self.peek()
+        long_quote = quote * 3
+        if self.text.startswith(long_quote, self.pos):
+            end = self.text.find(long_quote, self.pos + 3)
+            if end < 0:
+                raise self.error("unterminated long literal")
+            lexical = _unescape(self.text[self.pos + 3:end])
+            self.pos = end + 3
+        else:
+            self.pos += 1
+            start = self.pos
+            while True:
+                if self.pos >= len(self.text):
+                    raise self.error("unterminated literal")
+                ch = self.text[self.pos]
+                if ch == "\\":
+                    self.pos += 2
+                    continue
+                if ch == quote:
+                    break
+                if ch == "\n":
+                    raise self.error("newline in short literal")
+                self.pos += 1
+            lexical = _unescape(self.text[start:self.pos])
+            self.pos += 1
+        if self.try_token("^^"):
+            datatype = self.read_iri_or_pname()
+            return Literal(lexical, datatype=datatype.value)
+        self.skip_nothing_language_ok = True
+        if self.pos < len(self.text) and self.text[self.pos] == "@":
+            self.pos += 1
+            match = re.match(r"[A-Za-z]+(-[A-Za-z0-9]+)*", self.text[self.pos:])
+            if not match:
+                raise self.error("empty language tag")
+            self.pos += match.end()
+            return Literal(lexical, language=match.group(0))
+        return Literal(lexical)
+
+
+def parse_turtle(text: str) -> Graph:
+    """Parse Turtle *text* into a new :class:`Graph`."""
+    from repro.rdf.triples import Triple
+
+    scanner = _TurtleScanner(text)
+    graph = Graph()
+    while not scanner.at_end():
+        if scanner.try_prefix():
+            continue
+        subject = scanner.read_subject()
+        while True:
+            predicate = scanner.read_predicate()
+            while True:
+                obj = scanner.read_object()
+                graph.add(Triple(subject, predicate, obj))
+                if not scanner.try_token(","):
+                    break
+            if not scanner.try_token(";"):
+                break
+            # a dangling ';' directly before '.' is legal Turtle
+            scanner.skip_ws()
+            if scanner.pos < len(scanner.text) and scanner.peek() == ".":
+                break
+        scanner.expect(".")
+    return graph
+
+
+def serialize_turtle(
+    graph: Graph,
+    namespaces: NamespaceManager | None = None,
+) -> str:
+    """Serialize *graph* as Turtle, grouped by subject, sorted, compact."""
+    manager = namespaces or NamespaceManager()
+
+    def compact(term: Term) -> str:
+        if isinstance(term, IRI):
+            qname = manager.qname(term)
+            # NamespaceManager.qname falls back to <iri>; both forms are
+            # valid Turtle tokens
+            return qname
+        return term.n3()
+
+    prefixes_used: set[str] = set()
+
+    def note_prefix(token: str) -> str:
+        if not token.startswith("<") and ":" in token:
+            prefixes_used.add(token.split(":", 1)[0])
+        return token
+
+    by_subject: Dict[Term, List[Tuple[IRI, Term]]] = {}
+    for triple in graph:
+        by_subject.setdefault(triple.subject, []).append(
+            (triple.predicate, triple.object)
+        )
+
+    blocks: List[str] = []
+    for subject in sorted(by_subject, key=lambda t: t.n3()):
+        pairs = by_subject[subject]
+        by_predicate: Dict[IRI, List[Term]] = {}
+        for predicate, obj in pairs:
+            by_predicate.setdefault(predicate, []).append(obj)
+        lines: List[str] = []
+        subject_token = note_prefix(compact(subject))
+        for i, predicate in enumerate(sorted(by_predicate, key=lambda p: p.value)):
+            if predicate == RDF.type:
+                pred_token = "a"
+            else:
+                pred_token = note_prefix(compact(predicate))
+            objects = ", ".join(
+                note_prefix(compact(obj))
+                for obj in sorted(by_predicate[predicate], key=lambda t: t.n3())
+            )
+            prefix = f"{subject_token} " if i == 0 else "    "
+            suffix = " ." if i == len(by_predicate) - 1 else " ;"
+            lines.append(f"{prefix}{pred_token} {objects}{suffix}")
+        blocks.append("\n".join(lines))
+
+    header_lines = []
+    for prefix, namespace in sorted(manager.namespaces()):
+        if prefix in prefixes_used:
+            header_lines.append(f"@prefix {prefix}: <{namespace.base}> .")
+    header = "\n".join(header_lines)
+    body = "\n\n".join(blocks)
+    if header and body:
+        return header + "\n\n" + body + "\n"
+    return (header or body) + ("\n" if (header or body) else "")

@@ -1,0 +1,140 @@
+"""Phonetic encoders used by classic blocking (related-work baselines).
+
+Standard blocking often keys on a phonetic code of a name field so that
+spelling variants land in the same block. We implement the two most cited
+codes: American Soundex and NYSIIS.
+"""
+
+from __future__ import annotations
+
+import re
+
+_SOUNDEX_CODES = {
+    **dict.fromkeys("bfpv", "1"),
+    **dict.fromkeys("cgjkqsxz", "2"),
+    **dict.fromkeys("dt", "3"),
+    **dict.fromkeys("l", "4"),
+    **dict.fromkeys("mn", "5"),
+    **dict.fromkeys("r", "6"),
+}
+
+_ALPHA_RE = re.compile(r"[^a-z]")
+
+
+def soundex(text: str, length: int = 4) -> str:
+    """American Soundex code of *text* (empty input -> empty string).
+
+    >>> soundex("Robert") == soundex("Rupert") == "R163"
+    True
+    """
+    cleaned = _ALPHA_RE.sub("", text.casefold())
+    if not cleaned:
+        return ""
+    first = cleaned[0]
+    # encode, treating h/w as transparent between same-coded letters
+    encoded = [first.upper()]
+    last_code = _SOUNDEX_CODES.get(first, "")
+    for ch in cleaned[1:]:
+        if ch in "hw":
+            continue
+        code = _SOUNDEX_CODES.get(ch, "")
+        if code and code != last_code:
+            encoded.append(code)
+        last_code = code
+    result = "".join(encoded)
+    return (result + "0" * length)[:length]
+
+
+def nysiis(text: str) -> str:
+    """NYSIIS phonetic code of *text* (empty input -> empty string).
+
+    Implements the original 1970 NYSIIS algorithm.
+    """
+    cleaned = _ALPHA_RE.sub("", text.casefold())
+    if not cleaned:
+        return ""
+    key = cleaned
+
+    # 1. transcode first characters
+    for src, dst in (("mac", "mcc"), ("kn", "nn"), ("k", "c"),
+                     ("ph", "ff"), ("pf", "ff"), ("sch", "sss")):
+        if key.startswith(src):
+            key = dst + key[len(src):]
+            break
+
+    # 2. transcode last characters
+    for src, dst in (("ee", "y"), ("ie", "y"), ("dt", "d"), ("rt", "d"),
+                     ("rd", "d"), ("nt", "d"), ("nd", "d")):
+        if key.endswith(src):
+            key = key[: -len(src)] + dst
+            break
+
+    # 3. first character of the key = first character of the name
+    first = key[0]
+    rest = key[1:]
+
+    # 4. translate remaining characters; duplicate elimination must also
+    # consider the retained first character (e.g. "ffilip" -> "falap",
+    # not "ffalap")
+    out: list[str] = []
+    i = 0
+    prev = first
+    while i < len(rest):
+        ch = rest[i]
+        replaced: str
+        if rest[i:i + 2] == "ev":
+            replaced = "af"
+            i += 2
+        elif ch in "aeiou":
+            replaced = "a"
+            i += 1
+        elif ch == "q":
+            replaced = "g"
+            i += 1
+        elif ch == "z":
+            replaced = "s"
+            i += 1
+        elif ch == "m":
+            replaced = "n"
+            i += 1
+        elif rest[i:i + 2] == "kn":
+            replaced = "n"
+            i += 2
+        elif ch == "k":
+            replaced = "c"
+            i += 1
+        elif rest[i:i + 3] == "sch":
+            replaced = "sss"
+            i += 3
+        elif rest[i:i + 2] == "ph":
+            replaced = "ff"
+            i += 2
+        elif ch == "h" and (
+            prev not in "aeiou"
+            or (i + 1 < len(rest) and rest[i + 1] not in "aeiou")
+        ):
+            replaced = prev
+            i += 1
+        elif ch == "w" and prev in "aeiou":
+            replaced = prev
+            i += 1
+        else:
+            replaced = ch
+            i += 1
+        for r in replaced:
+            last = out[-1] if out else first
+            if last != r:
+                out.append(r)
+        prev = out[-1] if out else prev
+
+    code = "".join(out)
+
+    # 5. trailing s / ay / a adjustments
+    if code.endswith("s"):
+        code = code[:-1]
+    if code.endswith("ay"):
+        code = code[:-2] + "y"
+    if code.endswith("a"):
+        code = code[:-1]
+
+    return (first + code).upper()

@@ -1,0 +1,158 @@
+"""Unit tests for RuleClassifier and LinkingSubspace."""
+
+import pytest
+
+from repro.core import (
+    LearnerConfig,
+    LinkingSubspace,
+    RuleClassifier,
+    RuleLearner,
+)
+from repro.rdf import EX, Graph, Literal, Triple
+
+
+@pytest.fixture
+def classifier(tiny_training_set):
+    rules = RuleLearner(LearnerConfig(support_threshold=0.1)).learn(tiny_training_set)
+    return RuleClassifier(rules)
+
+
+def describe(part_number, item=EX.new1):
+    graph = Graph()
+    graph.add(Triple(item, EX.partNumber, Literal(part_number)))
+    return graph
+
+
+class TestPredict:
+    def test_single_rule_fires(self, classifier):
+        graph = describe("t83-999")
+        predictions = classifier.predict(EX.new1, graph)
+        assert len(predictions) == 1
+        assert predictions[0].predicted_class == EX.Capacitor
+        assert predictions[0].confidence == 1.0
+
+    def test_ranking_confidence_first(self, classifier):
+        # 'uf' (conf 1.0 -> Capacitor) and 'ohm' (conf 0.75 -> Resistor)
+        graph = describe("uf-ohm-77")
+        predictions = classifier.predict(EX.new1, graph)
+        assert [p.predicted_class for p in predictions] == [EX.Capacitor, EX.Resistor]
+
+    def test_duplicate_subspace_keeps_best_rule(self, classifier):
+        # both 'uf' and 't83' conclude Capacitor; one prediction survives,
+        # backed by the better rule ('uf' has lift 2.0 == 't83', tie broken
+        # deterministically, but confidence equal -> only one prediction)
+        graph = describe("uf-t83")
+        predictions = classifier.predict(EX.new1, graph)
+        assert len(predictions) == 1
+        assert predictions[0].predicted_class == EX.Capacitor
+
+    def test_no_rule_fires(self, classifier):
+        predictions = classifier.predict(EX.new1, describe("qqq-42"))
+        assert predictions == []
+
+    def test_item_without_property(self, classifier):
+        graph = Graph()
+        graph.add(Triple(EX.new1, EX.otherProp, Literal("uf")))
+        assert classifier.predict(EX.new1, graph) == []
+
+    def test_predict_class_best_only(self, classifier):
+        assert classifier.predict_class(EX.new1, describe("uf-ohm")) == EX.Capacitor
+        assert classifier.predict_class(EX.new1, describe("zzz")) is None
+
+    def test_predict_all_and_decided_items(self, classifier):
+        graph = Graph()
+        graph.add(Triple(EX.a, EX.partNumber, Literal("uf-1")))
+        graph.add(Triple(EX.b, EX.partNumber, Literal("qqq")))
+        result = classifier.predict_all([EX.a, EX.b], graph)
+        assert len(result[EX.a]) == 1
+        assert result[EX.b] == []
+        assert classifier.decided_items([EX.a, EX.b], graph) == [EX.a]
+
+    def test_multi_valued_property(self, classifier):
+        graph = Graph()
+        graph.add(Triple(EX.new1, EX.partNumber, Literal("qqq")))
+        graph.add(Triple(EX.new1, EX.partNumber, Literal("t83-x")))
+        predictions = classifier.predict(EX.new1, graph)
+        assert predictions[0].predicted_class == EX.Capacitor
+
+    def test_accepts_plain_iterable_of_rules(self, classifier):
+        clone = RuleClassifier(list(classifier.rules))
+        assert len(clone.rules) == len(classifier.rules)
+
+    def test_prediction_str(self, classifier):
+        (pred,) = classifier.predict(EX.new1, describe("t83-9"))
+        assert "Capacitor" in str(pred)
+        assert "conf=" in str(pred)
+
+
+class TestLinkingSubspace:
+    def test_from_predictions(self, classifier, tiny_ontology):
+        graph = Graph()
+        graph.add(Triple(EX.a, EX.partNumber, Literal("t83-5")))
+        graph.add(Triple(EX.b, EX.partNumber, Literal("none")))
+        predictions = classifier.predict_all([EX.a, EX.b], graph)
+        subspace = LinkingSubspace.from_predictions(predictions, tiny_ontology)
+        # Capacitor instances: l4..l8
+        assert subspace.candidates_for(EX.a) == frozenset(
+            {EX.l4, EX.l5, EX.l6, EX.l7, EX.l8}
+        )
+        assert subspace.candidates_for(EX.b) == frozenset()
+        assert EX.a in subspace
+        assert len(subspace) == 2
+
+    def test_pairs_and_count(self, classifier, tiny_ontology):
+        graph = describe("uf-0", item=EX.a)
+        predictions = classifier.predict_all([EX.a], graph)
+        subspace = LinkingSubspace.from_predictions(predictions, tiny_ontology)
+        pairs = set(subspace.pairs())
+        assert len(pairs) == subspace.pair_count() == 5
+        assert all(ext == EX.a for ext, _ in pairs)
+
+    def test_union_of_rule_subspaces(self, classifier, tiny_ontology):
+        # 'uf' -> Capacitor (5 instances), 'ohm' -> Resistor (4 instances)
+        graph = describe("uf-ohm", item=EX.a)
+        predictions = classifier.predict_all([EX.a], graph)
+        subspace = LinkingSubspace.from_predictions(predictions, tiny_ontology)
+        assert subspace.pair_count() == 9
+
+    def test_candidates_for_unknown_item(self, classifier, tiny_ontology):
+        subspace = LinkingSubspace.from_predictions({}, tiny_ontology)
+        assert subspace.candidates_for(EX.zzz) == frozenset()
+
+
+class TestReduction:
+    def test_reduction_stats(self, classifier, tiny_ontology):
+        graph = Graph()
+        graph.add(Triple(EX.a, EX.partNumber, Literal("t83-5")))  # -> 5 pairs
+        graph.add(Triple(EX.b, EX.partNumber, Literal("none")))   # undecided
+        predictions = classifier.predict_all([EX.a, EX.b], graph)
+        subspace = LinkingSubspace.from_predictions(predictions, tiny_ontology)
+        reduction = subspace.reduction(total_local=10)
+        assert reduction.naive_pairs == 20
+        assert reduction.reduced_pairs == 15  # 5 + 1*10 for the undecided
+        assert reduction.decided_items == 1
+        assert reduction.undecided_items == 1
+        assert reduction.reduction_ratio == pytest.approx(0.25)
+        assert reduction.reduction_factor == pytest.approx(20 / 15)
+
+    def test_reduction_all_decided(self, classifier, tiny_ontology):
+        graph = describe("uf-1", item=EX.a)
+        predictions = classifier.predict_all([EX.a], graph)
+        subspace = LinkingSubspace.from_predictions(predictions, tiny_ontology)
+        reduction = subspace.reduction(total_local=10)
+        assert reduction.naive_pairs == 10
+        assert reduction.reduced_pairs == 5
+        assert reduction.reduction_factor == pytest.approx(2.0)
+
+    def test_reduction_empty_batch(self, tiny_ontology):
+        subspace = LinkingSubspace.from_predictions({}, tiny_ontology)
+        reduction = subspace.reduction(total_local=10)
+        assert reduction.naive_pairs == 0
+        assert reduction.reduction_ratio == 0.0
+
+    def test_str_outputs(self, classifier, tiny_ontology):
+        graph = describe("uf-1", item=EX.a)
+        predictions = classifier.predict_all([EX.a], graph)
+        subspace = LinkingSubspace.from_predictions(predictions, tiny_ontology)
+        text = str(subspace.reduction(total_local=10))
+        assert "naive=10" in text

@@ -1,0 +1,174 @@
+"""Unit tests for conjunctive rules and the incremental learner."""
+
+import pytest
+
+from repro.core import LearnerConfig, RuleLearner, SameAsLink, TrainingSet
+from repro.core.conjunctive import ConjunctiveRule, ConjunctiveRuleLearner
+from repro.core.incremental import IncrementalRuleLearner
+from repro.ontology import Ontology
+from repro.rdf import EX, Graph, Literal, Triple
+from repro.text import SeparatorSegmenter
+
+
+@pytest.fixture
+def ambiguous_world():
+    """'100' and 'ohm' are each ambiguous; together they pin Resistor100.
+
+    Rows: (external, part number, class)
+    """
+    rows = [
+        ("e1", "ohm-100-a", "Resistor100"),
+        ("e2", "ohm-100-b", "Resistor100"),
+        ("e3", "ohm-100-c", "Resistor100"),
+        ("e4", "ohm-200-a", "Resistor200"),
+        ("e5", "ohm-200-b", "Resistor200"),
+        ("e6", "uf-100-a", "Capacitor100"),
+        ("e7", "uf-100-b", "Capacitor100"),
+        ("e8", "uf-200-a", "Capacitor200"),
+        ("e9", "uf-200-b", "Capacitor200"),
+        ("e10", "uf-200-c", "Capacitor200"),
+    ]
+    onto = Ontology()
+    graph = Graph()
+    links = []
+    for i, (ext_name, pn, cls_name) in enumerate(rows):
+        ext, loc = EX[ext_name], EX[f"l{i}"]
+        cls = EX[cls_name]
+        if cls not in onto:
+            onto.add_class(cls)
+        graph.add(Triple(ext, EX.partNumber, Literal(pn)))
+        onto.add_instance(loc, cls)
+        links.append(SameAsLink(external=ext, local=loc))
+    return TrainingSet(links, external=graph, ontology=onto)
+
+
+class TestConjunctiveLearner:
+    def test_finds_improving_conjunctions(self, ambiguous_world):
+        learner = ConjunctiveRuleLearner(
+            LearnerConfig(support_threshold=0.1), min_confidence_gain=0.05
+        )
+        rules = learner.learn(ambiguous_world)
+        by_premise = {
+            (tuple(sorted(r.segments)), r.conclusion): r for r in rules
+        }
+        key = (("100", "ohm"), EX.Resistor100)
+        assert key in by_premise
+        assert by_premise[key].confidence == pytest.approx(1.0)
+
+    def test_single_confidences_not_improved_are_pruned(self, ambiguous_world):
+        # ('ohm','a') -> ... segment 'a' appears once per class: below
+        # support; and conjunctions that do not beat their parts vanish
+        learner = ConjunctiveRuleLearner(
+            LearnerConfig(support_threshold=0.1), min_confidence_gain=0.05
+        )
+        rules = learner.learn(ambiguous_world)
+        for rule in rules:
+            assert rule.confidence > 0.5  # singles here are at most 0.6
+
+    def test_conjunction_requires_cooccurrence_in_one_value(self):
+        onto = Ontology()
+        onto.add_class(EX.C)
+        graph = Graph()
+        # 'x' and 'y' both appear for e1 but in different values
+        graph.add(Triple(EX.e1, EX.partNumber, Literal("x-1")))
+        graph.add(Triple(EX.e1, EX.partNumber, Literal("y-2")))
+        graph.add(Triple(EX.e2, EX.partNumber, Literal("x-y")))
+        onto.add_instance(EX.l0, EX.C)
+        onto.add_instance(EX.l1, EX.C)
+        ts = TrainingSet(
+            [SameAsLink(EX.e1, EX.l0), SameAsLink(EX.e2, EX.l1)],
+            external=graph,
+            ontology=onto,
+        )
+        learner = ConjunctiveRuleLearner(
+            LearnerConfig(support_threshold=0.0), min_confidence_gain=-1.0
+        )
+        rules = learner.learn(ts)
+        duo = [r for r in rules if r.segments == frozenset({"x", "y"})]
+        # only e2 has x and y inside ONE value
+        assert all(r.counts.premise == 1 for r in duo)
+
+    def test_applies_to(self, ambiguous_world):
+        learner = ConjunctiveRuleLearner(LearnerConfig(support_threshold=0.1))
+        rules = learner.learn(ambiguous_world)
+        rule = next(
+            r for r in rules
+            if r.segments == frozenset({"ohm", "100"})
+        )
+        seg = SeparatorSegmenter()
+        good = Graph([Triple(EX.n, EX.partNumber, Literal("ohm-100-zz"))])
+        half = Graph([Triple(EX.n, EX.partNumber, Literal("ohm-999"))])
+        assert rule.applies_to(EX.n, good, seg)
+        assert not rule.applies_to(EX.n, half, seg)
+
+    def test_str_shows_two_subsegments(self, ambiguous_world):
+        learner = ConjunctiveRuleLearner(LearnerConfig(support_threshold=0.1))
+        (rule, *_) = learner.learn(ambiguous_world)
+        assert str(rule).count("subsegment") == 2
+
+    def test_high_gain_requirement_prunes_everything(self, ambiguous_world):
+        learner = ConjunctiveRuleLearner(
+            LearnerConfig(support_threshold=0.1), min_confidence_gain=0.9
+        )
+        assert learner.learn(ambiguous_world) == []
+
+
+class TestIncrementalLearner:
+    def test_matches_batch_learner(self, tiny_training_set):
+        config = LearnerConfig(
+            properties=(EX.partNumber,), support_threshold=0.1
+        )
+        batch_rules = RuleLearner(config).learn(tiny_training_set)
+
+        incremental = IncrementalRuleLearner(config, tiny_training_set.ontology)
+        links = list(tiny_training_set.links)
+        incremental.add_links(links[:4], tiny_training_set.external_graph)
+        incremental.add_links(links[4:], tiny_training_set.external_graph)
+        assert set(incremental.rules().rules) == set(batch_rules.rules)
+
+    def test_statistics_match_batch(self, tiny_training_set):
+        config = LearnerConfig(
+            properties=(EX.partNumber,), support_threshold=0.1
+        )
+        batch = RuleLearner(config)
+        batch.learn(tiny_training_set)
+        incremental = IncrementalRuleLearner(config, tiny_training_set.ontology)
+        incremental.add_training_set(tiny_training_set)
+        ours = incremental.statistics()
+        theirs = batch.statistics
+        assert ours.total_links == theirs.total_links
+        assert ours.distinct_segments == theirs.distinct_segments
+        assert ours.segment_occurrences == theirs.segment_occurrences
+        assert ours.frequent_pairs == theirs.frequent_pairs
+        assert ours.frequent_classes == theirs.frequent_classes
+        assert ours.rule_count == theirs.rule_count
+
+    def test_duplicate_links_ignored(self, tiny_training_set):
+        config = LearnerConfig(properties=(EX.partNumber,), support_threshold=0.1)
+        incremental = IncrementalRuleLearner(config, tiny_training_set.ontology)
+        added = incremental.add_training_set(tiny_training_set)
+        again = incremental.add_training_set(tiny_training_set)
+        assert added == len(tiny_training_set)
+        assert again == 0
+        assert incremental.total_links == len(tiny_training_set)
+
+    def test_rules_evolve_with_data(self, tiny_training_set):
+        config = LearnerConfig(properties=(EX.partNumber,), support_threshold=0.1)
+        incremental = IncrementalRuleLearner(config, tiny_training_set.ontology)
+        links = list(tiny_training_set.links)
+        incremental.add_links(links[:2], tiny_training_set.external_graph)
+        early = len(incremental.rules())
+        incremental.add_links(links[2:], tiny_training_set.external_graph)
+        late = len(incremental.rules())
+        assert late != early or late > 0
+
+    def test_empty_learner_empty_rules(self, tiny_training_set):
+        config = LearnerConfig(properties=(EX.partNumber,), support_threshold=0.1)
+        incremental = IncrementalRuleLearner(config, tiny_training_set.ontology)
+        assert len(incremental.rules()) == 0
+
+    def test_requires_explicit_properties(self, tiny_training_set):
+        config = LearnerConfig(support_threshold=0.1)  # properties=None
+        incremental = IncrementalRuleLearner(config, tiny_training_set.ontology)
+        with pytest.raises(ValueError):
+            incremental.add_training_set(tiny_training_set)

@@ -1,0 +1,112 @@
+"""Unit tests for the subsumption-based rule generalization extension."""
+
+import pytest
+
+from repro.core import (
+    LearnerConfig,
+    RuleGeneralizer,
+    RuleLearner,
+    SameAsLink,
+    TrainingSet,
+)
+from repro.ontology import Ontology
+from repro.rdf import EX, Graph, Literal, Triple
+
+
+@pytest.fixture
+def capacitor_world():
+    """'uF' appears in two capacitor subclasses; no leaf rule is confident,
+    but the lifted rule uF => Capacitor is perfect."""
+    onto = Ontology()
+    onto.add_subclass(EX.Capacitor, EX.Component)
+    onto.add_subclass(EX.Resistor, EX.Component)
+    onto.add_subclass(EX.Tantalum, EX.Capacitor)
+    onto.add_subclass(EX.Ceramic, EX.Capacitor)
+
+    graph = Graph()
+    rows = [
+        ("e1", "uf-t1", "l1", EX.Tantalum),
+        ("e2", "uf-t2", "l2", EX.Tantalum),
+        ("e3", "uf-c1", "l3", EX.Ceramic),
+        ("e4", "uf-c2", "l4", EX.Ceramic),
+        ("e5", "ohm-r1", "l5", EX.Resistor),
+        ("e6", "ohm-r2", "l6", EX.Resistor),
+    ]
+    links = []
+    for ext, pn, loc, cls in rows:
+        graph.add(Triple(EX[ext], EX.partNumber, Literal(pn)))
+        onto.add_instance(EX[loc], cls)
+        links.append(SameAsLink(external=EX[ext], local=EX[loc]))
+    ts = TrainingSet(links, external=graph, ontology=onto)
+    return onto, ts
+
+
+class TestGeneralize:
+    def test_lifts_split_conclusions_to_lcs(self, capacitor_world):
+        onto, ts = capacitor_world
+        rules = RuleLearner(LearnerConfig(support_threshold=0.2)).learn(ts)
+        # leaf rules for 'uf': -> Tantalum (conf 0.5), -> Ceramic (conf 0.5)
+        uf_rules = [r for r in rules if r.segment == "uf"]
+        assert {r.conclusion for r in uf_rules} == {EX.Tantalum, EX.Ceramic}
+        assert all(r.confidence == pytest.approx(0.5) for r in uf_rules)
+
+        lifted = RuleGeneralizer(onto).generalize(rules, ts)
+        assert len(lifted) == 1
+        generalized = lifted[0]
+        assert generalized.conclusion == EX.Capacitor
+        assert generalized.rule.confidence == pytest.approx(1.0)
+        assert {src.conclusion for src in generalized.sources} == {
+            EX.Tantalum,
+            EX.Ceramic,
+        }
+
+    def test_lifted_lift_reflects_broader_class(self, capacitor_world):
+        onto, ts = capacitor_world
+        rules = RuleLearner(LearnerConfig(support_threshold=0.2)).learn(ts)
+        (generalized,) = RuleGeneralizer(onto).generalize(rules, ts)
+        # P(Capacitor) = 4/6 -> lift = 1.0 / (4/6) = 1.5
+        assert generalized.rule.lift == pytest.approx(1.5)
+
+    def test_single_conclusion_groups_not_lifted(self, capacitor_world):
+        onto, ts = capacitor_world
+        rules = RuleLearner(LearnerConfig(support_threshold=0.2)).learn(ts)
+        lifted = RuleGeneralizer(onto).generalize(rules, ts)
+        # 'ohm' rules conclude only Resistor -> nothing to generalize
+        assert all(g.rule.segment != "ohm" for g in lifted)
+
+    def test_min_confidence_gain_filters(self, capacitor_world):
+        onto, ts = capacitor_world
+        rules = RuleLearner(LearnerConfig(support_threshold=0.2)).learn(ts)
+        # gain is 0.5 (0.5 -> 1.0); require more than that
+        lifted = RuleGeneralizer(onto, min_confidence_gain=0.6).generalize(rules, ts)
+        assert lifted == []
+
+    def test_max_depth_lift_budget(self, capacitor_world):
+        onto, ts = capacitor_world
+        rules = RuleLearner(LearnerConfig(support_threshold=0.2)).learn(ts)
+        # Tantalum/Ceramic are at depth 2, Capacitor at depth 1: lift of 1
+        assert RuleGeneralizer(onto, max_depth_lift=1).generalize(rules, ts)
+        assert not RuleGeneralizer(onto, max_depth_lift=0).generalize(rules, ts)
+
+    def test_no_common_superclass_skipped(self):
+        # two disconnected roots: LCS is empty
+        onto = Ontology()
+        onto.add_class(EX.A)
+        onto.add_class(EX.B)
+        graph = Graph()
+        links = []
+        for i, cls in enumerate([EX.A, EX.A, EX.B, EX.B]):
+            ext, loc = EX[f"e{i}"], EX[f"l{i}"]
+            graph.add(Triple(ext, EX.partNumber, Literal("seg-x")))
+            onto.add_instance(loc, cls)
+            links.append(SameAsLink(external=ext, local=loc))
+        ts = TrainingSet(links, external=graph, ontology=onto)
+        rules = RuleLearner(LearnerConfig(support_threshold=0.2)).learn(ts)
+        assert {r.conclusion for r in rules if r.segment == "seg"} == {EX.A, EX.B}
+        assert RuleGeneralizer(onto).generalize(rules, ts) == []
+
+    def test_generalized_str(self, capacitor_world):
+        onto, ts = capacitor_world
+        rules = RuleLearner(LearnerConfig(support_threshold=0.2)).learn(ts)
+        (generalized,) = RuleGeneralizer(onto).generalize(rules, ts)
+        assert "generalized from" in str(generalized)

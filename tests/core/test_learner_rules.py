@@ -1,0 +1,239 @@
+"""Unit tests for Algorithm 1 and the RuleSet container."""
+
+import pytest
+
+from repro.core import (
+    ClassificationRule,
+    ContingencyCounts,
+    LearnerConfig,
+    RuleLearner,
+    RuleQualityMeasures,
+    RuleSet,
+)
+from repro.core.learner import LearnerError
+from repro.rdf import EX
+from repro.text import NGramSegmenter, SeparatorSegmenter
+
+
+@pytest.fixture
+def learner():
+    return RuleLearner(LearnerConfig(support_threshold=0.1))
+
+
+@pytest.fixture
+def learned(learner, tiny_training_set):
+    return learner.learn(tiny_training_set)
+
+
+class TestAlgorithm1:
+    def test_learns_expected_rules(self, learned):
+        as_tuples = {(r.segment, r.conclusion) for r in learned}
+        assert as_tuples == {
+            ("uf", EX.Capacitor),
+            ("t83", EX.Capacitor),
+            ("ohm", EX.Resistor),
+        }
+
+    def test_infrequent_conjunction_pruned(self, learned):
+        # "ohm" appears once in a Capacitor (e6) — below threshold 2
+        assert ("ohm", EX.Capacitor) not in {
+            (r.segment, r.conclusion) for r in learned
+        }
+
+    def test_infrequent_class_pruned(self, learned):
+        # Diode has one instance — below threshold
+        assert EX.Diode not in learned.concluded_classes()
+
+    def test_measures_hand_checked(self, learned):
+        by_key = {(r.segment, r.conclusion): r for r in learned}
+        uf = by_key[("uf", EX.Capacitor)]
+        assert uf.support == pytest.approx(0.3)
+        assert uf.confidence == pytest.approx(1.0)
+        assert uf.lift == pytest.approx(2.0)
+        ohm = by_key[("ohm", EX.Resistor)]
+        assert ohm.support == pytest.approx(0.3)
+        assert ohm.confidence == pytest.approx(0.75)
+        assert ohm.lift == pytest.approx(0.75 / 0.4)
+
+    def test_ordering_confidence_then_lift(self, learned):
+        confidences = [r.confidence for r in learned]
+        assert confidences == sorted(confidences, reverse=True)
+        # among equal confidence, lift descending
+        top_two = learned.rules[:2]
+        assert top_two[0].confidence == top_two[1].confidence == 1.0
+        assert top_two[0].lift >= top_two[1].lift
+
+    def test_statistics(self, learner, tiny_training_set):
+        learner.learn(tiny_training_set)
+        stats = learner.statistics
+        assert stats.total_links == 10
+        assert stats.distinct_segments == 12
+        assert stats.segment_occurrences == 18
+        assert stats.frequent_pairs == 3
+        assert stats.selected_segment_occurrences == 9  # ohm 4 + uf 3 + t83 2
+        assert stats.frequent_classes == 2
+        assert stats.rule_count == 3
+
+    def test_statistics_before_learn_raises(self):
+        with pytest.raises(LearnerError):
+            RuleLearner().statistics
+
+    def test_segment_set_semantics_per_link(self, tiny_training_set):
+        # "uf-uf-uf" must count once per link, not three times
+        from repro.core import SameAsLink, TrainingSet
+        from repro.rdf import Graph, Literal, Triple
+
+        graph = Graph()
+        graph.add(Triple(EX.e1, EX.partNumber, Literal("uf-uf-uf")))
+        graph.add(Triple(EX.e2, EX.partNumber, Literal("zz")))
+        onto = tiny_training_set.ontology
+        ts = TrainingSet(
+            [SameAsLink(EX.e1, EX.l4), SameAsLink(EX.e2, EX.l5)],
+            external=graph,
+            ontology=onto,
+        )
+        learner = RuleLearner(LearnerConfig(support_threshold=0.4))
+        rules = learner.learn(ts)
+        # premise count for 'uf' is 1 (one link), threshold is ceil... strict:
+        # 0.4*2=0.8 -> min_count=1, so rule survives with premise=1
+        by_key = {(r.segment, r.conclusion): r for r in rules}
+        assert by_key[("uf", EX.Capacitor)].counts.premise == 1
+
+    def test_strict_vs_lenient_threshold(self, tiny_training_set):
+        # threshold exactly at a frequency boundary: t83 count = 2 of 10
+        strict = RuleLearner(
+            LearnerConfig(support_threshold=0.2, strict_threshold=True)
+        ).learn(tiny_training_set)
+        lenient = RuleLearner(
+            LearnerConfig(support_threshold=0.2, strict_threshold=False)
+        ).learn(tiny_training_set)
+        strict_keys = {(r.segment, r.conclusion) for r in strict}
+        lenient_keys = {(r.segment, r.conclusion) for r in lenient}
+        # strict: count must be > 2 -> t83 (2) is out; lenient: >= 2 stays
+        assert ("t83", EX.Capacitor) not in strict_keys
+        assert ("t83", EX.Capacitor) in lenient_keys
+
+    def test_property_selection_restricts(self, tiny_training_set):
+        learner = RuleLearner(
+            LearnerConfig(properties=(EX.nonexistent,), support_threshold=0.1)
+        )
+        rules = learner.learn(tiny_training_set)
+        assert len(rules) == 0
+
+    def test_ngram_segmenter_changes_rule_space(self, tiny_training_set):
+        learner = RuleLearner(
+            LearnerConfig(support_threshold=0.1, segmenter=NGramSegmenter(n=2))
+        )
+        rules = learner.learn(tiny_training_set)
+        assert all(len(r.segment) <= 2 for r in rules)
+        assert len(rules) > 0
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(LearnerError):
+            LearnerConfig(support_threshold=1.0)
+        with pytest.raises(LearnerError):
+            LearnerConfig(support_threshold=-0.1)
+
+    def test_zero_threshold_keeps_everything(self, tiny_training_set):
+        learner = RuleLearner(LearnerConfig(support_threshold=0.0))
+        rules = learner.learn(tiny_training_set)
+        # every (segment, class) co-occurrence becomes a rule, incl. noise
+        assert ("ohm", EX.Capacitor) in {(r.segment, r.conclusion) for r in rules}
+
+
+def _mk_rule(segment, conclusion, both, premise, conclusion_count, total=10, prop=None):
+    counts = ContingencyCounts(
+        both=both, premise=premise, conclusion=conclusion_count, total=total
+    )
+    return ClassificationRule(
+        property=prop or EX.partNumber,
+        segment=segment,
+        conclusion=conclusion,
+        measures=RuleQualityMeasures.from_counts(counts),
+        counts=counts,
+    )
+
+
+class TestRuleSet:
+    @pytest.fixture
+    def rules(self):
+        return RuleSet(
+            [
+                _mk_rule("a", EX.C1, 2, 2, 4),       # conf 1.0, lift 2.5
+                _mk_rule("b", EX.C2, 2, 2, 5),       # conf 1.0, lift 2.0
+                _mk_rule("c", EX.C1, 3, 4, 4),       # conf 0.75
+                _mk_rule("d", EX.C3, 3, 5, 5),       # conf 0.6
+                _mk_rule("e", EX.C2, 2, 4, 5),       # conf 0.5
+                _mk_rule("f", EX.C3, 2, 5, 5),       # conf 0.4
+            ]
+        )
+
+    def test_ranking(self, rules):
+        segments = [r.segment for r in rules]
+        assert segments == ["a", "b", "c", "d", "e", "f"]
+
+    def test_with_min_confidence(self, rules):
+        assert len(rules.with_min_confidence(0.75)) == 3
+
+    def test_confidence_band_top_inclusive(self, rules):
+        band = rules.in_confidence_band(1.0, 1.0)
+        assert {r.segment for r in band} == {"a", "b"}
+
+    def test_confidence_band_top_is_inclusive_at_one(self, rules):
+        # high=1.0 includes confidence-1 rules (they would otherwise be
+        # unreachable by any band)
+        band = rules.in_confidence_band(0.5, 1.0)
+        assert {r.segment for r in band} == {"a", "b", "c", "d", "e"}
+
+    def test_confidence_band_half_open_below_one(self, rules):
+        band = rules.in_confidence_band(0.5, 0.75)
+        assert {r.segment for r in band} == {"d", "e"}
+
+    def test_confidence_bands_paper_partition(self, rules):
+        bands = rules.confidence_bands([1.0, 0.8, 0.6, 0.4])
+        assert {r.segment for r in bands[1.0]} == {"a", "b"}
+        assert {r.segment for r in bands[0.8]} == set()
+        assert {r.segment for r in bands[0.6]} == {"c", "d"}
+        assert {r.segment for r in bands[0.4]} == {"e", "f"}
+
+    def test_bands_are_disjoint_and_cover(self, rules):
+        bands = rules.confidence_bands([1.0, 0.8, 0.6, 0.4])
+        seen = []
+        for band in bands.values():
+            seen.extend(r.segment for r in band)
+        assert sorted(seen) == sorted({r.segment for r in rules})
+
+    def test_bands_without_top_one(self, rules):
+        bands = rules.confidence_bands([0.6])
+        assert {r.segment for r in bands[0.6]} == {"a", "b", "c", "d"}
+
+    def test_for_class_for_property(self, rules):
+        assert len(rules.for_class(EX.C1)) == 2
+        assert len(rules.for_property(EX.partNumber)) == 6
+        assert len(rules.for_property(EX.other)) == 0
+
+    def test_concluded_classes_and_segments(self, rules):
+        assert rules.concluded_classes() == frozenset({EX.C1, EX.C2, EX.C3})
+        assert rules.segments() == frozenset("abcdef")
+
+    def test_average_lift(self, rules):
+        expected = sum(r.lift for r in rules) / 6
+        assert rules.average_lift() == pytest.approx(expected)
+
+    def test_average_lift_empty(self):
+        assert RuleSet().average_lift() == 0.0
+
+    def test_merge(self, rules):
+        extra = RuleSet([_mk_rule("z", EX.C4, 2, 2, 2)])
+        merged = rules.merge(extra)
+        assert len(merged) == 7
+        assert merged[0].segment == "z"  # conf 1, lift 5 -> ranks first
+
+    def test_indexing_and_contains(self, rules):
+        assert rules[0].segment == "a"
+        assert rules[0] in rules
+
+    def test_rule_str_mentions_structure(self, rules):
+        text = str(rules[0])
+        assert "subsegment" in text
+        assert "⇒" in text

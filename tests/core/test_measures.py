@@ -1,0 +1,167 @@
+"""Unit and property tests for the rule quality measures."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ContingencyCounts, RuleQualityMeasures
+from repro.core.measures import MeasureError
+
+
+class TestContingencyCounts:
+    def test_valid(self):
+        counts = ContingencyCounts(both=3, premise=4, conclusion=5, total=10)
+        assert counts.both == 3
+
+    def test_both_cannot_exceed_premise(self):
+        with pytest.raises(MeasureError):
+            ContingencyCounts(both=5, premise=4, conclusion=6, total=10)
+
+    def test_both_cannot_exceed_conclusion(self):
+        with pytest.raises(MeasureError):
+            ContingencyCounts(both=5, premise=6, conclusion=4, total=10)
+
+    def test_negative_rejected(self):
+        with pytest.raises(MeasureError):
+            ContingencyCounts(both=-1, premise=4, conclusion=5, total=10)
+
+    def test_premise_cannot_exceed_total(self):
+        with pytest.raises(MeasureError):
+            ContingencyCounts(both=3, premise=11, conclusion=5, total=10)
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(MeasureError):
+            ContingencyCounts(both=0, premise=0, conclusion=0, total=0)
+
+
+class TestPaperFormulas:
+    """The three §4.2 measures, checked against hand computation."""
+
+    @pytest.fixture
+    def counts(self):
+        # 10 links; premise holds for 4, class holds for 5, both for 3
+        return ContingencyCounts(both=3, premise=4, conclusion=5, total=10)
+
+    def test_support(self, counts):
+        # support = |premise ∧ c| / |TS| = 3/10
+        assert RuleQualityMeasures.from_counts(counts).support == pytest.approx(0.3)
+
+    def test_confidence(self, counts):
+        # confidence = |premise ∧ c| / |premise| = 3/4
+        assert RuleQualityMeasures.from_counts(counts).confidence == pytest.approx(0.75)
+
+    def test_lift(self, counts):
+        # lift = confidence / P(c) = 0.75 / 0.5
+        assert RuleQualityMeasures.from_counts(counts).lift == pytest.approx(1.5)
+
+    def test_lift_above_one_means_positive_association(self, counts):
+        measures = RuleQualityMeasures.from_counts(counts)
+        assert measures.lift > 1.0
+        assert measures.leverage > 0.0
+
+
+class TestExtraMeasures:
+    def test_coverage(self):
+        counts = ContingencyCounts(both=3, premise=4, conclusion=5, total=10)
+        assert RuleQualityMeasures.from_counts(counts).coverage == pytest.approx(0.4)
+
+    def test_specificity(self):
+        counts = ContingencyCounts(both=3, premise=4, conclusion=5, total=10)
+        # true negatives = 10 - 4 - 5 + 3 = 4; negatives = 5
+        assert RuleQualityMeasures.from_counts(counts).specificity == pytest.approx(0.8)
+
+    def test_specificity_all_positive(self):
+        counts = ContingencyCounts(both=5, premise=5, conclusion=10, total=10)
+        assert RuleQualityMeasures.from_counts(counts).specificity == 1.0
+
+    def test_leverage_independence_is_zero(self):
+        # premise and class statistically independent: 2/10 * 5/10 = 0.1 = both/total
+        counts = ContingencyCounts(both=1, premise=2, conclusion=5, total=10)
+        assert RuleQualityMeasures.from_counts(counts).leverage == pytest.approx(0.0)
+
+    def test_conviction_perfect_rule_is_infinite(self):
+        counts = ContingencyCounts(both=4, premise=4, conclusion=5, total=10)
+        assert math.isinf(RuleQualityMeasures.from_counts(counts).conviction)
+
+    def test_conviction_finite(self):
+        counts = ContingencyCounts(both=3, premise=4, conclusion=5, total=10)
+        # (1 - 0.5) / (1 - 0.75) = 2
+        assert RuleQualityMeasures.from_counts(counts).conviction == pytest.approx(2.0)
+
+    def test_empty_premise_total_function(self):
+        counts = ContingencyCounts(both=0, premise=0, conclusion=5, total=10)
+        measures = RuleQualityMeasures.from_counts(counts)
+        assert measures.confidence == 0.0
+        assert measures.lift == 0.0
+
+    def test_empty_class_total_function(self):
+        counts = ContingencyCounts(both=0, premise=5, conclusion=0, total=10)
+        measures = RuleQualityMeasures.from_counts(counts)
+        assert measures.lift == 0.0
+
+    def test_as_dict_and_str(self):
+        counts = ContingencyCounts(both=3, premise=4, conclusion=5, total=10)
+        measures = RuleQualityMeasures.from_counts(counts)
+        data = measures.as_dict()
+        assert set(data) == {
+            "support", "confidence", "lift", "coverage",
+            "specificity", "leverage", "conviction",
+        }
+        assert "conf=0.750" in str(measures)
+
+
+# ---------------------------------------------------------------------------
+# property-based tests over random valid contingency tables
+# ---------------------------------------------------------------------------
+
+@st.composite
+def valid_counts(draw):
+    total = draw(st.integers(min_value=1, max_value=1000))
+    premise = draw(st.integers(min_value=0, max_value=total))
+    conclusion = draw(st.integers(min_value=0, max_value=total))
+    # both is bounded by inclusion-exclusion feasibility as well
+    lo = max(0, premise + conclusion - total)
+    hi = min(premise, conclusion)
+    both = draw(st.integers(min_value=lo, max_value=hi))
+    return ContingencyCounts(both=both, premise=premise, conclusion=conclusion, total=total)
+
+
+@settings(max_examples=300, deadline=None)
+@given(valid_counts())
+def test_property_measure_ranges(counts):
+    m = RuleQualityMeasures.from_counts(counts)
+    assert 0.0 <= m.support <= 1.0
+    assert 0.0 <= m.confidence <= 1.0
+    assert 0.0 <= m.coverage <= 1.0
+    assert 0.0 <= m.specificity <= 1.0
+    assert m.lift >= 0.0
+    assert -0.25 <= m.leverage <= 0.25  # leverage is bounded by 1/4
+    assert m.conviction >= 0.0
+
+
+@settings(max_examples=300, deadline=None)
+@given(valid_counts())
+def test_property_support_leq_confidence_and_coverage(counts):
+    m = RuleQualityMeasures.from_counts(counts)
+    assert m.support <= m.coverage + 1e-12
+    assert m.support <= m.confidence + 1e-12
+
+
+@settings(max_examples=300, deadline=None)
+@given(valid_counts())
+def test_property_lift_consistency(counts):
+    """lift = confidence / P(c) whenever P(c) > 0."""
+    m = RuleQualityMeasures.from_counts(counts)
+    p_class = counts.conclusion / counts.total
+    if p_class > 0:
+        assert m.lift == pytest.approx(m.confidence / p_class)
+
+
+@settings(max_examples=300, deadline=None)
+@given(valid_counts())
+def test_property_perfect_confidence_iff_premise_subset_of_class(counts):
+    m = RuleQualityMeasures.from_counts(counts)
+    if counts.premise > 0:
+        assert (m.confidence == 1.0) == (counts.both == counts.premise)

@@ -1,0 +1,85 @@
+"""Unit tests for rule-ordering strategies."""
+
+import pytest
+
+from repro.core import (
+    ClassificationRule,
+    ContingencyCounts,
+    RuleClassifier,
+    RuleQualityMeasures,
+)
+from repro.core.ordering import (
+    ORDERINGS,
+    cba_ordering,
+    get_ordering,
+    paper_ordering,
+    subspace_first_ordering,
+)
+from repro.rdf import EX, Graph, Literal, Triple
+from repro.text import SeparatorSegmenter
+
+
+def rule(segment, conclusion, both, premise, conclusion_count, total=100):
+    counts = ContingencyCounts(
+        both=both, premise=premise, conclusion=conclusion_count, total=total
+    )
+    return ClassificationRule(
+        property=EX.partNumber,
+        segment=segment,
+        conclusion=conclusion,
+        measures=RuleQualityMeasures.from_counts(counts),
+        counts=counts,
+    )
+
+
+@pytest.fixture
+def rules():
+    return {
+        "high_lift": rule("a", EX.C1, 9, 10, 9),       # conf .9  lift 10   supp .09
+        "high_support": rule("b", EX.C2, 27, 30, 60),  # conf .9  lift 1.5  supp .27
+        "low_conf": rule("c", EX.C3, 6, 10, 10),       # conf .6  lift 6    supp .06
+    }
+
+
+class TestOrderings:
+    def test_paper_prefers_lift_on_conf_tie(self, rules):
+        ranked = sorted(rules.values(), key=paper_ordering)
+        assert ranked[0] is rules["high_lift"]
+        assert ranked[-1] is rules["low_conf"]
+
+    def test_cba_prefers_support_on_conf_tie(self, rules):
+        ranked = sorted(rules.values(), key=cba_ordering)
+        assert ranked[0] is rules["high_support"]
+
+    def test_subspace_first_ranks_by_lift_major(self, rules):
+        ranked = sorted(rules.values(), key=subspace_first_ordering)
+        lifts = [r.lift for r in ranked]
+        assert lifts == sorted(lifts, reverse=True)
+
+    def test_registry(self):
+        assert set(ORDERINGS) == {"paper", "cba", "subspace"}
+        assert get_ordering("cba") is cba_ordering
+        with pytest.raises(KeyError):
+            get_ordering("nonsense")
+
+    def test_all_orderings_total_and_deterministic(self, rules):
+        pool = list(rules.values())
+        for key in ORDERINGS.values():
+            assert sorted(pool, key=key) == sorted(pool, key=key)
+
+
+class TestClassifierWithOrdering:
+    def _graph(self):
+        g = Graph()
+        g.add(Triple(EX.item, EX.partNumber, Literal("a-b")))
+        return g
+
+    def test_default_is_paper_order(self, rules):
+        classifier = RuleClassifier(list(rules.values()))
+        predictions = classifier.predict(EX.item, self._graph())
+        assert predictions[0].predicted_class == EX.C1  # lift wins tie
+
+    def test_cba_changes_top_prediction(self, rules):
+        classifier = RuleClassifier(list(rules.values()), ordering=cba_ordering)
+        predictions = classifier.predict(EX.item, self._graph())
+        assert predictions[0].predicted_class == EX.C2  # support wins tie

@@ -1,0 +1,113 @@
+"""Unit tests for rule-set serialization (JSON and RDF)."""
+
+import json
+
+import pytest
+
+from repro.core import LearnerConfig, RuleLearner, RuleSet
+from repro.core.serialize import (
+    RULE,
+    RuleSerializationError,
+    rule_to_dict,
+    rules_from_graph,
+    rules_from_json,
+    rules_to_graph,
+    rules_to_json,
+    rules_to_turtle,
+)
+from repro.rdf import RDF, Graph, Literal, Triple, parse_turtle
+
+
+@pytest.fixture
+def rules(tiny_training_set):
+    return RuleLearner(LearnerConfig(support_threshold=0.1)).learn(tiny_training_set)
+
+
+class TestJson:
+    def test_roundtrip_preserves_everything(self, rules):
+        text = rules_to_json(rules)
+        loaded = rules_from_json(text)
+        assert len(loaded) == len(rules)
+        for original, reloaded in zip(rules, loaded):
+            assert original == reloaded
+
+    def test_measures_rederived_from_counts(self, rules):
+        # tamper with a measure in the JSON; counts win on reload
+        payload = json.loads(rules_to_json(rules))
+        payload["rules"][0]["measures"]["confidence"] = 0.123
+        loaded = rules_from_json(json.dumps(payload))
+        assert loaded[0].confidence != 0.123
+
+    def test_document_metadata(self, rules):
+        payload = json.loads(rules_to_json(rules))
+        assert payload["format"] == "repro-classification-rules"
+        assert payload["rule_count"] == len(rules)
+
+    def test_rule_to_dict_fields(self, rules):
+        entry = rule_to_dict(rules[0])
+        assert set(entry) == {"property", "segment", "conclusion", "counts", "measures"}
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(RuleSerializationError):
+            rules_from_json("{not json")
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(RuleSerializationError):
+            rules_from_json('{"format": "something-else", "version": 1}')
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(RuleSerializationError):
+            rules_from_json(
+                '{"format": "repro-classification-rules", "version": 99, "rules": []}'
+            )
+
+    def test_malformed_entry_rejected(self):
+        text = (
+            '{"format": "repro-classification-rules", "version": 1, '
+            '"rules": [{"segment": "x"}]}'
+        )
+        with pytest.raises(RuleSerializationError):
+            rules_from_json(text)
+
+    def test_empty_ruleset(self):
+        loaded = rules_from_json(rules_to_json(RuleSet()))
+        assert len(loaded) == 0
+
+
+class TestRdf:
+    def test_graph_roundtrip(self, rules):
+        graph = rules_to_graph(rules)
+        loaded = rules_from_graph(graph)
+        assert set(loaded.rules) == set(rules.rules)
+
+    def test_graph_shape(self, rules):
+        graph = rules_to_graph(rules)
+        nodes = list(graph.subjects(RDF.type, RULE.ClassificationRule))
+        assert len(nodes) == len(rules)
+        for node in nodes:
+            assert graph.value(node, RULE.segment) is not None
+            assert graph.value(node, RULE.confidence) is not None
+
+    def test_turtle_parses_back(self, rules):
+        text = rules_to_turtle(rules)
+        graph = parse_turtle(text)
+        loaded = rules_from_graph(graph)
+        assert len(loaded) == len(rules)
+
+    def test_missing_field_rejected(self, rules):
+        graph = rules_to_graph(rules)
+        node = next(graph.subjects(RDF.type, RULE.ClassificationRule))
+        graph.remove_matching(node, RULE.countTotal, None)
+        with pytest.raises(RuleSerializationError):
+            rules_from_graph(graph)
+
+    def test_bad_counts_rejected(self, rules):
+        graph = rules_to_graph(rules)
+        node = next(graph.subjects(RDF.type, RULE.ClassificationRule))
+        graph.remove_matching(node, RULE.countTotal, None)
+        graph.add(Triple(node, RULE.countTotal, Literal("not-a-number")))
+        with pytest.raises(RuleSerializationError):
+            rules_from_graph(graph)
+
+    def test_empty_graph_gives_empty_ruleset(self):
+        assert len(rules_from_graph(Graph())) == 0

@@ -1,0 +1,126 @@
+"""Unit tests for the TrainingSet."""
+
+import pytest
+
+from repro.core import SameAsLink, TrainingSet
+from repro.core.training import TrainingSetError
+from repro.ontology import Ontology
+from repro.rdf import EX, OWL, RDF, Dataset, Graph, Literal, Triple
+
+
+class TestBasics:
+    def test_len(self, tiny_training_set):
+        assert len(tiny_training_set) == 10
+
+    def test_duplicate_links_deduplicated(self, tiny_ontology, external_graph):
+        link = SameAsLink(external=EX.e1, local=EX.l1)
+        ts = TrainingSet([link, link], external=external_graph, ontology=tiny_ontology)
+        assert len(ts) == 1
+
+    def test_empty_rejected(self, tiny_ontology, external_graph):
+        with pytest.raises(TrainingSetError):
+            TrainingSet([], external=external_graph, ontology=tiny_ontology)
+
+    def test_iteration_order_stable(self, tiny_training_set):
+        links = list(tiny_training_set)
+        assert links[0].external == EX.e1
+        assert links[-1].external == EX.e10
+
+    def test_link_str(self):
+        assert "sameAs" in str(SameAsLink(external=EX.e1, local=EX.l1))
+
+
+class TestLearningViews:
+    def test_external_properties(self, tiny_training_set):
+        assert tiny_training_set.external_properties() == frozenset({EX.partNumber})
+
+    def test_examples_join_values_and_classes(self, tiny_training_set):
+        examples = tiny_training_set.examples([EX.partNumber])
+        assert len(examples) == 10
+        first = examples[0]
+        assert first.property_values == {EX.partNumber: ("ohm-100",)}
+        assert first.classes == frozenset({EX.Resistor})
+
+    def test_examples_default_properties(self, tiny_training_set):
+        examples = tiny_training_set.examples()
+        assert all(EX.partNumber in ex.property_values for ex in examples)
+
+    def test_examples_missing_property_empty(self, tiny_training_set):
+        examples = tiny_training_set.examples([EX.nonexistent])
+        assert all(ex.property_values == {} for ex in examples)
+
+    def test_class_histogram(self, tiny_training_set):
+        histogram = tiny_training_set.class_histogram()
+        assert histogram[EX.Resistor] == 4
+        assert histogram[EX.Capacitor] == 5
+        assert histogram[EX.Diode] == 1
+
+    def test_most_specific_classes_used(self, external_graph):
+        onto = Ontology()
+        onto.add_subclass(EX.FixedFilm, EX.Resistor)
+        onto.add_instance(EX.l1, EX.FixedFilm)
+        onto.add_instance(EX.l1, EX.Resistor)  # redundant broader type
+        ts = TrainingSet(
+            [SameAsLink(external=EX.e1, local=EX.l1)],
+            external=external_graph,
+            ontology=onto,
+        )
+        (example,) = ts.examples([EX.partNumber])
+        assert example.classes == frozenset({EX.FixedFilm})
+
+
+class TestSplit:
+    def test_split_partitions_links(self, tiny_training_set):
+        train, test = tiny_training_set.split(0.7, seed=1)
+        assert len(train) + len(test) == len(tiny_training_set)
+        assert set(train.links).isdisjoint(set(test.links))
+
+    def test_split_deterministic(self, tiny_training_set):
+        a1, b1 = tiny_training_set.split(0.5, seed=42)
+        a2, b2 = tiny_training_set.split(0.5, seed=42)
+        assert list(a1.links) == list(a2.links)
+        assert list(b1.links) == list(b2.links)
+
+    def test_split_bad_fraction(self, tiny_training_set):
+        with pytest.raises(TrainingSetError):
+            tiny_training_set.split(0.0)
+        with pytest.raises(TrainingSetError):
+            tiny_training_set.split(1.0)
+
+
+class TestFromDataset:
+    def _dataset(self):
+        ds = Dataset()
+        ds.external.add(Triple(EX.e1, EX.partNumber, Literal("ohm-1")))
+        ds.local.add(Triple(EX.l1, RDF.type, EX.Resistor))
+        return ds
+
+    def test_builds_links_from_sameas(self):
+        ds = self._dataset()
+        ds.graph("links").add(Triple(EX.e1, OWL.sameAs, EX.l1))
+        onto = Ontology()
+        onto.add_class(EX.Resistor)
+        onto.add_instance(EX.l1, EX.Resistor)
+        ts = TrainingSet.from_dataset(ds, onto)
+        assert len(ts) == 1
+        (link,) = ts.links
+        assert link.external == EX.e1
+        assert link.local == EX.l1
+
+    def test_normalizes_reversed_links(self):
+        ds = self._dataset()
+        # link stored local-first; provenance disambiguates
+        ds.graph("links").add(Triple(EX.l1, OWL.sameAs, EX.e1))
+        onto = Ontology()
+        onto.add_class(EX.Resistor)
+        onto.add_instance(EX.l1, EX.Resistor)
+        ts = TrainingSet.from_dataset(ds, onto)
+        (link,) = ts.links
+        assert link.external == EX.e1
+        assert link.local == EX.l1
+
+    def test_missing_links_graph_raises(self):
+        ds = self._dataset()
+        onto = Ontology()
+        with pytest.raises(TrainingSetError):
+            TrainingSet.from_dataset(ds, onto)

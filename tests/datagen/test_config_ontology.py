@@ -1,0 +1,122 @@
+"""Unit and property tests for generator config and ontology generation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen import CatalogConfig, generate_hierarchy, generate_product_ontology
+from repro.datagen.config import ConfigError
+
+
+class TestConfig:
+    def test_thales_preset_matches_paper_scale(self):
+        config = CatalogConfig.thales_like()
+        assert config.n_classes == 566
+        assert config.n_leaves == 226
+        assert config.n_links == 10265
+
+    def test_small_and_tiny_presets_valid(self):
+        assert CatalogConfig.small().n_links == 1000
+        assert CatalogConfig.tiny().n_links == 200
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_classes=10, n_leaves=10),       # leaves == classes
+            dict(n_classes=10, n_leaves=12),       # leaves > classes
+            dict(n_classes=1, n_leaves=0),
+            dict(catalog_size=100, n_links=200),   # catalog < TS
+            dict(n_indicative_leaves=500),
+            dict(codes_per_class=(0, 2)),
+            dict(codes_per_class=(3, 2)),
+            dict(p_series=1.5),
+            dict(p_value_family_bias=-0.1),
+            dict(class_zipf_s=-1.0),
+            dict(value_pool=0),
+            dict(n_unit_families=0),
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            CatalogConfig(**kwargs)
+
+    def test_with_links_scales_catalog(self):
+        config = CatalogConfig.small().with_links(5000)
+        assert config.n_links == 5000
+        assert config.catalog_size >= 5000
+
+    def test_with_seed(self):
+        assert CatalogConfig.small().with_seed(42).seed == 42
+
+
+class TestHierarchyGeneration:
+    @pytest.mark.parametrize(
+        "n_classes,n_leaves",
+        [(566, 226), (60, 24), (16, 8), (3, 2), (2, 1), (100, 90), (100, 10)],
+    )
+    def test_exact_counts(self, n_classes, n_leaves):
+        parent, is_leaf = generate_hierarchy(n_classes, n_leaves)
+        assert len(parent) == n_classes
+        assert sum(is_leaf) == n_leaves
+        # every non-root node has a valid parent
+        assert parent[0] == -1
+        assert all(0 <= parent[i] < n_classes for i in range(1, n_classes))
+
+    def test_internal_nodes_have_children(self):
+        parent, is_leaf = generate_hierarchy(566, 226)
+        has_child = [False] * len(parent)
+        for node in range(1, len(parent)):
+            has_child[parent[node]] = True
+        for node, leaf in enumerate(is_leaf):
+            assert leaf != has_child[node]
+
+    def test_invalid_spec(self):
+        with pytest.raises(ConfigError):
+            generate_hierarchy(5, 5)
+        with pytest.raises(ConfigError):
+            generate_hierarchy(5, 0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=400).flatmap(
+            lambda n: st.tuples(
+                st.just(n), st.integers(min_value=max(1, n // 2 - n // 4), max_value=n - 1)
+            )
+        )
+    )
+    def test_property_any_valid_spec_generates(self, spec):
+        n_classes, n_leaves = spec
+        parent, is_leaf = generate_hierarchy(n_classes, n_leaves)
+        assert len(parent) == n_classes
+        assert sum(is_leaf) == n_leaves
+
+
+class TestOntologyGeneration:
+    def test_paper_scale_counts(self):
+        onto, leaves = generate_product_ontology(CatalogConfig.thales_like())
+        assert len(onto) == 566
+        assert len(onto.leaves()) == 226
+        assert len(leaves) == 226
+        assert set(leaves) == set(onto.leaves())
+
+    def test_single_root(self):
+        onto, _ = generate_product_ontology(CatalogConfig.small())
+        assert len(onto.roots()) == 1
+
+    def test_seed_leaf_names_present(self):
+        onto, leaves = generate_product_ontology(CatalogConfig.thales_like())
+        labels = {onto.label(leaf) for leaf in leaves}
+        assert "Fixed-film resistance" in labels
+        assert "Tantalum capacitor" in labels
+
+    def test_deterministic(self):
+        config = CatalogConfig.small()
+        onto_a, leaves_a = generate_product_ontology(config)
+        onto_b, leaves_b = generate_product_ontology(config)
+        assert leaves_a == leaves_b
+        assert set(onto_a.class_iris()) == set(onto_b.class_iris())
+
+    def test_unique_iris(self):
+        onto, _ = generate_product_ontology(CatalogConfig.thales_like())
+        iris = list(onto.class_iris())
+        assert len(iris) == len(set(iris))

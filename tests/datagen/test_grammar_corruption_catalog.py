@@ -1,0 +1,257 @@
+"""Unit tests for the grammar, corruption model and full generator."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen import (
+    CatalogConfig,
+    Corruptor,
+    CorruptionConfig,
+    ElectronicCatalogGenerator,
+    PartNumberGrammar,
+)
+from repro.datagen.catalog import MANUFACTURER, PART_NUMBER
+from repro.datagen.corruption import CorruptionError
+from repro.datagen.grammar import zipf_counts
+from repro.datagen.ontology_gen import generate_product_ontology
+from repro.rdf import RDF
+from repro.text import SeparatorSegmenter
+
+
+@pytest.fixture(scope="module")
+def small_catalog():
+    return ElectronicCatalogGenerator(CatalogConfig.small()).generate()
+
+
+@pytest.fixture
+def grammar():
+    config = CatalogConfig.small()
+    _, leaves = generate_product_ontology(config)
+    return PartNumberGrammar(config, leaves)
+
+
+class TestZipfCounts:
+    def test_sum_exact(self):
+        rng = random.Random(0)
+        counts = zipf_counts(10265, 226, 1.1, rng)
+        assert sum(counts) == 10265
+
+    def test_monotone_decreasing(self):
+        rng = random.Random(0)
+        counts = zipf_counts(10000, 50, 1.1, rng)
+        assert all(a >= b for a, b in zip(counts, counts[1:]))
+
+    def test_zero_total(self):
+        rng = random.Random(0)
+        assert sum(zipf_counts(0, 10, 1.0, rng)) == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=5000),
+        st.integers(min_value=1, max_value=100),
+        st.floats(min_value=0.0, max_value=2.5),
+    )
+    def test_property_sum_and_nonnegative(self, total, ranks, s):
+        counts = zipf_counts(total, ranks, s, random.Random(1))
+        assert sum(counts) == total
+        assert all(c >= 0 for c in counts)
+
+
+class TestGrammar:
+    def test_rank_bijection(self, grammar):
+        ranks = sorted(grammar.rank_of(iri) for iri in grammar.profiles)
+        assert ranks == list(range(1, len(grammar.profiles) + 1))
+
+    def test_indicative_leaves_have_codes(self, grammar):
+        config = CatalogConfig.small()
+        indicative = [p for p in grammar.profiles.values() if p.indicative]
+        assert len(indicative) == config.n_indicative_leaves
+        assert all(p.rank <= config.n_indicative_leaves for p in indicative)
+
+    def test_codes_unique_across_classes(self, grammar):
+        all_codes = [
+            code
+            for p in grammar.profiles.values()
+            for code in p.series_codes
+        ]
+        assert len(all_codes) == len(set(all_codes))
+
+    def test_big_classes_get_more_codes(self, grammar):
+        config = CatalogConfig.small()
+        low, high = config.codes_per_class
+        top = grammar.profile_for_rank(1)
+        last = grammar.profile_for_rank(config.n_indicative_leaves)
+        assert len(top.series_codes) == high
+        assert len(last.series_codes) == low
+
+    def test_unitless_top_ranks(self, grammar):
+        config = CatalogConfig.small()
+        for rank in range(1, config.n_unitless_top + 1):
+            assert grammar.profile_for_rank(rank).units == ()
+        assert grammar.profile_for_rank(config.n_unitless_top + 1).units
+
+    def test_part_numbers_contain_serial_and_split(self, grammar):
+        rng = random.Random(5)
+        segmenter = SeparatorSegmenter()
+        profile = grammar.profile_for_rank(1)
+        for _ in range(50):
+            pn = grammar.sample_part_number(profile, rng)
+            segments = segmenter(pn)
+            assert len(segments) >= 1
+
+    def test_series_code_frequency_roughly_p_series(self, grammar):
+        config = CatalogConfig.small()
+        rng = random.Random(11)
+        profile = grammar.profile_for_rank(1)
+        hits = 0
+        n = 600
+        for _ in range(n):
+            pn = grammar.sample_part_number(profile, rng)
+            segments = set(SeparatorSegmenter()(pn))
+            if segments & set(profile.series_codes):
+                hits += 1
+        assert abs(hits / n - config.p_series) < 0.08
+
+    def test_class_sizes_zipf(self, grammar):
+        rng = random.Random(3)
+        sizes = grammar.class_sizes(1000, rng)
+        assert sum(sizes.values()) == 1000
+        assert sizes[grammar.profile_for_rank(1).iri] > sizes[
+            grammar.profile_for_rank(10).iri
+        ]
+
+
+class TestCorruptor:
+    def test_invalid_config(self):
+        with pytest.raises(CorruptionError):
+            CorruptionConfig(p_typo=1.5)
+
+    def test_no_corruption_identity(self):
+        quiet = CorruptionConfig(
+            p_separator_swap=0.0, p_case_change=0.0, p_typo=0.0,
+            p_drop_segment=0.0, p_suffix=0.0,
+        )
+        corruptor = Corruptor(quiet)
+        rng = random.Random(0)
+        assert corruptor.corrupt("crcw0805-10k-4722", rng) == "crcw0805-10k-4722"
+
+    def test_separator_swap_preserves_segments(self):
+        config = CorruptionConfig(
+            p_separator_swap=1.0, p_case_change=0.0, p_typo=0.0,
+            p_drop_segment=0.0, p_suffix=0.0,
+        )
+        corruptor = Corruptor(config)
+        rng = random.Random(1)
+        segmenter = SeparatorSegmenter()
+        original = "crcw0805-10k-4722"
+        corrupted = corruptor.corrupt(original, rng)
+        assert segmenter(corrupted) == segmenter(original)
+
+    def test_case_change_harmless_after_normalization(self):
+        config = CorruptionConfig(
+            p_separator_swap=0.0, p_case_change=1.0, p_typo=0.0,
+            p_drop_segment=0.0, p_suffix=0.0,
+        )
+        corruptor = Corruptor(config)
+        rng = random.Random(2)
+        segmenter = SeparatorSegmenter()
+        corrupted = corruptor.corrupt("crcw0805-10k", rng)
+        assert segmenter(corrupted) == ["crcw0805", "10k"]
+
+    def test_suffix_appends_segment(self):
+        config = CorruptionConfig(
+            p_separator_swap=0.0, p_case_change=0.0, p_typo=0.0,
+            p_drop_segment=0.0, p_suffix=1.0,
+        )
+        corruptor = Corruptor(config)
+        rng = random.Random(3)
+        segmenter = SeparatorSegmenter()
+        corrupted = corruptor.corrupt("abc-def", rng)
+        assert len(segmenter(corrupted)) == 3
+
+    def test_drop_never_removes_first_segment(self):
+        config = CorruptionConfig(
+            p_separator_swap=0.0, p_case_change=0.0, p_typo=0.0,
+            p_drop_segment=1.0, p_suffix=0.0,
+        )
+        corruptor = Corruptor(config)
+        segmenter = SeparatorSegmenter()
+        for seed in range(30):
+            corrupted = corruptor.corrupt("first-mid-last", random.Random(seed))
+            assert segmenter(corrupted)[0] == "first"
+            assert len(segmenter(corrupted)) == 2
+
+    def test_single_segment_input_safe(self):
+        corruptor = Corruptor()
+        for seed in range(30):
+            out = corruptor.corrupt("lonely", random.Random(seed))
+            assert out  # never crashes nor empties
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_property_corruption_never_empty(self, seed):
+        corruptor = Corruptor()
+        out = corruptor.corrupt("crcw0805-10k-4722", random.Random(seed))
+        assert out
+
+
+class TestGeneratedCatalog:
+    def test_counts(self, small_catalog):
+        config = small_catalog.config
+        assert len(small_catalog.items) == config.catalog_size
+        assert len(small_catalog.links) == config.n_links
+        assert len(small_catalog.ontology) == config.n_classes
+
+    def test_deterministic_per_seed(self):
+        a = ElectronicCatalogGenerator(CatalogConfig.tiny()).generate()
+        b = ElectronicCatalogGenerator(CatalogConfig.tiny()).generate()
+        assert [i.part_number for i in a.items] == [i.part_number for i in b.items]
+        assert a.truth_pairs == b.truth_pairs
+
+    def test_different_seeds_differ(self):
+        a = ElectronicCatalogGenerator(CatalogConfig.tiny(seed=1)).generate()
+        b = ElectronicCatalogGenerator(CatalogConfig.tiny(seed=2)).generate()
+        assert [i.part_number for i in a.items] != [i.part_number for i in b.items]
+
+    def test_local_graph_structure(self, small_catalog):
+        item = small_catalog.items[0]
+        graph = small_catalog.local_graph
+        assert graph.value(item.iri, PART_NUMBER) is not None
+        assert graph.value(item.iri, MANUFACTURER) is not None
+        assert graph.value(item.iri, RDF.type) == item.leaf
+
+    def test_external_graph_covers_links(self, small_catalog):
+        for link in small_catalog.links[:50]:
+            values = small_catalog.external_graph.literal_values(
+                link.external, PART_NUMBER
+            )
+            assert len(values) == 1
+
+    def test_links_point_to_catalog_items(self, small_catalog):
+        item_iris = {item.iri for item in small_catalog.items}
+        assert all(link.local in item_iris for link in small_catalog.links)
+
+    def test_truth_matches_links(self, small_catalog):
+        assert len(small_catalog.truth) == len(small_catalog.links)
+        for link in small_catalog.links:
+            assert small_catalog.truth[link.external] == link.local
+
+    def test_to_training_set(self, small_catalog):
+        ts = small_catalog.to_training_set()
+        assert len(ts) == small_catalog.config.n_links
+        assert ts.external_properties() >= {PART_NUMBER}
+
+    def test_to_dataset_provenance(self, small_catalog):
+        dataset = small_catalog.to_dataset()
+        link = small_catalog.links[0]
+        assert dataset.provenance_of(link.external) >= {"external", "links"}
+        assert "local" in dataset.provenance_of(link.local)
+
+    def test_items_typed_with_leaves(self, small_catalog):
+        leaves = small_catalog.ontology.leaves()
+        for item in small_catalog.items[:100]:
+            assert item.leaf in leaves
+            assert small_catalog.ontology.classes_of(item.iri) == {item.leaf}

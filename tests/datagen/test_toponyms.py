@@ -1,0 +1,90 @@
+"""Unit tests for the toponym gazetteer generator (second domain)."""
+
+import pytest
+
+from repro.datagen.toponyms import (
+    GeneratedGazetteer,
+    ToponymConfig,
+    generate_gazetteer,
+)
+from repro.rdf import RDFS
+from repro.text import TokenSegmenter
+
+
+@pytest.fixture(scope="module")
+def gazetteer():
+    return generate_gazetteer(ToponymConfig(n_links=300, catalog_size=800))
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        config = ToponymConfig()
+        assert config.n_links <= config.catalog_size
+
+    def test_catalog_smaller_than_ts_rejected(self):
+        with pytest.raises(ValueError):
+            ToponymConfig(n_links=100, catalog_size=50)
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError):
+            ToponymConfig(p_type_word=1.2)
+
+
+class TestGazetteer:
+    def test_counts(self, gazetteer):
+        assert len(gazetteer.links) == 300
+        assert gazetteer.ontology.instance_count() == 800
+
+    def test_ontology_structure(self, gazetteer):
+        onto = gazetteer.ontology
+        leaves = onto.leaves()
+        assert len(leaves) == 14  # the category table
+        assert len(onto.roots()) == 1
+
+    def test_every_place_has_label(self, gazetteer):
+        for link in gazetteer.links:
+            assert gazetteer.external_graph.literal_values(link.external, RDFS.label)
+            assert gazetteer.local_graph.literal_values(link.local, RDFS.label)
+
+    def test_deterministic(self):
+        a = generate_gazetteer(ToponymConfig(n_links=100, catalog_size=200))
+        b = generate_gazetteer(ToponymConfig(n_links=100, catalog_size=200))
+        assert [l.external for l in a.links] == [l.external for l in b.links]
+        assert a.truth == b.truth
+
+    def test_seed_changes_output(self):
+        a = generate_gazetteer(ToponymConfig(n_links=100, catalog_size=200, seed=1))
+        b = generate_gazetteer(ToponymConfig(n_links=100, catalog_size=200, seed=2))
+        labels_a = sorted(
+            v.lexical for t in a.external_graph for v in [t.object]
+            if hasattr(t.object, "lexical")
+        )
+        labels_b = sorted(
+            v.lexical for t in b.external_graph for v in [t.object]
+            if hasattr(t.object, "lexical")
+        )
+        assert labels_a != labels_b
+
+    def test_type_words_appear_for_typed_classes(self, gazetteer):
+        # a decent share of labels must carry their class type word,
+        # otherwise no rules can be learned
+        segmenter = TokenSegmenter()
+        hits = 0
+        total = 0
+        for link in gazetteer.links:
+            (label,) = gazetteer.external_graph.literal_values(
+                link.external, RDFS.label
+            )
+            leaf = next(iter(gazetteer.ontology.classes_of(link.local)))
+            total += 1
+            tokens = set(segmenter(label))
+            if tokens & {leaf.local_name.lower()}:
+                hits += 1
+        # the exact type word is one of several per class; just require
+        # a non-trivial share of exact-name hits
+        assert hits / total > 0.10
+
+    def test_training_set_roundtrip(self, gazetteer):
+        ts = gazetteer.to_training_set()
+        assert len(ts) == 300
+        assert RDFS.label in ts.external_properties()

@@ -1,0 +1,223 @@
+"""Unit tests for matchers, pipeline and evaluation metrics."""
+
+import pytest
+
+from repro.linking import (
+    BlockingQuality,
+    FellegiSunterMatcher,
+    FieldComparator,
+    FullIndex,
+    LinkingPipeline,
+    MatchStatus,
+    MatchingQuality,
+    Record,
+    RecordComparator,
+    RecordStore,
+    StandardBlocking,
+    ThresholdMatcher,
+    evaluate_blocking,
+    evaluate_matching,
+)
+from repro.rdf import EX, OWL
+
+
+def record(name, pn, maker="acme"):
+    return Record(id=EX[name], fields={"pn": (pn,), "maker": (maker,)})
+
+
+@pytest.fixture
+def comparator():
+    return RecordComparator(
+        [FieldComparator("pn", weight=2.0), FieldComparator("maker", weight=1.0)]
+    )
+
+
+class TestThresholdMatcher:
+    def test_match_decision(self, comparator):
+        matcher = ThresholdMatcher(match_threshold=0.9)
+        vector = comparator.compare(record("a", "crcw0805"), record("b", "crcw0805"))
+        decision = matcher.decide(vector)
+        assert decision.status is MatchStatus.MATCH
+        assert decision.is_match
+        assert decision.score == pytest.approx(1.0)
+
+    def test_non_match(self, comparator):
+        matcher = ThresholdMatcher(match_threshold=0.9)
+        vector = comparator.compare(
+            record("a", "crcw0805"), record("b", "zzz999", maker="other")
+        )
+        assert matcher.decide(vector).status is MatchStatus.NON_MATCH
+
+    def test_possible_band(self, comparator):
+        # "crcw0805" vs "crcw0806" under Jaro-Winkler is ~0.98 (7-char
+        # common prefix); with the exact-match maker the aggregate lands
+        # just under 0.99
+        matcher = ThresholdMatcher(match_threshold=0.99, possible_threshold=0.5)
+        vector = comparator.compare(
+            record("a", "crcw0805"), record("b", "crcw0806")
+        )
+        assert matcher.decide(vector).status is MatchStatus.POSSIBLE
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThresholdMatcher(match_threshold=1.5)
+        with pytest.raises(ValueError):
+            ThresholdMatcher(match_threshold=0.5, possible_threshold=0.9)
+
+
+class TestFellegiSunter:
+    @pytest.fixture
+    def trained(self, comparator):
+        matches = [
+            (record("a", "x100"), record("b", "x100")),
+            (record("c", "y200"), record("d", "y200")),
+            (record("e", "z300"), record("f", "z301")),
+        ]
+        non_matches = [
+            (record("g", "x100"), record("h", "qqq", maker="other")),
+            (record("i", "y200"), record("j", "www", maker="other")),
+        ]
+        return FellegiSunterMatcher(comparator, upper_weight=1.0, lower_weight=-1.0).train(
+            matches, non_matches
+        )
+
+    def test_requires_training(self, comparator):
+        matcher = FellegiSunterMatcher(comparator)
+        assert not matcher.trained
+        vector = comparator.compare(record("a", "x"), record("b", "x"))
+        with pytest.raises(RuntimeError):
+            matcher.decide(vector)
+        with pytest.raises(RuntimeError):
+            matcher.m_probabilities
+
+    def test_m_exceeds_u_for_informative_field(self, trained):
+        assert trained.m_probabilities["pn"] > trained.u_probabilities["pn"]
+
+    def test_agreeing_pair_matches(self, trained, comparator):
+        vector = comparator.compare(record("x", "k9"), record("y", "k9"))
+        decision = trained.decide(vector)
+        assert decision.status is MatchStatus.MATCH
+        assert decision.score > 0
+
+    def test_disagreeing_pair_rejected(self, trained, comparator):
+        vector = comparator.compare(
+            record("x", "k9"), record("y", "zzz", maker="other")
+        )
+        decision = trained.decide(vector)
+        assert decision.status is MatchStatus.NON_MATCH
+
+    def test_training_needs_both_labels(self, comparator):
+        matcher = FellegiSunterMatcher(comparator)
+        with pytest.raises(ValueError):
+            matcher.train([], [(record("a", "x"), record("b", "y"))])
+
+    def test_weight_validation(self, comparator):
+        with pytest.raises(ValueError):
+            FellegiSunterMatcher(comparator, upper_weight=0.0, lower_weight=1.0)
+
+
+class TestPipeline:
+    @pytest.fixture
+    def stores(self):
+        external = RecordStore(
+            [record("e1", "crcw0805-10k"), record("e2", "t83-220"), record("e3", "nothing")]
+        )
+        local = RecordStore(
+            [record("l1", "crcw0805-10k"), record("l2", "t83-220"), record("l3", "other")]
+        )
+        return external, local
+
+    def test_end_to_end_matches(self, comparator, stores):
+        external, local = stores
+        pipeline = LinkingPipeline(
+            FullIndex(), comparator, ThresholdMatcher(match_threshold=0.95)
+        )
+        result = pipeline.run(external, local)
+        assert set(result.match_pairs) == {(EX.e1, EX.l1), (EX.e2, EX.l2)}
+        assert result.compared == 9
+        assert result.naive_pairs == 9
+
+    def test_best_match_only_enforces_una(self, comparator):
+        external = RecordStore([record("e1", "abc")])
+        local = RecordStore([record("l1", "abc"), record("l2", "abc")])
+        una = LinkingPipeline(
+            FullIndex(), comparator, ThresholdMatcher(0.95), best_match_only=True
+        ).run(external, local)
+        free = LinkingPipeline(
+            FullIndex(), comparator, ThresholdMatcher(0.95), best_match_only=False
+        ).run(external, local)
+        assert len(una.matches) == 1
+        assert len(free.matches) == 2
+
+    def test_blocking_reduces_comparisons(self, comparator, stores):
+        external, local = stores
+        pipeline = LinkingPipeline(
+            StandardBlocking.on_field_prefix("pn", length=4),
+            comparator,
+            ThresholdMatcher(0.95),
+        )
+        result = pipeline.run(external, local)
+        assert result.compared < 9
+        assert set(result.match_pairs) == {(EX.e1, EX.l1), (EX.e2, EX.l2)}
+
+    def test_sameas_graph(self, comparator, stores):
+        external, local = stores
+        result = LinkingPipeline(
+            FullIndex(), comparator, ThresholdMatcher(0.95)
+        ).run(external, local)
+        graph = result.sameas_graph()
+        assert len(graph) == 2
+        assert next(graph.triples(EX.e1, OWL.sameAs, EX.l1), None) is not None
+
+    def test_quality_helpers(self, comparator, stores):
+        external, local = stores
+        truth = [(EX.e1, EX.l1), (EX.e2, EX.l2), (EX.e3, EX.l3)]
+        result = LinkingPipeline(
+            FullIndex(), comparator, ThresholdMatcher(0.95)
+        ).run(external, local)
+        blocking = result.blocking_quality(truth)
+        matching = result.matching_quality(truth)
+        assert blocking.pairs_completeness == 1.0
+        assert matching.true_positives == 2
+        assert matching.false_negatives == 1
+        assert matching.precision == 1.0
+        assert matching.recall == pytest.approx(2 / 3)
+
+
+class TestEvaluationMetrics:
+    def test_blocking_quality(self):
+        quality = evaluate_blocking(
+            candidates=[("a", "x"), ("b", "y"), ("c", "z")],
+            truth=[("a", "x"), ("d", "w")],
+            naive_pairs=10,
+        )
+        assert quality.reduction_ratio == pytest.approx(0.7)
+        assert quality.pairs_completeness == pytest.approx(0.5)
+        assert quality.pairs_quality == pytest.approx(1 / 3)
+        assert "RR=" in str(quality)
+
+    def test_blocking_quality_edges(self):
+        empty = evaluate_blocking([], [], naive_pairs=0)
+        assert empty.reduction_ratio == 0.0
+        assert empty.pairs_completeness == 1.0
+        assert empty.pairs_quality == 0.0
+
+    def test_matching_quality(self):
+        quality = evaluate_matching(
+            declared=[("a", "x"), ("b", "y")],
+            truth=[("a", "x"), ("c", "z")],
+        )
+        assert quality.precision == pytest.approx(0.5)
+        assert quality.recall == pytest.approx(0.5)
+        assert quality.f1 == pytest.approx(0.5)
+        assert "F1=" in str(quality)
+
+    def test_matching_quality_edges(self):
+        nothing = evaluate_matching([], [])
+        assert nothing.precision == 1.0
+        assert nothing.recall == 1.0
+        assert nothing.f1 == 1.0
+        none_declared = evaluate_matching([], [("a", "b")])
+        assert none_declared.precision == 1.0
+        assert none_declared.recall == 0.0
+        assert none_declared.f1 == 0.0

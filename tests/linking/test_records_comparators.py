@@ -1,0 +1,125 @@
+"""Unit tests for Record/RecordStore and comparison vectors."""
+
+import pytest
+
+from repro.linking import FieldComparator, Record, RecordComparator, RecordStore
+from repro.rdf import EX, Graph, Literal, Triple
+from repro.text import levenshtein_similarity
+
+
+@pytest.fixture
+def graph():
+    g = Graph()
+    g.add(Triple(EX.p1, EX.partNumber, Literal("CRCW0805-10K")))
+    g.add(Triple(EX.p1, EX.maker, Literal("Vishay")))
+    g.add(Triple(EX.p2, EX.partNumber, Literal("T83-220uF")))
+    g.add(Triple(EX.p3, EX.other, Literal("not mapped")))
+    return g
+
+
+class TestRecordStore:
+    def test_from_graph_maps_fields(self, graph):
+        store = RecordStore.from_graph(
+            graph, {"part_number": EX.partNumber, "maker": EX.maker}
+        )
+        assert len(store) == 2  # p3 has no mapped field
+        record = store[EX.p1]
+        assert record.value("part_number") == "CRCW0805-10K"
+        assert record.value("maker") == "Vishay"
+
+    def test_from_graph_explicit_subjects_keeps_empty(self, graph):
+        store = RecordStore.from_graph(
+            graph, {"part_number": EX.partNumber}, subjects=[EX.p3]
+        )
+        assert len(store) == 1
+        assert store[EX.p3].value("part_number") == ""
+
+    def test_missing_field_default(self, graph):
+        store = RecordStore.from_graph(graph, {"maker": EX.maker})
+        assert store[EX.p1].value("nope", default="?") == "?"
+        assert store[EX.p1].values("nope") == ()
+
+    def test_multivalued_sorted(self):
+        g = Graph()
+        g.add(Triple(EX.p1, EX.partNumber, Literal("b")))
+        g.add(Triple(EX.p1, EX.partNumber, Literal("a")))
+        store = RecordStore.from_graph(g, {"pn": EX.partNumber})
+        assert store[EX.p1].values("pn") == ("a", "b")
+
+    def test_container_protocol(self, graph):
+        store = RecordStore.from_graph(graph, {"pn": EX.partNumber})
+        assert EX.p1 in store
+        assert EX.p3 not in store
+        assert store.get(EX.p3) is None
+        assert set(store.ids()) == {EX.p1, EX.p2}
+        assert {r.id for r in store} == {EX.p1, EX.p2}
+
+    def test_add_replaces(self):
+        store = RecordStore()
+        store.add(Record(id=EX.p1, fields={"f": ("old",)}))
+        store.add(Record(id=EX.p1, fields={"f": ("new",)}))
+        assert len(store) == 1
+        assert store[EX.p1].value("f") == "new"
+
+    def test_field_names(self, graph):
+        store = RecordStore.from_graph(
+            graph, {"pn": EX.partNumber, "maker": EX.maker}
+        )
+        assert store.field_names() == frozenset({"pn", "maker"})
+
+
+class TestFieldComparator:
+    def r(self, **fields):
+        return Record(id=EX.x, fields={k: tuple(v) for k, v in fields.items()})
+
+    def test_exact_match(self):
+        comp = FieldComparator("pn")
+        assert comp.compare(self.r(pn=["abc"]), self.r(pn=["abc"])) == 1.0
+
+    def test_normalization_applied(self):
+        comp = FieldComparator("pn")
+        assert comp.compare(self.r(pn=["ABC "]), self.r(pn=["abc"])) == 1.0
+
+    def test_missing_value_default(self):
+        comp = FieldComparator("pn", missing_value=0.5)
+        assert comp.compare(self.r(pn=["abc"]), self.r(other=["x"])) == 0.5
+
+    def test_multi_value_takes_best(self):
+        comp = FieldComparator("pn")
+        left = self.r(pn=["zzz", "abc"])
+        right = self.r(pn=["abc"])
+        assert comp.compare(left, right) == 1.0
+
+    def test_custom_similarity(self):
+        comp = FieldComparator("pn", similarity=levenshtein_similarity)
+        assert comp.compare(self.r(pn=["abcd"]), self.r(pn=["abce"])) == 0.75
+
+
+class TestRecordComparator:
+    def test_weighted_aggregate(self):
+        comparator = RecordComparator(
+            [
+                FieldComparator("a", similarity=lambda x, y: 1.0, weight=3.0),
+                FieldComparator("b", similarity=lambda x, y: 0.0, weight=1.0),
+            ]
+        )
+        left = Record(id=EX.x, fields={"a": ("v",), "b": ("v",)})
+        right = Record(id=EX.y, fields={"a": ("v",), "b": ("v",)})
+        vector = comparator.compare(left, right)
+        assert vector.aggregate == pytest.approx(0.75)
+        assert vector["a"] == 1.0
+        assert vector["b"] == 0.0
+
+    def test_field_names_order(self):
+        comparator = RecordComparator(
+            [FieldComparator("x"), FieldComparator("y")]
+        )
+        assert comparator.field_names == ("x", "y")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RecordComparator([])
+
+    def test_zero_weight_rejected(self):
+        with pytest.raises(ValueError):
+            RecordComparator([FieldComparator("a", weight=0.0)])

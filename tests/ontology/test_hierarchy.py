@@ -1,0 +1,248 @@
+"""Unit and property tests for the subsumption hierarchy."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ontology.hierarchy import ClassHierarchy, HierarchyError
+from repro.rdf import EX, IRI
+
+
+@pytest.fixture
+def tree():
+    """A small electronics-style taxonomy.
+
+    Component
+    ├── Passive
+    │   ├── Resistor
+    │   │   ├── FixedFilm
+    │   │   └── Wirewound
+    │   └── Capacitor
+    │       └── Tantalum
+    └── Active
+        └── Diode
+    """
+    h = ClassHierarchy()
+    for sub, sup in [
+        (EX.Passive, EX.Component),
+        (EX.Active, EX.Component),
+        (EX.Resistor, EX.Passive),
+        (EX.Capacitor, EX.Passive),
+        (EX.FixedFilm, EX.Resistor),
+        (EX.Wirewound, EX.Resistor),
+        (EX.Tantalum, EX.Capacitor),
+        (EX.Diode, EX.Active),
+    ]:
+        h.add_edge(sub, sup)
+    return h
+
+
+class TestStructure:
+    def test_len_and_contains(self, tree):
+        assert len(tree) == 9
+        assert EX.Resistor in tree
+        assert EX.Nope not in tree
+
+    def test_roots(self, tree):
+        assert tree.roots() == frozenset({EX.Component})
+
+    def test_leaves(self, tree):
+        assert tree.leaves() == frozenset(
+            {EX.FixedFilm, EX.Wirewound, EX.Tantalum, EX.Diode}
+        )
+
+    def test_is_leaf(self, tree):
+        assert tree.is_leaf(EX.Diode)
+        assert not tree.is_leaf(EX.Resistor)
+
+    def test_parents_children(self, tree):
+        assert tree.parents(EX.Resistor) == frozenset({EX.Passive})
+        assert tree.children(EX.Resistor) == frozenset({EX.FixedFilm, EX.Wirewound})
+
+    def test_unknown_class_raises(self, tree):
+        with pytest.raises(HierarchyError):
+            tree.parents(EX.Nope)
+        with pytest.raises(HierarchyError):
+            tree.ancestors(EX.Nope)
+
+    def test_add_class_idempotent(self):
+        h = ClassHierarchy()
+        h.add_class(EX.A)
+        h.add_class(EX.A)
+        assert len(h) == 1
+
+
+class TestCycleRejection:
+    def test_self_loop(self):
+        h = ClassHierarchy()
+        with pytest.raises(HierarchyError):
+            h.add_edge(EX.A, EX.A)
+
+    def test_two_cycle(self):
+        h = ClassHierarchy()
+        h.add_edge(EX.A, EX.B)
+        with pytest.raises(HierarchyError):
+            h.add_edge(EX.B, EX.A)
+
+    def test_long_cycle(self):
+        h = ClassHierarchy()
+        h.add_edge(EX.A, EX.B)
+        h.add_edge(EX.B, EX.C)
+        h.add_edge(EX.C, EX.D)
+        with pytest.raises(HierarchyError):
+            h.add_edge(EX.D, EX.A)
+
+
+class TestTransitiveQueries:
+    def test_ancestors(self, tree):
+        assert tree.ancestors(EX.FixedFilm) == frozenset(
+            {EX.Resistor, EX.Passive, EX.Component}
+        )
+        assert tree.ancestors(EX.Component) == frozenset()
+
+    def test_descendants(self, tree):
+        assert tree.descendants(EX.Passive) == frozenset(
+            {EX.Resistor, EX.Capacitor, EX.FixedFilm, EX.Wirewound, EX.Tantalum}
+        )
+
+    def test_is_subclass_reflexive(self, tree):
+        assert tree.is_subclass_of(EX.Resistor, EX.Resistor)
+
+    def test_is_subclass_transitive(self, tree):
+        assert tree.is_subclass_of(EX.FixedFilm, EX.Component)
+        assert not tree.is_subclass_of(EX.Component, EX.FixedFilm)
+
+    def test_is_subclass_unknown_false(self, tree):
+        assert not tree.is_subclass_of(EX.Nope, EX.Component)
+
+    def test_cache_invalidation_on_mutation(self, tree):
+        assert EX.Component in tree.ancestors(EX.Diode)
+        tree.add_edge(EX.Zener, EX.Diode)
+        assert EX.Component in tree.ancestors(EX.Zener)
+
+    def test_depth(self, tree):
+        assert tree.depth(EX.Component) == 0
+        assert tree.depth(EX.Passive) == 1
+        assert tree.depth(EX.FixedFilm) == 3
+
+    def test_depth_multiple_inheritance_takes_longest(self):
+        h = ClassHierarchy()
+        h.add_edge(EX.B, EX.A)
+        h.add_edge(EX.C, EX.B)
+        h.add_edge(EX.D, EX.C)  # deep path: D->C->B->A
+        h.add_edge(EX.D, EX.A)  # shortcut
+        assert h.depth(EX.D) == 3
+
+
+class TestMostSpecific:
+    def test_drops_ancestors(self, tree):
+        got = tree.most_specific([EX.Component, EX.Resistor, EX.FixedFilm])
+        assert got == frozenset({EX.FixedFilm})
+
+    def test_keeps_incomparable(self, tree):
+        got = tree.most_specific([EX.FixedFilm, EX.Tantalum])
+        assert got == frozenset({EX.FixedFilm, EX.Tantalum})
+
+    def test_ignores_unknown(self, tree):
+        got = tree.most_specific([EX.FixedFilm, EX.Nope])
+        assert got == frozenset({EX.FixedFilm})
+
+    def test_empty(self, tree):
+        assert tree.most_specific([]) == frozenset()
+
+
+class TestLCS:
+    def test_siblings(self, tree):
+        assert tree.least_common_subsumers(EX.FixedFilm, EX.Wirewound) == frozenset(
+            {EX.Resistor}
+        )
+
+    def test_cousins(self, tree):
+        assert tree.least_common_subsumers(EX.FixedFilm, EX.Tantalum) == frozenset(
+            {EX.Passive}
+        )
+
+    def test_reflexive_includes_self(self, tree):
+        assert tree.least_common_subsumers(EX.Resistor, EX.FixedFilm) == frozenset(
+            {EX.Resistor}
+        )
+
+
+class TestTopologicalOrder:
+    def test_parents_before_children(self, tree):
+        order = tree.topological_order()
+        pos = {cls: i for i, cls in enumerate(order)}
+        for cls in tree.classes():
+            for parent in tree.parents(cls):
+                assert pos[parent] < pos[cls]
+
+    def test_covers_all(self, tree):
+        assert len(tree.topological_order()) == len(tree)
+
+
+# ---------------------------------------------------------------------------
+# property-based tests: random DAGs built by always pointing edges upward
+# (child index > parent index) can never cycle, so construction must succeed
+# and invariants must hold.
+# ---------------------------------------------------------------------------
+
+@st.composite
+def random_dag(draw):
+    n = draw(st.integers(min_value=2, max_value=25))
+    classes = [IRI(f"http://example.org/C{i}") for i in range(n)]
+    edges = []
+    for child_idx in range(1, n):
+        parent_count = draw(st.integers(min_value=0, max_value=min(3, child_idx)))
+        parents = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=child_idx - 1),
+                min_size=parent_count,
+                max_size=parent_count,
+                unique=True,
+            )
+        )
+        edges.extend((classes[child_idx], classes[p]) for p in parents)
+    h = ClassHierarchy()
+    for cls in classes:
+        h.add_class(cls)
+    for sub, sup in edges:
+        h.add_edge(sub, sup)
+    return h
+
+
+@settings(max_examples=80, deadline=None)
+@given(random_dag())
+def test_property_ancestor_descendant_duality(h):
+    """a in ancestors(b) iff b in descendants(a)."""
+    for cls in h.classes():
+        for anc in h.ancestors(cls):
+            assert cls in h.descendants(anc)
+
+
+@settings(max_examples=80, deadline=None)
+@given(random_dag())
+def test_property_most_specific_is_antichain(h):
+    """No element of most_specific(S) subsumes another."""
+    classes = list(h.classes())
+    got = h.most_specific(classes)
+    for a in got:
+        for b in got:
+            if a != b:
+                assert not h.is_subclass_of(a, b)
+
+
+@settings(max_examples=80, deadline=None)
+@given(random_dag())
+def test_property_leaves_have_no_descendants(h):
+    for leaf in h.leaves():
+        assert h.descendants(leaf) == frozenset()
+
+
+@settings(max_examples=50, deadline=None)
+@given(random_dag())
+def test_property_topological_order_respects_edges(h):
+    order = h.topological_order()
+    pos = {cls: i for i, cls in enumerate(order)}
+    for cls in h.classes():
+        for parent in h.parents(cls):
+            assert pos[parent] < pos[cls]

@@ -1,0 +1,242 @@
+"""Unit tests for Ontology model, RDF loader and RDFS reasoner."""
+
+import pytest
+
+from repro.ontology import (
+    Ontology,
+    OntologyError,
+    RDFSReasoner,
+    ontology_from_graph,
+    ontology_to_graph,
+)
+from repro.rdf import EX, OWL, RDF, RDFS, Graph, IRI, Literal, Triple
+
+
+@pytest.fixture
+def onto():
+    o = Ontology(name="electronics")
+    o.add_class(EX.Component, label="Component")
+    o.add_subclass(EX.Passive, EX.Component)
+    o.add_subclass(EX.Active, EX.Component)
+    o.add_subclass(EX.Resistor, EX.Passive)
+    o.add_subclass(EX.Capacitor, EX.Passive)
+    o.add_subclass(EX.FixedFilm, EX.Resistor)
+    o.add_subclass(EX.Tantalum, EX.Capacitor)
+    o.add_disjoint(EX.Passive, EX.Active)
+    o.add_instance(EX.p1, EX.FixedFilm)
+    o.add_instance(EX.p2, EX.Tantalum)
+    o.add_instance(EX.p3, EX.Resistor)
+    return o
+
+
+class TestOntologyModel:
+    def test_len_and_contains(self, onto):
+        assert len(onto) == 7
+        assert EX.Resistor in onto
+
+    def test_label_falls_back_to_local_name(self, onto):
+        assert onto.label(EX.Component) == "Component"
+        assert onto.label(EX.Tantalum) == "Tantalum"
+
+    def test_unknown_class_raises(self, onto):
+        with pytest.raises(OntologyError):
+            onto.declaration(EX.Nope)
+        with pytest.raises(OntologyError):
+            onto.instances_of(EX.Nope)
+        with pytest.raises(OntologyError):
+            onto.add_instance(EX.p9, EX.Nope)
+
+    def test_cycle_wrapped_as_ontology_error(self, onto):
+        with pytest.raises(OntologyError):
+            onto.add_subclass(EX.Component, EX.FixedFilm)
+
+    def test_self_disjoint_rejected(self, onto):
+        with pytest.raises(OntologyError):
+            onto.add_disjoint(EX.Resistor, EX.Resistor)
+
+    def test_leaves_roots(self, onto):
+        assert EX.FixedFilm in onto.leaves()
+        assert onto.roots() == frozenset({EX.Component})
+
+    def test_instances_of_direct(self, onto):
+        assert onto.instances_of(EX.Resistor) == frozenset({EX.p3})
+
+    def test_instances_of_with_subclasses(self, onto):
+        assert onto.instances_of(EX.Resistor, include_subclasses=True) == frozenset(
+            {EX.p1, EX.p3}
+        )
+        assert onto.instances_of(EX.Component, include_subclasses=True) == frozenset(
+            {EX.p1, EX.p2, EX.p3}
+        )
+
+    def test_classes_of(self, onto):
+        assert onto.classes_of(EX.p1) == frozenset({EX.FixedFilm})
+        assert onto.classes_of(EX.unknown) == frozenset()
+
+    def test_inferred_classes_of(self, onto):
+        assert onto.inferred_classes_of(EX.p1) == frozenset(
+            {EX.FixedFilm, EX.Resistor, EX.Passive, EX.Component}
+        )
+
+    def test_most_specific_classes_of(self, onto):
+        onto.add_instance(EX.p1, EX.Resistor)  # redundant broader type
+        assert onto.most_specific_classes_of(EX.p1) == frozenset({EX.FixedFilm})
+
+    def test_disjointness_inherited(self, onto):
+        onto.add_subclass(EX.Diode, EX.Active)
+        assert onto.are_disjoint(EX.Resistor, EX.Diode)
+        assert onto.are_disjoint(EX.FixedFilm, EX.Active)
+        assert not onto.are_disjoint(EX.Resistor, EX.Capacitor)
+
+    def test_disjointness_unknown_class_false(self, onto):
+        assert not onto.are_disjoint(EX.Resistor, EX.Nope)
+
+    def test_instance_count(self, onto):
+        assert onto.instance_count() == 3
+
+
+class TestLoaderRoundtrip:
+    def test_roundtrip_schema_and_instances(self, onto):
+        graph = ontology_to_graph(onto)
+        loaded = ontology_from_graph(graph, name="electronics")
+        assert set(loaded.class_iris()) == set(onto.class_iris())
+        assert loaded.leaves() == onto.leaves()
+        assert loaded.instances_of(EX.Resistor, include_subclasses=True) == (
+            onto.instances_of(EX.Resistor, include_subclasses=True)
+        )
+        assert loaded.are_disjoint(EX.Passive, EX.Active)
+        assert loaded.label(EX.Component) == "Component"
+
+    def test_from_graph_subclassof_implies_classes(self):
+        graph = Graph([Triple(EX.B, RDFS.subClassOf, EX.A)])
+        onto = ontology_from_graph(graph)
+        assert EX.A in onto
+        assert EX.B in onto
+
+    def test_from_graph_typing(self):
+        graph = Graph(
+            [
+                Triple(EX.C, RDF.type, OWL.Class),
+                Triple(EX.i, RDF.type, EX.C),
+            ]
+        )
+        onto = ontology_from_graph(graph)
+        assert onto.instances_of(EX.C) == frozenset({EX.i})
+
+    def test_from_graph_untyped_instances_ignored(self):
+        graph = Graph(
+            [
+                Triple(EX.C, RDF.type, OWL.Class),
+                Triple(EX.i, RDF.type, EX.UnknownClass),
+            ]
+        )
+        onto = ontology_from_graph(graph)
+        assert EX.UnknownClass not in onto
+        assert onto.instance_count() == 0
+
+    def test_labels_loaded(self):
+        graph = Graph(
+            [
+                Triple(EX.C, RDF.type, OWL.Class),
+                Triple(EX.C, RDFS.label, Literal("Fixed-film resistance")),
+            ]
+        )
+        onto = ontology_from_graph(graph)
+        assert onto.label(EX.C) == "Fixed-film resistance"
+
+
+class TestReasoner:
+    def test_rdfs11_transitivity(self):
+        g = Graph(
+            [
+                Triple(EX.C, RDFS.subClassOf, EX.B),
+                Triple(EX.B, RDFS.subClassOf, EX.A),
+            ]
+        )
+        RDFSReasoner().materialize(g)
+        assert Triple(EX.C, RDFS.subClassOf, EX.A) in g
+
+    def test_rdfs9_type_inheritance(self):
+        g = Graph(
+            [
+                Triple(EX.FixedFilm, RDFS.subClassOf, EX.Resistor),
+                Triple(EX.Resistor, RDFS.subClassOf, EX.Component),
+                Triple(EX.p1, RDF.type, EX.FixedFilm),
+            ]
+        )
+        RDFSReasoner().materialize(g)
+        assert Triple(EX.p1, RDF.type, EX.Resistor) in g
+        assert Triple(EX.p1, RDF.type, EX.Component) in g
+
+    def test_rdfs2_domain(self):
+        g = Graph(
+            [
+                Triple(EX.partNumber, RDFS.domain, EX.Product),
+                Triple(EX.p1, EX.partNumber, Literal("X-1")),
+            ]
+        )
+        RDFSReasoner().materialize(g)
+        assert Triple(EX.p1, RDF.type, EX.Product) in g
+
+    def test_rdfs3_range_skips_literals(self):
+        g = Graph(
+            [
+                Triple(EX.madeBy, RDFS.range, EX.Manufacturer),
+                Triple(EX.p1, EX.madeBy, EX.acme),
+                Triple(EX.p1, EX.partNumber, Literal("X-1")),
+                Triple(EX.partNumber, RDFS.range, EX.PartNumber),
+            ]
+        )
+        RDFSReasoner().materialize(g)
+        assert Triple(EX.acme, RDF.type, EX.Manufacturer) in g
+        # literal objects never get typed
+        assert not any(
+            t.object == EX.PartNumber for t in g.triples(None, RDF.type, None)
+        )
+
+    def test_materialize_returns_added_count_and_fixpoint(self):
+        g = Graph(
+            [
+                Triple(EX.C, RDFS.subClassOf, EX.B),
+                Triple(EX.B, RDFS.subClassOf, EX.A),
+                Triple(EX.p, RDF.type, EX.C),
+            ]
+        )
+        reasoner = RDFSReasoner()
+        added = reasoner.materialize(g)
+        assert added == 3  # C⊑A, p:B, p:A
+        assert reasoner.materialize(g) == 0  # already at fixpoint
+
+    def test_consistency_clean(self):
+        g = Graph([Triple(EX.p1, RDF.type, EX.Resistor)])
+        report = RDFSReasoner().check_consistency(g)
+        assert report.consistent
+        assert str(report) == "consistent"
+
+    def test_consistency_conflict(self):
+        g = Graph(
+            [
+                Triple(EX.Passive, OWL.disjointWith, EX.Active),
+                Triple(EX.p1, RDF.type, EX.Passive),
+                Triple(EX.p1, RDF.type, EX.Active),
+            ]
+        )
+        report = RDFSReasoner().check_consistency(g)
+        assert not report.consistent
+        assert (EX.p1, EX.Passive, EX.Active) in report.conflicts
+        assert "disjoint" in str(report)
+
+    def test_consistency_after_materialization_catches_inherited(self):
+        g = Graph(
+            [
+                Triple(EX.Passive, OWL.disjointWith, EX.Active),
+                Triple(EX.Resistor, RDFS.subClassOf, EX.Passive),
+                Triple(EX.Diode, RDFS.subClassOf, EX.Active),
+                Triple(EX.p1, RDF.type, EX.Resistor),
+                Triple(EX.p1, RDF.type, EX.Diode),
+            ]
+        )
+        reasoner = RDFSReasoner()
+        assert reasoner.check_consistency(g).consistent  # not yet visible
+        reasoner.materialize(g)
+        assert not reasoner.check_consistency(g).consistent

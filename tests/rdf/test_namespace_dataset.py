@@ -1,0 +1,154 @@
+"""Unit tests for Namespace/NamespaceManager and Dataset."""
+
+import pytest
+
+from repro.rdf import (
+    EX,
+    OWL,
+    RDF,
+    RDFS,
+    XSD,
+    Dataset,
+    Graph,
+    IRI,
+    Literal,
+    Namespace,
+    NamespaceManager,
+    Triple,
+)
+from repro.rdf.dataset import EXTERNAL, LOCAL
+
+
+class TestNamespace:
+    def test_attribute_access(self):
+        ns = Namespace("http://example.org/")
+        assert ns.partNumber == IRI("http://example.org/partNumber")
+
+    def test_item_access_for_non_identifier(self):
+        ns = Namespace("http://example.org/")
+        assert ns["Fixed-film"] == IRI("http://example.org/Fixed-film")
+
+    def test_underscore_attribute_raises(self):
+        ns = Namespace("http://example.org/")
+        with pytest.raises(AttributeError):
+            ns._private
+
+    def test_contains(self):
+        assert EX.p1 in EX
+        assert RDF.type not in EX
+        assert "http://example.org/foo" in EX
+
+    def test_local(self):
+        assert EX.local(EX.p1) == "p1"
+        with pytest.raises(ValueError):
+            EX.local(RDF.type)
+
+    def test_well_known_vocabularies(self):
+        assert RDF.type.value.endswith("#type")
+        assert RDFS.subClassOf.value.endswith("#subClassOf")
+        assert OWL.sameAs.value.endswith("#sameAs")
+        assert XSD.string.value.endswith("#string")
+
+    def test_empty_base_rejected(self):
+        with pytest.raises(ValueError):
+            Namespace("")
+
+    def test_equality_and_hash(self):
+        assert Namespace("http://x/") == Namespace("http://x/")
+        assert hash(Namespace("http://x/")) == hash(Namespace("http://x/"))
+
+
+class TestNamespaceManager:
+    def test_default_bindings(self):
+        nm = NamespaceManager()
+        prefixes = dict(nm.namespaces())
+        assert set(prefixes) >= {"rdf", "rdfs", "owl", "xsd"}
+
+    def test_expand(self):
+        nm = NamespaceManager()
+        assert nm.expand("rdf:type") == RDF.type
+
+    def test_expand_unknown_prefix(self):
+        nm = NamespaceManager()
+        with pytest.raises(KeyError):
+            nm.expand("nope:thing")
+
+    def test_expand_not_a_curie(self):
+        nm = NamespaceManager()
+        with pytest.raises(ValueError):
+            nm.expand("no-colon")
+
+    def test_qname(self):
+        nm = NamespaceManager()
+        assert nm.qname(RDF.type) == "rdf:type"
+
+    def test_qname_unbound_falls_back_to_n3(self):
+        nm = NamespaceManager()
+        assert nm.qname(IRI("http://unbound.example/x")) == "<http://unbound.example/x>"
+
+    def test_qname_longest_prefix_wins(self):
+        nm = NamespaceManager()
+        nm.bind("a", "http://example.org/")
+        nm.bind("b", "http://example.org/sub/")
+        assert nm.qname(IRI("http://example.org/sub/x")) == "b:x"
+
+    def test_bind_accepts_string(self):
+        nm = NamespaceManager()
+        nm.bind("ex", "http://example.org/")
+        assert nm.expand("ex:p1") == EX.p1
+
+
+class TestDataset:
+    def test_graph_created_on_access(self):
+        ds = Dataset()
+        g = ds.graph("local")
+        assert isinstance(g, Graph)
+        assert "local" in ds
+
+    def test_local_external_conventions(self):
+        ds = Dataset()
+        assert ds.local.identifier == LOCAL
+        assert ds.external.identifier == EXTERNAL
+
+    def test_len_is_total_triples(self):
+        ds = Dataset()
+        ds.local.add(Triple(EX.a, RDF.type, EX.C))
+        ds.external.add(Triple(EX.b, RDF.type, EX.D))
+        ds.external.add(Triple(EX.b, EX.p, Literal("v")))
+        assert len(ds) == 3
+
+    def test_provenance_of(self):
+        ds = Dataset()
+        ds.local.add(Triple(EX.a, RDF.type, EX.C))
+        ds.external.add(Triple(EX.a, EX.p, Literal("v")))
+        ds.external.add(Triple(EX.b, EX.p, Literal("w")))
+        assert ds.provenance_of(EX.a) == {"local", "external"}
+        assert ds.provenance_of(EX.b) == {"external"}
+        assert ds.provenance_of(EX.zzz) == set()
+
+    def test_quads(self):
+        ds = Dataset()
+        ds.local.add(Triple(EX.a, RDF.type, EX.C))
+        quads = list(ds.quads())
+        assert quads == [(Triple(EX.a, RDF.type, EX.C), "local")]
+
+    def test_cross_graph_triples(self):
+        ds = Dataset()
+        ds.local.add(Triple(EX.a, RDF.type, EX.C))
+        ds.external.add(Triple(EX.b, RDF.type, EX.C))
+        assert len(list(ds.triples(None, RDF.type, None))) == 2
+
+    def test_union(self):
+        ds = Dataset()
+        shared = Triple(EX.a, RDF.type, EX.C)
+        ds.local.add(shared)
+        ds.external.add(shared)
+        ds.external.add(Triple(EX.b, RDF.type, EX.C))
+        assert len(ds.union()) == 2  # deduplicated
+
+    def test_names_and_graphs(self):
+        ds = Dataset()
+        ds.graph("a")
+        ds.graph("b")
+        assert set(ds.names()) == {"a", "b"}
+        assert len(list(ds.graphs())) == 2

@@ -1,0 +1,145 @@
+"""Unit tests for the N-Triples parser and serializer."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdf import (
+    EX,
+    BNode,
+    Graph,
+    IRI,
+    Literal,
+    NTriplesParseError,
+    Triple,
+    parse_ntriples,
+    serialize_ntriples,
+)
+from repro.rdf.terms import XSD_INTEGER
+
+
+SAMPLE = """\
+# a comment line
+<http://example.org/p1> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://example.org/Resistor> .
+
+<http://example.org/p1> <http://example.org/partNumber> "CRCW0805-10K" .
+<http://example.org/p2> <http://example.org/label> "Widerstand"@de .
+<http://example.org/p2> <http://example.org/ohms> "10000"^^<http://www.w3.org/2001/XMLSchema#integer> .
+_:b0 <http://example.org/related> _:b1 .
+"""
+
+
+class TestParser:
+    def test_parses_all_statement_kinds(self):
+        g = parse_ntriples(SAMPLE)
+        assert len(g) == 5
+        assert Triple(EX.p1, EX.partNumber, Literal("CRCW0805-10K")) in g
+        assert Triple(EX.p2, EX.label, Literal("Widerstand", language="de")) in g
+        assert Triple(EX.p2, EX.ohms, Literal("10000", datatype=XSD_INTEGER)) in g
+        assert Triple(BNode("b0"), EX.related, BNode("b1")) in g
+
+    def test_accepts_stream(self):
+        g = parse_ntriples(io.StringIO(SAMPLE))
+        assert len(g) == 5
+
+    def test_skips_comments_and_blank_lines(self):
+        g = parse_ntriples("# only a comment\n\n   \n")
+        assert len(g) == 0
+
+    def test_escape_sequences(self):
+        text = '<http://x/s> <http://x/p> "line1\\nline2\\t\\"q\\" \\\\ \\u00e9" .\n'
+        g = parse_ntriples(text)
+        (triple,) = g
+        assert triple.object.lexical == 'line1\nline2\t"q" \\ é'
+
+    def test_big_unicode_escape(self):
+        text = '<http://x/s> <http://x/p> "\\U0001F600" .\n'
+        g = parse_ntriples(text)
+        (triple,) = g
+        assert triple.object.lexical == "\U0001F600"
+
+    def test_trailing_comment_allowed(self):
+        text = "<http://x/s> <http://x/p> <http://x/o> . # trailing\n"
+        assert len(parse_ntriples(text)) == 1
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "<http://x/s> <http://x/p> <http://x/o>",  # missing dot
+            '"literal" <http://x/p> <http://x/o> .',  # literal subject
+            "<http://x/s> _:b <http://x/o> .",  # bnode predicate
+            "<http://x/s> <http://x/p> .",  # missing object
+            "<http://x/s <http://x/p> <http://x/o> .",  # unterminated IRI
+            '<http://x/s> <http://x/p> "unterminated .',  # unterminated literal
+            "<http://x/s> <http://x/p> <http://x/o> . extra",  # trailing junk
+            "_: <http://x/p> <http://x/o> .",  # empty bnode label
+        ],
+    )
+    def test_malformed_lines_raise(self, bad):
+        with pytest.raises(NTriplesParseError):
+            parse_ntriples(bad + "\n")
+
+    def test_error_carries_line_number(self):
+        text = "<http://x/s> <http://x/p> <http://x/o> .\nbroken line\n"
+        with pytest.raises(NTriplesParseError) as exc:
+            parse_ntriples(text)
+        assert exc.value.line_no == 2
+
+
+class TestSerializer:
+    def test_roundtrip(self):
+        g = parse_ntriples(SAMPLE)
+        text = serialize_ntriples(g)
+        g2 = parse_ntriples(text)
+        assert set(g) == set(g2)
+
+    def test_sorted_deterministic(self):
+        g = Graph(
+            [
+                Triple(EX.b, EX.p, Literal("2")),
+                Triple(EX.a, EX.p, Literal("1")),
+            ]
+        )
+        text = serialize_ntriples(g)
+        lines = text.splitlines()
+        assert lines == sorted(lines)
+
+    def test_writes_to_sink(self):
+        g = Graph([Triple(EX.a, EX.p, Literal("1"))])
+        sink = io.StringIO()
+        returned = serialize_ntriples(g, sink)
+        assert sink.getvalue() == returned
+
+    def test_empty_graph(self):
+        assert serialize_ntriples(Graph()) == ""
+
+
+# Hypothesis strategies for roundtrip fuzzing -------------------------------
+
+_iri_local = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+    min_size=1,
+    max_size=12,
+)
+_iris = _iri_local.map(lambda s: IRI("http://example.org/" + s))
+_literal_text = st.text(min_size=0, max_size=40)
+_literals = st.one_of(
+    _literal_text.map(Literal),
+    _literal_text.map(lambda s: Literal(s, language="en")),
+    st.integers(-10**6, 10**6).map(lambda i: Literal(str(i), datatype=XSD_INTEGER)),
+)
+_bnodes = _iri_local.map(BNode)
+_subjects = st.one_of(_iris, _bnodes)
+_objects = st.one_of(_iris, _bnodes, _literals)
+_triples = st.builds(Triple, _subjects, _iris, _objects)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(_triples, max_size=20))
+def test_property_roundtrip_any_triples(triples):
+    """Serializing then parsing any set of triples is the identity."""
+    g = Graph(triples)
+    g2 = parse_ntriples(serialize_ntriples(g))
+    assert set(g2) == set(g)

@@ -1,0 +1,136 @@
+"""Unit tests for the BGP query engine."""
+
+import pytest
+
+from repro.rdf import EX, Graph, IRI, Literal, RDF, Triple
+from repro.rdf.query import QueryError, Variable, ask, match_bgp, select
+
+
+@pytest.fixture
+def graph():
+    g = Graph()
+    g.add(Triple(EX.p1, RDF.type, EX.Resistor))
+    g.add(Triple(EX.p1, EX.partNumber, Literal("CRCW0805-10K")))
+    g.add(Triple(EX.p1, EX.maker, EX.vishay))
+    g.add(Triple(EX.p2, RDF.type, EX.Capacitor))
+    g.add(Triple(EX.p2, EX.partNumber, Literal("T83-220uF")))
+    g.add(Triple(EX.p2, EX.maker, EX.kemet))
+    g.add(Triple(EX.p3, RDF.type, EX.Resistor))
+    g.add(Triple(EX.p3, EX.partNumber, Literal("WSL2512")))
+    g.add(Triple(EX.p3, EX.maker, EX.vishay))
+    return g
+
+
+class TestVariable:
+    def test_identity(self):
+        assert Variable("x") == Variable("x")
+        assert Variable("x") != Variable("y")
+        assert str(Variable("x")) == "?x"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+
+class TestMatchBgp:
+    def test_single_pattern_all_bindings(self, graph):
+        i = Variable("i")
+        solutions = list(match_bgp(graph, [(i, RDF.type, EX.Resistor)]))
+        assert {s[i] for s in solutions} == {EX.p1, EX.p3}
+
+    def test_join_on_shared_variable(self, graph):
+        i, pn = Variable("i"), Variable("pn")
+        solutions = list(
+            match_bgp(
+                graph,
+                [
+                    (i, RDF.type, EX.Resistor),
+                    (i, EX.partNumber, pn),
+                    (i, EX.maker, EX.vishay),
+                ],
+            )
+        )
+        assert {s[pn].lexical for s in solutions} == {"CRCW0805-10K", "WSL2512"}
+
+    def test_variable_predicate(self, graph):
+        p = Variable("p")
+        solutions = list(match_bgp(graph, [(EX.p1, p, EX.vishay)]))
+        assert [s[p] for s in solutions] == [EX.maker]
+
+    def test_same_variable_twice_in_pattern(self, graph):
+        g = Graph([Triple(EX.a, EX.knows, EX.a), Triple(EX.a, EX.knows, EX.b)])
+        x = Variable("x")
+        solutions = list(match_bgp(g, [(x, EX.knows, x)]))
+        assert [s[x] for s in solutions] == [EX.a]
+
+    def test_no_solutions(self, graph):
+        i = Variable("i")
+        assert list(match_bgp(graph, [(i, RDF.type, EX.Diode)])) == []
+
+    def test_inconsistent_join_empty(self, graph):
+        i = Variable("i")
+        solutions = list(
+            match_bgp(
+                graph,
+                [
+                    (i, RDF.type, EX.Capacitor),
+                    (i, EX.maker, EX.vishay),
+                ],
+            )
+        )
+        assert solutions == []
+
+    def test_empty_bgp_rejected(self, graph):
+        with pytest.raises(QueryError):
+            list(match_bgp(graph, []))
+
+    def test_malformed_pattern_rejected(self, graph):
+        with pytest.raises(QueryError):
+            list(match_bgp(graph, [(EX.a, EX.b)]))  # type: ignore[list-item]
+
+    def test_cartesian_product_of_disconnected_patterns(self, graph):
+        a, b = Variable("a"), Variable("b")
+        solutions = list(
+            match_bgp(
+                graph,
+                [(a, RDF.type, EX.Resistor), (b, RDF.type, EX.Capacitor)],
+            )
+        )
+        assert len(solutions) == 2  # 2 resistors x 1 capacitor
+
+
+class TestSelectAsk:
+    def test_select_projection_sorted_distinct(self, graph):
+        i = Variable("i")
+        rows = select(graph, [i], [(i, EX.maker, EX.vishay)])
+        assert rows == [(EX.p1,), (EX.p3,)]  # deterministic n3-sorted order
+
+    def test_select_multiple_variables(self, graph):
+        i, c = Variable("i"), Variable("c")
+        rows = select(graph, [i, c], [(i, RDF.type, c)])
+        assert (EX.p2, EX.Capacitor) in rows
+        assert len(rows) == 3
+
+    def test_select_unbound_projection_rejected(self, graph):
+        i, ghost = Variable("i"), Variable("ghost")
+        with pytest.raises(QueryError):
+            select(graph, [ghost], [(i, RDF.type, EX.Resistor)])
+
+    def test_select_no_variables_rejected(self, graph):
+        with pytest.raises(QueryError):
+            select(graph, [], [(Variable("i"), RDF.type, EX.Resistor)])
+
+    def test_ask(self, graph):
+        i = Variable("i")
+        assert ask(graph, [(i, RDF.type, EX.Resistor)])
+        assert not ask(graph, [(i, RDF.type, EX.Diode)])
+
+    def test_rule_shaped_query(self, graph):
+        """The learner's counting query, expressed as a BGP."""
+        i, pn = Variable("i"), Variable("pn")
+        rows = select(
+            graph,
+            [i, pn],
+            [(i, EX.partNumber, pn), (i, RDF.type, EX.Resistor)],
+        )
+        assert len(rows) == 2

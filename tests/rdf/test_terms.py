@@ -1,0 +1,148 @@
+"""Unit tests for RDF terms."""
+
+import pytest
+
+from repro.rdf.terms import (
+    BNode,
+    IRI,
+    Literal,
+    TermError,
+    XSD_BOOLEAN,
+    XSD_DOUBLE,
+    XSD_INTEGER,
+    XSD_STRING,
+    RDF_LANGSTRING,
+    term_from_python,
+)
+
+
+class TestIRI:
+    def test_value_roundtrip(self):
+        iri = IRI("http://example.org/p1")
+        assert iri.value == "http://example.org/p1"
+        assert str(iri) == "http://example.org/p1"
+
+    def test_n3(self):
+        assert IRI("http://example.org/p1").n3() == "<http://example.org/p1>"
+
+    def test_equality_and_hash(self):
+        assert IRI("http://x/a") == IRI("http://x/a")
+        assert IRI("http://x/a") != IRI("http://x/b")
+        assert len({IRI("http://x/a"), IRI("http://x/a")}) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(TermError):
+            IRI("")
+
+    @pytest.mark.parametrize("bad", ["http://x/ a", "http://x/<", "http://x/>", 'http://x/"', "http://x/\n"])
+    def test_forbidden_characters_rejected(self, bad):
+        with pytest.raises(TermError):
+            IRI(bad)
+
+    def test_local_name_hash(self):
+        assert IRI("http://example.org/onto#Resistor").local_name == "Resistor"
+
+    def test_local_name_slash(self):
+        assert IRI("http://example.org/products/p1").local_name == "p1"
+
+    def test_local_name_no_separator(self):
+        assert IRI("urn:isbn:12345").local_name == "urn:isbn:12345"
+
+
+class TestLiteral:
+    def test_plain_literal_is_xsd_string(self):
+        lit = Literal("ohm")
+        assert lit.lexical == "ohm"
+        assert lit.datatype == XSD_STRING
+        assert lit.language is None
+
+    def test_n3_plain(self):
+        assert Literal("ohm").n3() == '"ohm"'
+
+    def test_n3_typed(self):
+        assert Literal("42", datatype=XSD_INTEGER).n3() == (
+            '"42"^^<http://www.w3.org/2001/XMLSchema#integer>'
+        )
+
+    def test_n3_language(self):
+        assert Literal("Widerstand", language="DE").n3() == '"Widerstand"@de'
+
+    def test_language_implies_langstring(self):
+        lit = Literal("chat", language="fr")
+        assert lit.datatype == RDF_LANGSTRING
+
+    def test_language_and_other_datatype_conflict(self):
+        with pytest.raises(TermError):
+            Literal("x", datatype=XSD_INTEGER, language="en")
+
+    def test_escaping(self):
+        lit = Literal('say "hi"\n\tdone\\')
+        assert lit.n3() == '"say \\"hi\\"\\n\\tdone\\\\"'
+
+    def test_non_string_lexical_rejected(self):
+        with pytest.raises(TermError):
+            Literal(42)  # type: ignore[arg-type]
+
+    @pytest.mark.parametrize(
+        "lexical,datatype,expected",
+        [
+            ("42", XSD_INTEGER, 42),
+            ("3.5", XSD_DOUBLE, 3.5),
+            ("true", XSD_BOOLEAN, True),
+            ("false", XSD_BOOLEAN, False),
+            ("hello", XSD_STRING, "hello"),
+        ],
+    )
+    def test_to_python(self, lexical, datatype, expected):
+        assert Literal(lexical, datatype=datatype).to_python() == expected
+
+    def test_to_python_bad_lexical_falls_back(self):
+        assert Literal("not-a-number", datatype=XSD_INTEGER).to_python() == "not-a-number"
+
+    def test_equality_considers_datatype(self):
+        assert Literal("1") != Literal("1", datatype=XSD_INTEGER)
+        assert Literal("a", language="en") != Literal("a", language="fr")
+
+
+class TestBNode:
+    def test_fresh_ids_unique(self):
+        assert BNode().id != BNode().id
+
+    def test_explicit_id(self):
+        assert BNode("b7").n3() == "_:b7"
+        assert str(BNode("b7")) == "_:b7"
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(TermError):
+            BNode("")
+
+    def test_equality(self):
+        assert BNode("x") == BNode("x")
+        assert BNode("x") != BNode("y")
+
+
+class TestTermFromPython:
+    def test_passthrough(self):
+        iri = IRI("http://x/a")
+        assert term_from_python(iri) is iri
+        lit = Literal("a")
+        assert term_from_python(lit) is lit
+
+    def test_bool_before_int(self):
+        term = term_from_python(True)
+        assert term.datatype == XSD_BOOLEAN
+        assert term.lexical == "true"
+
+    def test_int(self):
+        term = term_from_python(7)
+        assert term.datatype == XSD_INTEGER
+        assert term.lexical == "7"
+
+    def test_float(self):
+        term = term_from_python(2.5)
+        assert term.datatype == XSD_DOUBLE
+        assert term.to_python() == 2.5
+
+    def test_fallback_str(self):
+        term = term_from_python("CRCW0805")
+        assert term == Literal("CRCW0805")

@@ -1,0 +1,176 @@
+"""Unit tests for Triple and the indexed Graph."""
+
+import pytest
+
+from repro.rdf import EX, RDF, Graph, IRI, Literal, BNode, Triple
+from repro.rdf.terms import TermError
+
+
+def t(s, p, o):
+    return Triple(s, p, o)
+
+
+class TestTriple:
+    def test_unpacking(self):
+        triple = t(EX.p1, EX.partNumber, Literal("X-1"))
+        s, p, o = triple
+        assert s == EX.p1
+        assert p == EX.partNumber
+        assert o == Literal("X-1")
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(TermError):
+            Triple(Literal("x"), EX.p, Literal("y"))
+
+    def test_non_iri_predicate_rejected(self):
+        with pytest.raises(TermError):
+            Triple(EX.s, BNode("b"), Literal("y"))  # type: ignore[arg-type]
+
+    def test_non_term_object_rejected(self):
+        with pytest.raises(TermError):
+            Triple(EX.s, EX.p, "plain string")  # type: ignore[arg-type]
+
+    def test_n3_line(self):
+        triple = t(EX.p1, RDF.type, EX.Resistor)
+        assert triple.n3() == (
+            "<http://example.org/p1> "
+            "<http://www.w3.org/1999/02/22-rdf-syntax-ns#type> "
+            "<http://example.org/Resistor> ."
+        )
+
+    def test_hashable(self):
+        assert len({t(EX.a, EX.p, EX.b), t(EX.a, EX.p, EX.b)}) == 1
+
+
+@pytest.fixture
+def graph():
+    g = Graph()
+    g.add(t(EX.p1, RDF.type, EX.Resistor))
+    g.add(t(EX.p1, EX.partNumber, Literal("CRCW0805-10K")))
+    g.add(t(EX.p2, RDF.type, EX.Capacitor))
+    g.add(t(EX.p2, EX.partNumber, Literal("T83-220uF")))
+    g.add(t(EX.p3, RDF.type, EX.Resistor))
+    return g
+
+
+class TestGraphMutation:
+    def test_add_returns_true_for_new(self):
+        g = Graph()
+        assert g.add(t(EX.a, EX.p, EX.b)) is True
+        assert g.add(t(EX.a, EX.p, EX.b)) is False
+        assert len(g) == 1
+
+    def test_add_all_counts_new_only(self):
+        g = Graph()
+        triples = [t(EX.a, EX.p, EX.b), t(EX.a, EX.p, EX.b), t(EX.a, EX.p, EX.c)]
+        assert g.add_all(triples) == 2
+
+    def test_remove_present(self, graph):
+        n = len(graph)
+        assert graph.remove(t(EX.p1, RDF.type, EX.Resistor)) is True
+        assert len(graph) == n - 1
+        assert t(EX.p1, RDF.type, EX.Resistor) not in graph
+
+    def test_remove_absent(self, graph):
+        assert graph.remove(t(EX.p9, RDF.type, EX.Resistor)) is False
+
+    def test_remove_matching_wildcard(self, graph):
+        removed = graph.remove_matching(None, RDF.type, None)
+        assert removed == 3
+        assert list(graph.triples(None, RDF.type, None)) == []
+
+    def test_remove_then_query_consistency(self, graph):
+        graph.remove(t(EX.p2, EX.partNumber, Literal("T83-220uF")))
+        assert list(graph.objects(EX.p2, EX.partNumber)) == []
+        assert list(graph.subjects(EX.partNumber, Literal("T83-220uF"))) == []
+
+    def test_constructor_accepts_triples(self):
+        g = Graph([t(EX.a, EX.p, EX.b)])
+        assert len(g) == 1
+
+
+class TestGraphPatterns:
+    def test_fully_bound_hit(self, graph):
+        assert list(graph.triples(EX.p1, RDF.type, EX.Resistor)) == [
+            t(EX.p1, RDF.type, EX.Resistor)
+        ]
+
+    def test_fully_bound_miss(self, graph):
+        assert list(graph.triples(EX.p1, RDF.type, EX.Capacitor)) == []
+
+    def test_s_bound(self, graph):
+        got = set(graph.triples(EX.p1, None, None))
+        assert got == {
+            t(EX.p1, RDF.type, EX.Resistor),
+            t(EX.p1, EX.partNumber, Literal("CRCW0805-10K")),
+        }
+
+    def test_p_bound(self, graph):
+        got = set(graph.triples(None, RDF.type, None))
+        assert len(got) == 3
+
+    def test_o_bound(self, graph):
+        got = set(graph.triples(None, None, EX.Resistor))
+        assert got == {
+            t(EX.p1, RDF.type, EX.Resistor),
+            t(EX.p3, RDF.type, EX.Resistor),
+        }
+
+    def test_po_bound(self, graph):
+        subs = set(graph.subjects(RDF.type, EX.Resistor))
+        assert subs == {EX.p1, EX.p3}
+
+    def test_sp_bound(self, graph):
+        objs = list(graph.objects(EX.p2, EX.partNumber))
+        assert objs == [Literal("T83-220uF")]
+
+    def test_so_bound(self, graph):
+        preds = set(graph.predicates(EX.p1, EX.Resistor))
+        assert preds == {RDF.type}
+
+    def test_all_wildcards(self, graph):
+        assert len(list(graph.triples())) == len(graph) == 5
+
+    def test_missing_subject_empty(self, graph):
+        assert list(graph.triples(EX.nope, None, None)) == []
+
+    def test_value_sp(self, graph):
+        assert graph.value(EX.p1, EX.partNumber) == Literal("CRCW0805-10K")
+
+    def test_value_po(self, graph):
+        assert graph.value(None, RDF.type, EX.Capacitor) == EX.p2
+
+    def test_value_miss_is_none(self, graph):
+        assert graph.value(EX.p9, EX.partNumber) is None
+
+    def test_literal_values(self, graph):
+        assert graph.literal_values(EX.p1, EX.partNumber) == ["CRCW0805-10K"]
+
+    def test_literal_values_skips_iris(self, graph):
+        assert graph.literal_values(EX.p1, RDF.type) == []
+
+
+class TestGraphProtocol:
+    def test_contains(self, graph):
+        assert t(EX.p1, RDF.type, EX.Resistor) in graph
+        assert t(EX.p1, RDF.type, EX.Capacitor) not in graph
+
+    def test_bool(self):
+        assert not Graph()
+        assert Graph([t(EX.a, EX.p, EX.b)])
+
+    def test_iter(self, graph):
+        assert set(iter(graph)) == set(graph.triples())
+
+    def test_copy_independent(self, graph):
+        clone = graph.copy()
+        clone.add(t(EX.p9, RDF.type, EX.Diode))
+        assert len(clone) == len(graph) + 1
+
+    def test_union_operator(self, graph):
+        other = Graph([t(EX.p9, RDF.type, EX.Diode), t(EX.p1, RDF.type, EX.Resistor)])
+        merged = graph | other
+        assert len(merged) == len(graph) + 1
+
+    def test_repr_mentions_size(self, graph):
+        assert "size=5" in repr(graph)

@@ -1,0 +1,198 @@
+"""Unit and property tests for the Turtle subset parser/serializer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdf import (
+    EX,
+    BNode,
+    Graph,
+    IRI,
+    Literal,
+    NamespaceManager,
+    RDF,
+    Triple,
+    TurtleParseError,
+    parse_turtle,
+    serialize_turtle,
+)
+from repro.rdf.terms import XSD_BOOLEAN, XSD_DECIMAL, XSD_INTEGER
+
+SAMPLE = """\
+@prefix ex: <http://example.org/> .
+@prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+
+# a product
+ex:p1 a ex:Resistor ;
+    ex:partNumber "CRCW0805-10K" ;
+    ex:ohms 10000 ;
+    ex:tolerance 5.0 ;
+    ex:active true ;
+    ex:label "Widerstand"@de , "resistor"@en .
+
+ex:p2 rdf:type ex:Capacitor .
+_:b0 ex:related _:b1 .
+"""
+
+
+class TestParser:
+    def test_parses_sample(self):
+        g = parse_turtle(SAMPLE)
+        assert Triple(EX.p1, RDF.type, EX.Resistor) in g
+        assert Triple(EX.p1, EX.partNumber, Literal("CRCW0805-10K")) in g
+        assert Triple(EX.p1, EX.ohms, Literal("10000", datatype=XSD_INTEGER)) in g
+        assert Triple(EX.p1, EX.tolerance, Literal("5.0", datatype=XSD_DECIMAL)) in g
+        assert Triple(EX.p1, EX.active, Literal("true", datatype=XSD_BOOLEAN)) in g
+        assert Triple(EX.p1, EX.label, Literal("Widerstand", language="de")) in g
+        assert Triple(EX.p1, EX.label, Literal("resistor", language="en")) in g
+        assert Triple(EX.p2, RDF.type, EX.Capacitor) in g
+        assert Triple(BNode("b0"), EX.related, BNode("b1")) in g
+
+    def test_object_and_predicate_lists_counts(self):
+        g = parse_turtle(SAMPLE)
+        assert len(list(g.triples(EX.p1, None, None))) == 7
+
+    def test_sparql_style_prefix(self):
+        g = parse_turtle('PREFIX ex: <http://example.org/>\nex:a ex:p ex:b .')
+        assert Triple(EX.a, EX.p, EX.b) in g
+
+    def test_default_prefix(self):
+        g = parse_turtle('@prefix : <http://example.org/> .\n:a :p :b .')
+        assert Triple(EX.a, EX.p, EX.b) in g
+
+    def test_full_iris(self):
+        g = parse_turtle("<http://example.org/a> <http://example.org/p> <http://example.org/b> .")
+        assert Triple(EX.a, EX.p, EX.b) in g
+
+    def test_long_literal(self):
+        text = '@prefix ex: <http://example.org/> .\nex:a ex:p """line1\nline2""" .'
+        g = parse_turtle(text)
+        (triple,) = g
+        assert triple.object.lexical == "line1\nline2"
+
+    def test_single_quote_literal(self):
+        g = parse_turtle("@prefix ex: <http://example.org/> .\nex:a ex:p 'hi' .")
+        (triple,) = g
+        assert triple.object == Literal("hi")
+
+    def test_typed_literal_with_pname_datatype(self):
+        text = (
+            "@prefix ex: <http://example.org/> .\n"
+            "@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .\n"
+            'ex:a ex:p "42"^^xsd:integer .'
+        )
+        g = parse_turtle(text)
+        (triple,) = g
+        assert triple.object == Literal("42", datatype=XSD_INTEGER)
+
+    def test_comments_ignored(self):
+        g = parse_turtle("# nothing\n# here\n")
+        assert len(g) == 0
+
+    def test_trailing_semicolon_before_dot(self):
+        g = parse_turtle(
+            "@prefix ex: <http://example.org/> .\nex:a ex:p ex:b ; .\n"
+        )
+        assert len(g) == 1
+
+    def test_negative_and_exponent_numbers(self):
+        g = parse_turtle(
+            "@prefix ex: <http://example.org/> .\nex:a ex:p -3 ; ex:q 1.5e3 ."
+        )
+        objs = {t.object for t in g}
+        assert Literal("-3", datatype=XSD_INTEGER) in objs
+        assert Literal("1.5e3", datatype=XSD_DECIMAL) in objs
+
+    @pytest.mark.parametrize(
+        "bad,message",
+        [
+            ("@base <http://x/> .", "base"),
+            ("@prefix ex: <http://x/> .\nex:a ex:p ( ex:b ) .", "collection"),
+            ("@prefix ex: <http://x/> .\nex:a ex:p [ ex:q ex:b ] .", "anonymous"),
+            ("@prefix ex: <http://x/> .\nex:a ex:p 'unterminated .", "unterminated"),
+            ("ex:a ex:p ex:b .", "unknown prefix"),
+            ("@prefix ex: <http://x/> .\nex:a ex:p ex:b", "expected '.'"),
+        ],
+    )
+    def test_unsupported_or_malformed(self, bad, message):
+        with pytest.raises(TurtleParseError) as exc:
+            parse_turtle(bad)
+        assert message.split()[0] in str(exc.value).lower()
+
+    def test_error_has_line_number(self):
+        with pytest.raises(TurtleParseError) as exc:
+            parse_turtle("@prefix ex: <http://x/> .\nex:a ex:p @@ .")
+        assert exc.value.line == 2
+
+
+class TestSerializer:
+    def test_roundtrip(self):
+        g = parse_turtle(SAMPLE)
+        nm = NamespaceManager()
+        nm.bind("ex", "http://example.org/")
+        text = serialize_turtle(g, nm)
+        g2 = parse_turtle(text)
+        assert set(g2) == set(g)
+
+    def test_groups_by_subject(self):
+        g = Graph(
+            [
+                Triple(EX.a, EX.p, Literal("1")),
+                Triple(EX.a, EX.q, Literal("2")),
+            ]
+        )
+        nm = NamespaceManager()
+        nm.bind("ex", "http://example.org/")
+        text = serialize_turtle(g, nm)
+        assert text.count("ex:a") == 1
+        assert ";" in text
+
+    def test_uses_a_for_rdf_type(self):
+        g = Graph([Triple(EX.a, RDF.type, EX.C)])
+        nm = NamespaceManager()
+        nm.bind("ex", "http://example.org/")
+        text = serialize_turtle(g, nm)
+        assert " a " in text
+
+    def test_only_used_prefixes_declared(self):
+        g = Graph([Triple(EX.a, EX.p, Literal("x"))])
+        nm = NamespaceManager()
+        nm.bind("ex", "http://example.org/")
+        text = serialize_turtle(g, nm)
+        assert "@prefix ex:" in text
+        assert "@prefix owl:" not in text
+
+    def test_empty_graph(self):
+        assert serialize_turtle(Graph()) == ""
+
+    def test_unbound_iris_serialized_in_angles(self):
+        g = Graph([Triple(IRI("http://other.example/x"), EX.p, EX.b)])
+        text = serialize_turtle(g)
+        assert "<http://other.example/x>" in text
+
+
+# property-based roundtrip over simple generated graphs --------------------
+
+_locals = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Nd")), min_size=1, max_size=8
+)
+_iris = _locals.map(lambda s: IRI("http://example.org/" + s))
+_literals = st.one_of(
+    st.text(max_size=30).map(Literal),
+    st.integers(-1000, 1000).map(lambda i: Literal(str(i), datatype=XSD_INTEGER)),
+    st.text(max_size=10).map(lambda s: Literal(s, language="en")),
+)
+_triples = st.builds(
+    Triple, _iris, _iris, st.one_of(_iris, _literals)
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(_triples, max_size=15))
+def test_property_turtle_roundtrip(triples):
+    g = Graph(triples)
+    nm = NamespaceManager()
+    nm.bind("ex", "http://example.org/")
+    text = serialize_turtle(g, nm)
+    assert set(parse_turtle(text)) == set(g)

@@ -1,0 +1,91 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nonsense"])
+
+    @pytest.mark.parametrize(
+        "command",
+        ["table1", "stats", "sweeps", "blocking", "generalization",
+         "generality", "export-rules"],
+    )
+    def test_commands_parse(self, command):
+        args = build_parser().parse_args([command])
+        assert args.command == command
+
+    def test_common_flags(self):
+        args = build_parser().parse_args(
+            ["table1", "--preset", "tiny", "--seed", "3", "--support-threshold", "0.01"]
+        )
+        assert args.preset == "tiny"
+        assert args.seed == 3
+        assert args.support_threshold == 0.01
+
+
+class TestExecution:
+    def test_table1_tiny(self, capsys):
+        code = main(["table1", "--preset", "tiny", "--support-threshold", "0.01"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "conf" in out
+
+    def test_stats_tiny(self, capsys):
+        code = main(["stats", "--preset", "tiny", "--support-threshold", "0.01"])
+        assert code == 0
+        assert "distinct segments" in capsys.readouterr().out
+
+    def test_export_rules_json_stdout(self, capsys):
+        code = main(
+            ["export-rules", "--preset", "tiny", "--support-threshold", "0.02"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format"] == "repro-classification-rules"
+        assert payload["rule_count"] > 0
+
+    def test_export_rules_turtle_file(self, tmp_path, capsys):
+        target = tmp_path / "rules.ttl"
+        code = main(
+            [
+                "export-rules", "--preset", "tiny",
+                "--support-threshold", "0.02",
+                "--format", "turtle",
+                "--min-confidence", "0.8",
+                "--output", str(target),
+            ]
+        )
+        assert code == 0
+        text = target.read_text()
+        assert "rule:ClassificationRule" in text or "a rule:" in text or "rule:" in text
+
+    def test_export_rules_roundtrip_through_file(self, tmp_path):
+        from repro.core.serialize import rules_from_json
+
+        target = tmp_path / "rules.json"
+        main(
+            [
+                "export-rules", "--preset", "tiny",
+                "--support-threshold", "0.02",
+                "--output", str(target),
+            ]
+        )
+        rules = rules_from_json(target.read_text())
+        assert len(rules) > 0
+
+    def test_generality(self, capsys):
+        code = main(["generality", "--preset", "tiny"])
+        assert code == 0
+        assert "toponym" in capsys.readouterr().out

@@ -1,0 +1,136 @@
+"""Failure-injection tests: degraded, hostile and degenerate inputs.
+
+A production pipeline meets broken provider files, half-typed catalogs
+and pathological training sets; none of these may crash the learner or
+silently corrupt measures.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    LearnerConfig,
+    RuleClassifier,
+    RuleLearner,
+    SameAsLink,
+    TrainingSet,
+)
+from repro.ontology import Ontology
+from repro.rdf import EX, Graph, IRI, Literal, NTriplesParseError, Triple, parse_ntriples
+from repro.text import SeparatorSegmenter
+
+
+def make_ts(rows, ontology=None):
+    """rows: (external id, part number or None, class name or None)"""
+    onto = ontology or Ontology()
+    graph = Graph()
+    links = []
+    for i, (ext_name, part_number, class_name) in enumerate(rows):
+        ext, loc = EX[ext_name], EX[f"loc{i}"]
+        if part_number is not None:
+            graph.add(Triple(ext, EX.partNumber, Literal(part_number)))
+        if class_name is not None:
+            cls = EX[class_name]
+            if cls not in onto:
+                onto.add_class(cls)
+            onto.add_instance(loc, cls)
+        links.append(SameAsLink(external=ext, local=loc))
+    return TrainingSet(links, external=graph, ontology=onto)
+
+
+class TestDegradedTrainingData:
+    def test_links_without_property_values(self):
+        ts = make_ts([("e1", None, "C"), ("e2", "ohm-1", "C"), ("e3", "ohm-2", "C")])
+        rules = RuleLearner(LearnerConfig(support_threshold=0.1)).learn(ts)
+        by_key = {(r.segment, r.conclusion) for r in rules}
+        assert ("ohm", EX.C) in by_key
+
+    def test_links_without_classes(self):
+        ts = make_ts([("e1", "ohm-1", None), ("e2", "ohm-2", None), ("e3", "ohm-3", "C")])
+        rules = RuleLearner(LearnerConfig(support_threshold=0.1)).learn(ts)
+        # class C appears once of 3 -> frequency 1/3 > 0.1 -> rule exists,
+        # but confidence counts only the one classified link
+        for rule in rules:
+            assert rule.counts.both <= rule.counts.premise
+
+    def test_all_links_classless_yields_no_rules(self):
+        ts = make_ts([("e1", "ohm-1", None), ("e2", "ohm-2", None)])
+        rules = RuleLearner(LearnerConfig(support_threshold=0.1)).learn(ts)
+        assert len(rules) == 0
+
+    def test_empty_values_yield_no_segments(self):
+        ts = make_ts([("e1", "", "C"), ("e2", "---", "C")])
+        rules = RuleLearner(LearnerConfig(support_threshold=0.1)).learn(ts)
+        assert len(rules) == 0
+
+    def test_single_link_training_set(self):
+        ts = make_ts([("e1", "ohm-1", "C")])
+        rules = RuleLearner(LearnerConfig(support_threshold=0.1)).learn(ts)
+        assert {r.segment for r in rules} == {"ohm", "1"}
+        assert all(r.confidence == 1.0 for r in rules)
+
+    def test_unicode_heavy_values(self):
+        ts = make_ts(
+            [
+                ("e1", "Ω-10kΩ-ohm", "C"),
+                ("e2", "µF-uf-100", "C"),
+                ("e3", "ohm-uf-⚡", "C"),
+            ]
+        )
+        rules = RuleLearner(LearnerConfig(support_threshold=0.1)).learn(ts)
+        # non-alphanumeric (incl. Ω, µ after fold...) chars separate; the
+        # learner must not crash and must find the ascii segments
+        assert any(r.segment == "ohm" for r in rules)
+
+    def test_extremely_long_value(self):
+        ts = make_ts([("e1", "-".join(["seg"] * 5000), "C")])
+        rules = RuleLearner(LearnerConfig(support_threshold=0.1)).learn(ts)
+        (rule,) = [r for r in rules if r.segment == "seg"]
+        assert rule.counts.premise == 1  # set semantics survive scale
+
+
+class TestClassifierRobustness:
+    @pytest.fixture
+    def classifier(self):
+        ts = make_ts(
+            [("e1", "ohm-1", "C"), ("e2", "ohm-2", "C"), ("e3", "uf-1", "D")]
+        )
+        rules = RuleLearner(LearnerConfig(support_threshold=0.1)).learn(ts)
+        return RuleClassifier(rules)
+
+    def test_item_absent_from_graph(self, classifier):
+        assert classifier.predict(EX.ghost, Graph()) == []
+
+    def test_iri_valued_property_ignored(self, classifier):
+        graph = Graph([Triple(EX.x, EX.partNumber, EX.not_a_literal)])
+        assert classifier.predict(EX.x, graph) == []
+
+    def test_empty_rule_set(self):
+        classifier = RuleClassifier([])
+        graph = Graph([Triple(EX.x, EX.partNumber, Literal("ohm"))])
+        assert classifier.predict(EX.x, graph) == []
+
+
+class TestHostileNtriples:
+    @settings(max_examples=200, deadline=None)
+    @given(st.text(max_size=80))
+    def test_parser_never_crashes_unexpectedly(self, text):
+        """Any input either parses or raises NTriplesParseError."""
+        try:
+            parse_ntriples(text)
+        except NTriplesParseError:
+            pass
+
+    def test_null_bytes(self):
+        with pytest.raises(NTriplesParseError):
+            parse_ntriples("<http://x/s> <http://x/p> \x00 .\n")
+
+
+class TestSegmenterRobustness:
+    @settings(max_examples=200, deadline=None)
+    @given(st.text(max_size=200))
+    def test_separator_segmenter_total(self, value):
+        segments = SeparatorSegmenter()(value)
+        assert isinstance(segments, list)
+        assert all(isinstance(s, str) and s for s in segments)

@@ -1,0 +1,151 @@
+"""End-to-end integration tests: the full paper workflow.
+
+Dataset (provenance graphs) -> TrainingSet -> Algorithm 1 -> classifier
+-> linking subspace -> matcher -> sameAs links -> evaluation, on a
+small generated catalog. These tests cross every package boundary.
+"""
+
+import pytest
+
+from repro import (
+    CatalogConfig,
+    ElectronicCatalogGenerator,
+    FieldComparator,
+    LearnerConfig,
+    LinkingPipeline,
+    LinkingSubspace,
+    RecordComparator,
+    RecordStore,
+    RuleBasedBlocking,
+    RuleClassifier,
+    RuleLearner,
+    ThresholdMatcher,
+    TrainingSet,
+    evaluate_matching,
+)
+from repro.core.serialize import rules_from_json, rules_to_json
+from repro.datagen.catalog import PART_NUMBER
+from repro.rdf import OWL
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return ElectronicCatalogGenerator(CatalogConfig.small()).generate()
+
+
+@pytest.fixture(scope="module")
+def rules(catalog):
+    learner = RuleLearner(
+        LearnerConfig(properties=(PART_NUMBER,), support_threshold=0.004)
+    )
+    return learner.learn(catalog.to_training_set())
+
+
+class TestDatasetRoundtrip:
+    def test_training_set_from_provenance_dataset(self, catalog):
+        dataset = catalog.to_dataset()
+        ts = TrainingSet.from_dataset(dataset, catalog.ontology)
+        assert len(ts) == len(catalog.links)
+        # provenance graphs hold what they should
+        assert len(dataset.graph("links")) == len(catalog.links)
+        first = catalog.links[0]
+        assert next(
+            dataset.graph("links").triples(first.external, OWL.sameAs, first.local),
+            None,
+        )
+
+
+class TestLearnClassifyReduce:
+    def test_rules_survive_serialization_and_still_classify(self, catalog, rules):
+        reloaded = rules_from_json(rules_to_json(rules))
+        classifier = RuleClassifier(reloaded.with_min_confidence(0.8))
+        ts = catalog.to_training_set()
+        decided = classifier.decided_items(
+            [link.external for link in ts.links[:300]], ts.external_graph
+        )
+        assert len(decided) > 30
+
+    def test_subspace_reduction_factor(self, catalog, rules):
+        classifier = RuleClassifier(rules.with_min_confidence(0.8))
+        ts = catalog.to_training_set()
+        items = [link.external for link in ts.links[:300]]
+        predictions = classifier.predict_all(items, ts.external_graph)
+        subspace = LinkingSubspace.from_predictions(predictions, catalog.ontology)
+        reduction = subspace.reduction(total_local=len(catalog.items))
+        assert reduction.naive_pairs == 300 * len(catalog.items)
+        assert reduction.reduced_pairs < reduction.naive_pairs
+        assert reduction.reduction_factor > 1.0
+
+    def test_predictions_mostly_correct(self, catalog, rules):
+        classifier = RuleClassifier(rules.with_min_confidence(0.8))
+        ts = catalog.to_training_set()
+        correct = 0
+        decided = 0
+        for example in ts.examples([PART_NUMBER])[:500]:
+            predictions = classifier.predict(example.link.external, ts.external_graph)
+            if not predictions:
+                continue
+            decided += 1
+            if predictions[0].predicted_class in example.classes:
+                correct += 1
+        assert decided > 50
+        assert correct / decided > 0.85
+
+
+class TestFullLinkingRun:
+    def test_rule_blocking_plus_matcher_finds_links(self, catalog, rules):
+        ts = catalog.to_training_set()
+        classifier = RuleClassifier(rules.with_min_confidence(0.4))
+        items = [link.external for link in ts.links[:200]]
+        truth = [(link.external, link.local) for link in ts.links[:200]]
+
+        external = RecordStore.from_graph(
+            ts.external_graph, {"pn": PART_NUMBER}, subjects=items
+        )
+        local = RecordStore.from_graph(catalog.local_graph, {"pn": PART_NUMBER})
+
+        pipeline = LinkingPipeline(
+            RuleBasedBlocking(
+                classifier, catalog.ontology, ts.external_graph, fallback_full=False
+            ),
+            RecordComparator([FieldComparator("pn")]),
+            ThresholdMatcher(match_threshold=0.9),
+        )
+        result = pipeline.run(external, local)
+        assert result.compared < result.naive_pairs
+        quality = result.matching_quality(truth)
+        # precision must be high; recall is bounded by rule coverage
+        assert quality.precision > 0.9
+        assert quality.recall > 0.2
+
+    def test_sameas_output_feeds_back_as_training_data(self, catalog, rules):
+        """Bootstrapping: links found by the pipeline can seed a new TS."""
+        ts = catalog.to_training_set()
+        classifier = RuleClassifier(rules.with_min_confidence(0.4))
+        items = [link.external for link in ts.links[:200]]
+        external = RecordStore.from_graph(
+            ts.external_graph, {"pn": PART_NUMBER}, subjects=items
+        )
+        local = RecordStore.from_graph(catalog.local_graph, {"pn": PART_NUMBER})
+        pipeline = LinkingPipeline(
+            RuleBasedBlocking(
+                classifier, catalog.ontology, ts.external_graph, fallback_full=False
+            ),
+            RecordComparator([FieldComparator("pn")]),
+            ThresholdMatcher(match_threshold=0.95),
+        )
+        result = pipeline.run(external, local)
+        links_graph = result.sameas_graph()
+        if len(links_graph) == 0:
+            pytest.skip("matcher found no confident links at this threshold")
+        from repro.rdf import Dataset
+
+        dataset = Dataset()
+        dataset.external.add_all(ts.external_graph.triples())
+        dataset.local.add_all(catalog.local_graph.triples())
+        dataset.graph("links").add_all(links_graph.triples())
+        new_ts = TrainingSet.from_dataset(dataset, catalog.ontology)
+        new_rules = RuleLearner(
+            LearnerConfig(properties=(PART_NUMBER,), support_threshold=0.02)
+        ).learn(new_ts)
+        assert len(new_rules) >= 0  # learning on bootstrapped links works

@@ -1,0 +1,188 @@
+"""Unit and property tests for normalization and segmentation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text import (
+    CompositeSegmenter,
+    NGramSegmenter,
+    NormalizationConfig,
+    SeparatorSegmenter,
+    TokenSegmenter,
+    normalize_value,
+    segment_statistics,
+    strip_accents,
+)
+
+
+class TestNormalize:
+    def test_default_pipeline(self):
+        assert normalize_value("  CRCW0805\t10K ") == "crcw0805 10k"
+
+    def test_accents(self):
+        assert strip_accents("Saïs Pernelle à côté") == "Sais Pernelle a cote"
+
+    def test_disable_casefold(self):
+        config = NormalizationConfig(casefold=False)
+        assert normalize_value("ABC", config) == "ABC"
+
+    def test_disable_all(self):
+        config = NormalizationConfig(
+            casefold=False, remove_accents=False, collapse_whitespace=False, strip=False
+        )
+        assert normalize_value("  É  x ", config) == "  É  x "
+
+    def test_idempotent(self):
+        once = normalize_value("  Mixed  CASE é ")
+        assert normalize_value(once) == once
+
+
+class TestSeparatorSegmenter:
+    def test_paper_example_any_non_alphanumeric(self):
+        seg = SeparatorSegmenter()
+        assert seg.segment("CRCW0805-10K 5%") == ["crcw0805", "10k", "5"]
+
+    def test_multiple_adjacent_separators(self):
+        seg = SeparatorSegmenter()
+        assert seg.segment("T83--220uF..35V") == ["t83", "220uf", "35v"]
+
+    def test_explicit_separator_set(self):
+        seg = SeparatorSegmenter(separators="-")
+        assert seg.segment("a-b c-d") == ["a", "b c", "d"]
+
+    def test_min_length_filters(self):
+        seg = SeparatorSegmenter(min_length=2)
+        assert seg.segment("a-bc-d-ef") == ["bc", "ef"]
+
+    def test_empty_value(self):
+        assert SeparatorSegmenter().segment("") == []
+
+    def test_only_separators(self):
+        assert SeparatorSegmenter().segment("--..  ") == []
+
+    def test_distinct_segments(self):
+        seg = SeparatorSegmenter()
+        assert seg.distinct_segments("x-y-x") == frozenset({"x", "y"})
+
+    def test_callable_protocol(self):
+        seg = SeparatorSegmenter()
+        assert seg("a-b") == seg.segment("a-b")
+
+
+class TestNGramSegmenter:
+    def test_bigrams(self):
+        assert NGramSegmenter(n=2).segment("t83") == ["t8", "83"]
+
+    def test_trigram(self):
+        assert NGramSegmenter(n=3).segment("ohm") == ["ohm"]
+
+    def test_short_value_returned_whole(self):
+        assert NGramSegmenter(n=5).segment("ab") == ["ab"]
+
+    def test_empty(self):
+        assert NGramSegmenter(n=2).segment("") == []
+
+    def test_padding(self):
+        grams = NGramSegmenter(n=2, pad=True).segment("ab")
+        assert grams == ["#a", "ab", "b#"]
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            NGramSegmenter(n=0)
+
+    def test_count_formula(self):
+        value = "abcdef"
+        grams = NGramSegmenter(n=2).segment(value)
+        assert len(grams) == len(value) - 1
+
+
+class TestTokenSegmenter:
+    def test_tokens(self):
+        seg = TokenSegmenter()
+        assert seg.segment("Dresden Elbe Valley") == ["dresden", "elbe", "valley"]
+
+    def test_stopwords(self):
+        seg = TokenSegmenter(stopwords=frozenset({"de", "la"}))
+        assert seg.segment("Place de la Concorde") == ["place", "concorde"]
+
+    def test_min_length(self):
+        seg = TokenSegmenter(min_length=3)
+        assert seg.segment("Museum of Art") == ["museum", "art"]
+
+
+class TestCompositeSegmenter:
+    def test_union_keeps_duplicates_across_strategies(self):
+        comp = CompositeSegmenter((SeparatorSegmenter(), NGramSegmenter(n=2)))
+        got = comp.segment("ab-c")
+        assert got == ["ab", "c", "ab", "b-", "-c"]
+
+    def test_empty_tuple_rejected(self):
+        with pytest.raises(ValueError):
+            CompositeSegmenter(())
+
+
+class TestSegmentStatistics:
+    def test_counts(self):
+        stats = segment_statistics(
+            ["a-b", "a-c", "a-b"], SeparatorSegmenter()
+        )
+        assert stats.distinct_segments == 3
+        assert stats.total_occurrences == 6
+        assert stats.occurrences["a"] == 3
+        assert stats.most_common(1) == [("a", 3)]
+
+    def test_occurrences_above(self):
+        stats = segment_statistics(["a-b", "a-c", "a-b"], SeparatorSegmenter())
+        # segments occurring more than once: a (3), b (2) -> 5 occurrences
+        assert stats.occurrences_above(1) == 5
+
+    def test_empty_corpus(self):
+        stats = segment_statistics([], SeparatorSegmenter())
+        assert stats.distinct_segments == 0
+        assert stats.total_occurrences == 0
+
+
+# ---------------------------------------------------------------------------
+# property-based tests
+# ---------------------------------------------------------------------------
+
+printable = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=40
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(printable)
+def test_property_separator_segments_are_alphanumeric(value):
+    for segment in SeparatorSegmenter().segment(value):
+        assert segment.isalnum()
+
+
+@settings(max_examples=200, deadline=None)
+@given(printable)
+def test_property_separator_segments_appear_in_normalized_value(value):
+    normalized = normalize_value(value)
+    for segment in SeparatorSegmenter().segment(value):
+        assert segment in normalized
+
+
+@settings(max_examples=200, deadline=None)
+@given(printable, st.integers(min_value=1, max_value=5))
+def test_property_ngram_lengths(value, n):
+    grams = NGramSegmenter(n=n).segment(value)
+    normalized = normalize_value(value)
+    if not normalized:
+        assert grams == []
+    elif len(normalized) < n:
+        assert grams == [normalized]
+    else:
+        assert all(len(g) == n for g in grams)
+        assert len(grams) == len(normalized) - n + 1
+
+
+@settings(max_examples=200, deadline=None)
+@given(printable)
+def test_property_normalization_idempotent(value):
+    once = normalize_value(value)
+    assert normalize_value(once) == once

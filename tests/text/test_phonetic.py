@@ -1,0 +1,98 @@
+"""Unit tests for phonetic encoders."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text import nysiis, soundex
+
+
+class TestSoundex:
+    @pytest.mark.parametrize(
+        "name,code",
+        [
+            ("Robert", "R163"),
+            ("Rupert", "R163"),
+            ("Ashcraft", "A261"),
+            ("Ashcroft", "A261"),
+            ("Tymczak", "T522"),
+            ("Pfister", "P236"),
+            ("Honeyman", "H555"),
+            ("Jackson", "J250"),
+        ],
+    )
+    def test_reference_codes(self, name, code):
+        assert soundex(name) == code
+
+    def test_case_insensitive(self):
+        assert soundex("ROBERT") == soundex("robert")
+
+    def test_empty(self):
+        assert soundex("") == ""
+        assert soundex("123") == ""
+
+    def test_non_alpha_stripped(self):
+        assert soundex("O'Brien") == soundex("OBrien")
+
+    def test_padding(self):
+        assert soundex("Lee") == "L000"
+
+    def test_custom_length(self):
+        assert soundex("Jackson", length=6) == "J25000"
+
+
+class TestNysiis:
+    @pytest.mark.parametrize(
+        "name,code",
+        [
+            ("MACINTOSH", "MCANT"),
+            ("KNIGHT", "NAGT"),
+            ("PHILIP", "FALAP"),
+            ("SCHMIDT", "SNAD"),
+        ],
+    )
+    def test_reference_codes(self, name, code):
+        assert nysiis(name) == code
+
+    def test_spelling_variants_collide(self):
+        assert nysiis("Stevens") == nysiis("Stephens")
+
+    def test_empty(self):
+        assert nysiis("") == ""
+        assert nysiis("42!") == ""
+
+    def test_uppercase_output(self):
+        code = nysiis("anderson")
+        assert code == code.upper()
+
+
+ascii_names = st.text(alphabet=st.sampled_from("abcdefghijklmnopqrstuvwxyz"), min_size=1, max_size=15)
+
+
+@settings(max_examples=200, deadline=None)
+@given(ascii_names)
+def test_property_soundex_shape(name):
+    code = soundex(name)
+    assert len(code) == 4
+    assert code[0].isalpha() and code[0].isupper()
+    assert all(c.isdigit() for c in code[1:])
+
+
+@settings(max_examples=200, deadline=None)
+@given(ascii_names)
+def test_property_nysiis_nonempty_alpha(name):
+    code = nysiis(name)
+    code = nysiis(name)
+    # NYSIIS transcodes both leading (k->c, ph->f, ...) and trailing
+    # ("ee"->"y") letter groups, so no letter of the input is guaranteed to
+    # survive; the invariants are shape-only.
+    assert code
+    assert code.isalpha()
+    assert code == code.upper()
+
+
+@settings(max_examples=200, deadline=None)
+@given(ascii_names)
+def test_property_encoders_deterministic(name):
+    assert soundex(name) == soundex(name)
+    assert nysiis(name) == nysiis(name)

@@ -1,0 +1,115 @@
+"""Unit and property tests for the extended similarity measures."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text import (
+    lcs_similarity,
+    levenshtein_distance,
+    longest_common_subsequence,
+    overlap_coefficient,
+    smith_waterman_similarity,
+)
+
+
+class TestLCS:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ("", "", 0),
+            ("abc", "", 0),
+            ("abc", "abc", 3),
+            ("abc", "axc", 2),
+            ("abcdef", "acf", 3),
+            ("xmjyauz", "mzjawxu", 4),
+        ],
+    )
+    def test_known_lengths(self, a, b, expected):
+        assert longest_common_subsequence(a, b) == expected
+
+    def test_similarity_bounds(self):
+        assert lcs_similarity("", "") == 1.0
+        assert lcs_similarity("abc", "abc") == 1.0
+        assert lcs_similarity("abc", "xyz") == 0.0
+
+    def test_subsequence_not_substring(self):
+        # 'ace' is a subsequence of 'abcde' but not a substring
+        assert longest_common_subsequence("abcde", "ace") == 3
+
+
+class TestOverlap:
+    def test_subset_gives_one(self):
+        assert overlap_coefficient(["a", "b"], ["a", "b", "c"]) == 1.0
+
+    def test_partial(self):
+        assert overlap_coefficient(["a", "b"], ["b", "c", "d"]) == pytest.approx(0.5)
+
+    def test_empty_cases(self):
+        assert overlap_coefficient([], []) == 1.0
+        assert overlap_coefficient(["a"], []) == 0.0
+
+    def test_geq_jaccard(self):
+        from repro.text import jaccard_similarity
+
+        a, b = ["a", "b", "c"], ["b", "c", "d", "e"]
+        assert overlap_coefficient(a, b) >= jaccard_similarity(a, b)
+
+
+class TestSmithWaterman:
+    def test_identical(self):
+        assert smith_waterman_similarity("crcw0805", "crcw0805") == pytest.approx(1.0)
+
+    def test_embedded_code_scores_high(self):
+        # the series code is embedded in decoration on both sides
+        assert smith_waterman_similarity("xx-crcw0805-yy", "crcw0805") == (
+            pytest.approx(1.0)
+        )
+
+    def test_disjoint_strings(self):
+        assert smith_waterman_similarity("aaa", "zzz") == 0.0
+
+    def test_empty(self):
+        assert smith_waterman_similarity("", "") == 1.0
+        assert smith_waterman_similarity("a", "") == 0.0
+
+    def test_invalid_match_score(self):
+        with pytest.raises(ValueError):
+            smith_waterman_similarity("a", "b", match_score=0)
+
+    def test_local_beats_global_on_prefix_noise(self):
+        from repro.text import levenshtein_similarity
+
+        a, b = "junkjunkT83", "T83"
+        assert smith_waterman_similarity(a.lower(), b.lower()) > (
+            levenshtein_similarity(a.lower(), b.lower())
+        )
+
+
+short_text = st.text(
+    alphabet=st.characters(min_codepoint=97, max_codepoint=110), max_size=10
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(short_text, short_text)
+def test_property_lcs_symmetric_and_bounded(a, b):
+    lcs = longest_common_subsequence(a, b)
+    assert lcs == longest_common_subsequence(b, a)
+    assert 0 <= lcs <= min(len(a), len(b))
+
+
+@settings(max_examples=150, deadline=None)
+@given(short_text, short_text)
+def test_property_lcs_vs_levenshtein(a, b):
+    """len(a) + len(b) - 2*LCS >= levenshtein (indel-only distance bound)."""
+    lcs = longest_common_subsequence(a, b)
+    assert len(a) + len(b) - 2 * lcs >= levenshtein_distance(a, b)
+
+
+@settings(max_examples=150, deadline=None)
+@given(short_text, short_text)
+def test_property_smith_waterman_bounds(a, b):
+    sim = smith_waterman_similarity(a, b)
+    assert 0.0 <= sim <= 1.0 + 1e-9
+    assert sim == pytest.approx(smith_waterman_similarity(b, a))
