@@ -100,6 +100,15 @@ from repro.linking import (
     evaluate_matching,
 )
 
+# batch linking engine
+from repro.engine import (
+    CachedRecordComparator,
+    EngineProgress,
+    EngineStats,
+    JobConfig,
+    LinkingJob,
+)
+
 # data generation
 from repro.datagen import (
     CatalogConfig,
@@ -132,6 +141,9 @@ __all__ = [
     "FieldComparator", "RecordComparator", "ThresholdMatcher",
     "FellegiSunterMatcher", "LinkingPipeline",
     "evaluate_blocking", "evaluate_matching",
+    # engine
+    "CachedRecordComparator", "EngineProgress", "EngineStats",
+    "JobConfig", "LinkingJob",
     # datagen
     "CatalogConfig", "ElectronicCatalogGenerator",
     "Corruptor", "CorruptionConfig",

@@ -9,6 +9,9 @@ export/import utility:
 * ``blocking`` — the blocking-baseline comparison (A3);
 * ``generalization`` — the future-work subsumption experiment (X1);
 * ``generality`` — the second-domain (toponym) experiment (X2);
+* ``link`` — run an end-to-end batch linking job through the engine
+  (chunked, cached, optionally parallel) and report throughput;
+* ``throughput`` — the engine throughput experiment (A5);
 * ``export-rules`` — learn on a preset catalog and write the rules as
   JSON or Turtle.
 """
@@ -98,14 +101,17 @@ def _cmd_sweeps(args: argparse.Namespace) -> int:
 
 
 def _cmd_blocking(args: argparse.Namespace) -> int:
-    from repro.experiments.blocking_comparison import run_blocking_comparison
+    from repro.experiments.blocking_comparison import (
+        BLOCKING_COMPARISON_HEADER,
+        run_blocking_comparison,
+    )
 
     rows = run_blocking_comparison(
         _generate(args),
         n_test_items=args.test_items,
         support_threshold=args.support_threshold,
     )
-    print(f"{'method':<22}{'pairs':<12}{'RR':>8} {'PC':>9} {'PQ':>9} {'time':>9}")
+    print(BLOCKING_COMPARISON_HEADER)
     for row in rows:
         print(row.format())
     return 0
@@ -127,6 +133,140 @@ def _cmd_generality(args: argparse.Namespace) -> int:
     from repro.experiments.generality import run_generality
 
     print(run_generality().format())
+    return 0
+
+
+def _job_config(args: argparse.Namespace):
+    """Engine configuration from the shared engine flags."""
+    from repro.engine import JobConfig
+
+    on_progress = None
+    if args.progress:
+        def on_progress(progress):
+            print(progress.format(), file=sys.stderr)
+
+    return JobConfig(
+        chunk_size=args.chunk_size,
+        executor=args.executor,
+        workers=args.workers,
+        cache_size=args.cache_size,
+        on_progress=on_progress,
+    )
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _non_negative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    from repro.engine import DEFAULT_CACHE_SIZE, EXECUTORS
+
+    parser.add_argument(
+        "--executor",
+        choices=EXECUTORS,
+        default="auto",
+        help="execution strategy (default: auto = process when CPUs allow)",
+    )
+    parser.add_argument(
+        "--workers", type=_positive_int, default=None, help="worker count"
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=_positive_int,
+        default=1024,
+        help="candidate pairs per chunk",
+    )
+    parser.add_argument(
+        "--cache-size",
+        type=_non_negative_int,
+        default=DEFAULT_CACHE_SIZE,
+        help="similarity-cache capacity per worker (0 disables)",
+    )
+    parser.add_argument(
+        "--progress", action="store_true", help="print per-chunk progress to stderr"
+    )
+
+
+def _cmd_link(args: argparse.Namespace) -> int:
+    from repro.core.classifier import RuleClassifier
+    from repro.engine import LinkingJob
+    from repro.experiments.throughput import provider_batch
+    from repro.linking import (
+        FieldComparator,
+        RecordComparator,
+        RecordStore,
+        RuleBasedBlocking,
+        SortedNeighbourhood,
+        StandardBlocking,
+        ThresholdMatcher,
+    )
+
+    catalog = _generate(args)
+    batch_seed = 4242 if args.seed is None else args.seed
+    test_graph, truth = provider_batch(catalog, args.test_items, seed=batch_seed)
+    external = RecordStore.from_graph(test_graph, {"pn": PART_NUMBER})
+    local = RecordStore.from_graph(catalog.local_graph, {"pn": PART_NUMBER})
+
+    if args.blocking in ("rules", "rules-strict"):
+        rules = RuleLearner(
+            LearnerConfig(
+                properties=(PART_NUMBER,), support_threshold=args.support_threshold
+            )
+        ).learn(catalog.to_training_set())
+        blocking = RuleBasedBlocking(
+            RuleClassifier(rules.with_min_confidence(0.4)),
+            catalog.ontology,
+            test_graph,
+            fallback_full=args.blocking == "rules",
+        )
+    elif args.blocking == "sorted":
+        blocking = SortedNeighbourhood.on_field("pn", window_size=7)
+    else:
+        blocking = StandardBlocking.on_field_prefix("pn", length=4)
+
+    job = LinkingJob(
+        blocking,
+        RecordComparator([FieldComparator("pn")]),
+        ThresholdMatcher(match_threshold=args.match_threshold),
+        _job_config(args),
+    )
+    result = job.run(external, local)
+    quality = result.matching_quality(truth)
+    print(
+        f"linked {len(result.matches)} of {len(external)} provider records "
+        f"against {len(local)} catalog records "
+        f"({result.compared} of {result.naive_pairs} pairs compared)"
+    )
+    print(str(quality))
+    print(result.stats.format())
+    return 0
+
+
+def _cmd_throughput(args: argparse.Namespace) -> int:
+    from repro.experiments.throughput import (
+        THROUGHPUT_HEADER,
+        run_linking_throughput,
+    )
+
+    rows = run_linking_throughput(
+        _generate(args),
+        sizes=tuple(args.sizes),
+        job_config=_job_config(args),
+        seed=4242 if args.seed is None else args.seed,
+    )
+    print(THROUGHPUT_HEADER)
+    for row in rows:
+        print(row.format())
     return 0
 
 
@@ -174,6 +314,28 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(blocking)
     blocking.add_argument("--test-items", type=int, default=300)
     blocking.set_defaults(handler=_cmd_blocking)
+
+    link = sub.add_parser("link", help="batch-link a provider file via the engine")
+    _add_common(link)
+    _add_engine_flags(link)
+    link.add_argument("--test-items", type=_positive_int, default=300)
+    link.add_argument(
+        "--blocking",
+        choices=("rules", "rules-strict", "prefix", "sorted"),
+        default="prefix",
+        help="candidate generation method (default: prefix)",
+    )
+    link.add_argument("--match-threshold", type=float, default=0.9)
+    link.set_defaults(handler=_cmd_link)
+
+    throughput = sub.add_parser("throughput", help="engine throughput A5")
+    _add_common(throughput)
+    _add_engine_flags(throughput)
+    throughput.add_argument(
+        "--sizes", type=_positive_int, nargs="+", default=[200, 400, 800],
+        help="provider batch sizes to sweep",
+    )
+    throughput.set_defaults(handler=_cmd_throughput)
 
     generalization = next(
         action for action in sub.choices.values() if action.prog.endswith("generalization")

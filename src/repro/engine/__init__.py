@@ -1,0 +1,40 @@
+"""The batch linking engine: the execution substrate for linking runs.
+
+The paper's contribution makes the *candidate set* small; this package
+makes *executing* a candidate set fast. A :class:`LinkingJob` takes the
+same ingredients as :class:`~repro.linking.pipeline.LinkingPipeline`
+(blocking method, record comparator, match decider) and executes them as
+a streaming, chunked, optionally parallel batch job:
+
+* candidate pairs are drained in configurable chunks;
+* per-attribute similarity calls are memoized in an LRU cache keyed on
+  normalized value pairs and shared across pairs
+  (:class:`CachedRecordComparator`) — blocking makes value repetition
+  common, so the cache pays for itself quickly;
+* chunks fan out over a thread or process pool with a serial fallback,
+  and every executor produces identical matches in identical order;
+* each run reports :class:`EngineStats` (pairs/sec, cache hit rate,
+  chunk count) on ``LinkingResult.stats``.
+
+``LinkingPipeline`` is now a thin serial facade over this engine;
+future scaling work (sharding, async backends) plugs in here.
+"""
+
+from repro.engine.cache import (
+    DEFAULT_CACHE_SIZE,
+    CachedRecordComparator,
+    LRUCache,
+)
+from repro.engine.job import EXECUTORS, JobConfig, LinkingJob
+from repro.engine.stats import EngineProgress, EngineStats
+
+__all__ = [
+    "DEFAULT_CACHE_SIZE",
+    "CachedRecordComparator",
+    "LRUCache",
+    "EXECUTORS",
+    "JobConfig",
+    "LinkingJob",
+    "EngineProgress",
+    "EngineStats",
+]

@@ -1,0 +1,183 @@
+"""Similarity memoization for the batch linking engine.
+
+Blocking deliberately groups records with shared key material, so the
+same (normalized) value pair is compared over and over — across
+candidate pairs, not just within one. :class:`CachedRecordComparator`
+wraps a :class:`~repro.linking.comparators.RecordComparator` and
+memoizes every per-field similarity call in an LRU cache keyed on the
+normalized value pair, sharing the work across all pairs of a job.
+
+The cached comparator is a drop-in replacement: for any record pair it
+produces a :class:`~repro.linking.comparators.ComparisonVector` equal to
+what the uncached comparator would produce (same similarities, same
+aggregate — memoization only skips recomputation, never changes it).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Hashable, Optional
+
+from repro.linking.comparators import FieldComparator, RecordComparator
+from repro.linking.records import Record
+from repro.text.normalize import normalize_value
+
+#: Default LRU capacity: generous for catalog-scale value vocabularies.
+DEFAULT_CACHE_SIZE = 100_000
+
+_MISS = object()
+
+
+class LRUCache:
+    """A counting LRU cache over hashable keys.
+
+    ``max_size <= 0`` disables storage entirely (every lookup misses and
+    nothing is retained) so callers can switch memoization off without
+    branching. An optional lock makes ``get``/``put`` safe under the
+    thread executor; the serial and process paths pass ``lock=None`` and
+    pay nothing.
+    """
+
+    def __init__(self, max_size: int, lock: Optional[threading.Lock] = None) -> None:
+        self._max_size = max_size
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._lock = lock
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def max_size(self) -> int:
+        """Capacity; ``<= 0`` means caching is disabled."""
+        return self._max_size
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over total lookups (0.0 before any lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def get(self, key: Hashable) -> object:
+        """The cached value, or the module-private miss sentinel."""
+        if self._lock is not None:
+            with self._lock:
+                return self._get(key)
+        return self._get(key)
+
+    def _get(self, key: Hashable) -> object:
+        if self._max_size <= 0:
+            return _MISS  # disabled: no storage, no counters
+        value = self._entries.get(key, _MISS)
+        if value is _MISS:
+            self.misses += 1
+            return _MISS
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Insert, evicting the least recently used entry when full."""
+        if self._max_size <= 0:
+            return
+        if self._lock is not None:
+            with self._lock:
+                self._put(key, value)
+        else:
+            self._put(key, value)
+
+    def _put(self, key: Hashable, value: object) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        if len(self._entries) > self._max_size:
+            self._entries.popitem(last=False)
+
+    @staticmethod
+    def is_miss(value: object) -> bool:
+        """Whether a :meth:`get` result was a miss."""
+        return value is _MISS
+
+
+class CachedRecordComparator(RecordComparator):
+    """A ``RecordComparator`` with per-field similarity memoization.
+
+    Similarities are keyed on ``(field index, normalized left value,
+    normalized right value)`` — the field index keeps two fields with
+    different similarity functions from polluting each other, while the
+    normalized values make the cache insensitive to surface noise the
+    comparator would strip anyway. Value normalization itself is
+    memoized in a second LRU since raw values repeat just as often.
+
+    Only the per-value-pair similarity lookup is intercepted; the
+    missing-value, cross-product and aggregation semantics all come
+    from the base classes, so cached and uncached comparison cannot
+    drift apart.
+    """
+
+    def __init__(
+        self,
+        inner: RecordComparator,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        thread_safe: bool = False,
+    ) -> None:
+        super().__init__(inner.comparators)
+        lock = threading.Lock() if thread_safe else None
+        self._inner = inner
+        self._similarities = LRUCache(cache_size, lock=lock)
+        self._normalized = LRUCache(cache_size, lock=lock)
+
+    @property
+    def inner(self) -> RecordComparator:
+        """The wrapped, uncached comparator."""
+        return self._inner
+
+    @property
+    def cache_capacity(self) -> int:
+        """Configured LRU capacity (0 = memoization disabled)."""
+        return self._similarities.max_size
+
+    @property
+    def cache_hits(self) -> int:
+        """Similarity-cache hits so far."""
+        return self._similarities.hits
+
+    @property
+    def cache_misses(self) -> int:
+        """Similarity-cache misses so far."""
+        return self._similarities.misses
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Similarity-cache hit rate so far."""
+        return self._similarities.hit_rate
+
+    def _normalize(self, value: str) -> str:
+        cached = self._normalized.get(value)
+        if not LRUCache.is_miss(cached):
+            return cached  # type: ignore[return-value]
+        normalized = normalize_value(value)
+        self._normalized.put(value, normalized)
+        return normalized
+
+    def _pair_similarity(
+        self, index: int, comparator: FieldComparator, a: str, b: str
+    ) -> float:
+        key = (index, self._normalize(a), self._normalize(b))
+        cached = self._similarities.get(key)
+        if not LRUCache.is_miss(cached):
+            return cached  # type: ignore[return-value]
+        similarity = comparator.similarity(key[1], key[2])
+        self._similarities.put(key, similarity)
+        return similarity
+
+    def _field_similarity(
+        self, index: int, comparator: FieldComparator, left: Record, right: Record
+    ) -> float:
+        return comparator.compare_values(
+            left.values(comparator.field_name),
+            right.values(comparator.field_name),
+            pair_similarity=lambda a, b: self._pair_similarity(index, comparator, a, b),
+        )

@@ -1,0 +1,425 @@
+"""The batch linking engine: streaming, chunked, parallel execution.
+
+:class:`LinkingJob` is the execution substrate under every linking run:
+candidate pairs from a blocking method are drained into fixed-size
+chunks, each chunk is compared and decided by a worker (per-attribute
+similarities memoized through :class:`CachedRecordComparator`), and the
+chunk outcomes are folded back — in chunk order — into one
+:class:`~repro.linking.pipeline.LinkingResult`. The candidate stream is
+never materialized: chunks are submitted with a bounded in-flight
+window, so memory stays proportional to ``workers * chunk_size`` plus
+the compared-pair log the result keeps anyway.
+
+Because workers only *compare and decide* while the fold happens in the
+parent, the result is independent of the executor: serial, thread and
+process execution produce identical matches, in identical order. Pool
+bringup and transport failures (an unpicklable payload, a sandbox that
+forbids subprocesses) fall back to serial execution and record why in
+:class:`~repro.engine.stats.EngineStats`; errors raised by comparator or
+matcher code propagate unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from collections import deque
+from concurrent.futures import BrokenExecutor, Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Protocol, Tuple
+
+from repro.engine.cache import DEFAULT_CACHE_SIZE, CachedRecordComparator
+from repro.engine.stats import EngineProgress, EngineStats
+from repro.linking.blocking import BlockingMethod
+from repro.linking.comparators import ComparisonVector, RecordComparator
+from repro.linking.matchers import MatchDecision, MatchStatus
+from repro.linking.pipeline import LinkingResult
+from repro.linking.records import RecordStore
+from repro.rdf.terms import Term
+
+Pair = Tuple[Term, Term]
+
+#: Wire format of one non-NON_MATCH decision: (external id, local id,
+#: per-field similarities, aggregate, status value, score). Plain tuples
+#: keep the process executor's result pickles small.
+DecisionWire = Tuple[Term, Term, Dict[str, float], float, str, float]
+
+EXECUTORS = ("serial", "thread", "process", "auto")
+
+#: Pool-bringup and transport failures that trigger the serial fallback.
+#: Deliberately narrow: errors raised by comparator/matcher/progress code
+#: are bugs and must propagate, not silently rerun the job serially. An
+#: OSError is ambiguous (fork failure vs. user I/O), so the fallback
+#: additionally requires that no chunk completed yet — see ``run``.
+FALLBACK_ERRORS = (OSError, BrokenExecutor, pickle.PicklingError)
+
+
+class Decider(Protocol):
+    """Anything with ``decide(vector) -> MatchDecision``."""
+
+    def decide(self, vector: ComparisonVector) -> MatchDecision: ...
+
+
+@dataclass(frozen=True)
+class JobConfig:
+    """Execution knobs of a :class:`LinkingJob`.
+
+    * ``chunk_size`` — candidate pairs per work unit;
+    * ``executor`` — ``serial``, ``thread``, ``process`` or ``auto``
+      (process when more than one CPU is available);
+    * ``workers`` — worker count (default: CPU count); 1 runs serially;
+    * ``cache_size`` — LRU capacity of the similarity cache per worker
+      (0 disables memoization);
+    * ``best_match_only`` — keep only the top-scoring match per external
+      record (the Unique Name Assumption);
+    * ``on_progress`` — called with an :class:`EngineProgress` after
+      every folded chunk.
+    """
+
+    chunk_size: int = 1024
+    executor: str = "serial"
+    workers: Optional[int] = None
+    cache_size: int = DEFAULT_CACHE_SIZE
+    best_match_only: bool = True
+    on_progress: Optional[Callable[[EngineProgress], None]] = None
+
+    def __post_init__(self) -> None:
+        if self.chunk_size < 1:
+            raise ValueError(f"chunk size must be >= 1, got {self.chunk_size}")
+        if self.executor not in EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {EXECUTORS}, got {self.executor!r}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.cache_size < 0:
+            raise ValueError(f"cache size must be >= 0, got {self.cache_size}")
+
+    def resolved_workers(self) -> int:
+        """The worker count to use (CPU count when unset)."""
+        if self.workers is not None:
+            return self.workers
+        return max(1, os.cpu_count() or 1)
+
+    def resolved_executor(self) -> str:
+        """The concrete strategy (``auto`` resolved, 1 worker = serial)."""
+        executor = self.executor
+        if executor == "auto":
+            executor = "process" if self.resolved_workers() > 1 else "serial"
+        if executor != "serial" and self.resolved_workers() < 2:
+            executor = "serial"
+        return executor
+
+
+@dataclass
+class _ChunkOutcome:
+    """What one worker produced for one chunk."""
+
+    pairs: List[Pair]
+    decisions: List[DecisionWire]
+    cache_hits: int
+    cache_misses: int
+
+
+class _ChunkRunner:
+    """Compares and decides the pairs of a chunk against two stores."""
+
+    def __init__(
+        self,
+        external: RecordStore,
+        local: RecordStore,
+        comparator: RecordComparator,
+        decider: Decider,
+        cache_size: int,
+        thread_safe: bool = False,
+    ) -> None:
+        self._external = external
+        self._local = local
+        self.comparator = CachedRecordComparator(
+            comparator, cache_size, thread_safe=thread_safe
+        )
+        self._decider = decider
+
+    def run_chunk(self, pairs: List[Pair]) -> _ChunkOutcome:
+        compared: List[Pair] = []
+        decisions: List[DecisionWire] = []
+        cache = self.comparator
+        hits_before, misses_before = cache.cache_hits, cache.cache_misses
+        for ext_id, local_id in pairs:
+            left = self._external.get(ext_id)
+            right = self._local.get(local_id)
+            if left is None or right is None:
+                continue
+            vector = cache.compare(left, right)
+            decision = self._decider.decide(vector)
+            compared.append((ext_id, local_id))
+            if decision.status is not MatchStatus.NON_MATCH:
+                decisions.append(
+                    (
+                        ext_id,
+                        local_id,
+                        dict(vector.similarities),
+                        vector.aggregate,
+                        decision.status.value,
+                        decision.score,
+                    )
+                )
+        return _ChunkOutcome(
+            pairs=compared,
+            decisions=decisions,
+            cache_hits=cache.cache_hits - hits_before,
+            cache_misses=cache.cache_misses - misses_before,
+        )
+
+
+# Per-process worker state, set once by the pool initializer. With the
+# default fork start method on Linux the stores are inherited, not
+# pickled, so initialization is cheap even for large catalogs.
+_WORKER_RUNNER: Optional[_ChunkRunner] = None
+
+
+def _init_process_worker(
+    external: RecordStore,
+    local: RecordStore,
+    comparator: RecordComparator,
+    decider: Decider,
+    cache_size: int,
+) -> None:
+    global _WORKER_RUNNER
+    _WORKER_RUNNER = _ChunkRunner(external, local, comparator, decider, cache_size)
+
+
+def _run_process_chunk(pairs: List[Pair]) -> _ChunkOutcome:
+    if _WORKER_RUNNER is None:
+        raise RuntimeError("process worker used before initialization")
+    return _WORKER_RUNNER.run_chunk(pairs)
+
+
+def _chunked(pairs: Iterator[Pair], size: int) -> Iterator[List[Pair]]:
+    """Drain an iterator of pairs into lists of at most *size*."""
+    chunk: List[Pair] = []
+    for pair in pairs:
+        chunk.append(pair)
+        if len(chunk) >= size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
+class _FoldState:
+    """Folds chunk outcomes — in chunk order — into result lists.
+
+    Replicates the serial pipeline's matching semantics exactly: under
+    ``best_match_only`` the first-seen decision wins score ties, and the
+    final match order is first-occurrence order of the external ids.
+    """
+
+    def __init__(
+        self, external: RecordStore, local: RecordStore, best_only: bool
+    ) -> None:
+        self._external = external
+        self._local = local
+        self._best_only = best_only
+        self._best: Dict[Term, MatchDecision] = {}
+        self.matches: List[MatchDecision] = []
+        self.possible: List[MatchDecision] = []
+        self.candidate_pairs: List[Pair] = []
+        self.compared = 0
+        self.chunks_done = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def fold(self, outcome: _ChunkOutcome) -> None:
+        self.compared += len(outcome.pairs)
+        self.candidate_pairs.extend(outcome.pairs)
+        self.cache_hits += outcome.cache_hits
+        self.cache_misses += outcome.cache_misses
+        for ext_id, local_id, similarities, aggregate, status, score in outcome.decisions:
+            vector = ComparisonVector(
+                left=self._external.get(ext_id),
+                right=self._local.get(local_id),
+                similarities=similarities,
+                aggregate=aggregate,
+            )
+            decision = MatchDecision(
+                vector=vector, status=MatchStatus(status), score=score
+            )
+            if decision.status is MatchStatus.MATCH:
+                if self._best_only:
+                    incumbent = self._best.get(ext_id)
+                    if incumbent is None or decision.score > incumbent.score:
+                        self._best[ext_id] = decision
+                else:
+                    self.matches.append(decision)
+            else:
+                self.possible.append(decision)
+        self.chunks_done += 1
+
+    def match_count(self) -> int:
+        return len(self._best) if self._best_only else len(self.matches)
+
+    def final_matches(self) -> List[MatchDecision]:
+        return list(self._best.values()) if self._best_only else self.matches
+
+
+class LinkingJob:
+    """A complete linking run as a chunked, parallel batch job.
+
+    >>> job = LinkingJob(blocking, comparator, matcher,
+    ...                  JobConfig(executor="process", chunk_size=512))
+    >>> result = job.run(external_store, local_store)
+    >>> result.stats.pairs_per_second
+    184223.7
+    """
+
+    def __init__(
+        self,
+        blocking: BlockingMethod,
+        comparator: RecordComparator | CachedRecordComparator,
+        decider: Decider,
+        config: JobConfig | None = None,
+    ) -> None:
+        self._config = config or JobConfig()
+        self._cache_size = self._config.cache_size
+        if isinstance(comparator, CachedRecordComparator):
+            # honor the caller's cache configuration: workers build their
+            # own per-process caches at the same capacity
+            self._cache_size = comparator.cache_capacity
+            comparator = comparator.inner
+        self._blocking = blocking
+        self._comparator = comparator
+        self._decider = decider
+
+    @property
+    def config(self) -> JobConfig:
+        """The execution configuration."""
+        return self._config
+
+    def run(self, external: RecordStore, local: RecordStore) -> LinkingResult:
+        """Execute the job and return the result with engine stats."""
+        config = self._config
+        started = time.perf_counter()
+        executor = config.resolved_executor()
+        workers = 1 if executor == "serial" else config.resolved_workers()
+        fallback_reason: str | None = None
+        fold = _FoldState(external, local, config.best_match_only)
+        try:
+            hits, misses = self._attempt(executor, workers, external, local, fold, started)
+        except FALLBACK_ERRORS as exc:
+            # An OSError after a chunk already completed is more likely a
+            # bug in comparator/progress code than pool bringup: propagate
+            # rather than silently redoing finished work.
+            mid_run_os_error = (
+                isinstance(exc, OSError) and fold.chunks_done > 0
+            )
+            if executor == "serial" or mid_run_os_error:
+                raise
+            fallback_reason = f"{type(exc).__name__}: {exc}"
+            executor, workers = "serial", 1
+            fold = _FoldState(external, local, config.best_match_only)
+            hits, misses = self._attempt(executor, workers, external, local, fold, started)
+        elapsed = time.perf_counter() - started
+        stats = EngineStats(
+            executor=executor,
+            workers=workers,
+            chunk_size=config.chunk_size,
+            chunk_count=fold.chunks_done,
+            pairs_compared=fold.compared,
+            elapsed_seconds=elapsed,
+            cache_hits=hits,
+            cache_misses=misses,
+            fallback_reason=fallback_reason,
+        )
+        result = LinkingResult(
+            matches=fold.final_matches(),
+            possible=fold.possible,
+            compared=fold.compared,
+            naive_pairs=len(external) * len(local),
+            stats=stats,
+        )
+        result._candidate_pairs = fold.candidate_pairs
+        return result
+
+    def _attempt(
+        self,
+        executor: str,
+        workers: int,
+        external: RecordStore,
+        local: RecordStore,
+        fold: _FoldState,
+        started: float,
+    ) -> Tuple[int, int]:
+        on_progress = self._config.on_progress
+
+        def handle(outcome: _ChunkOutcome) -> None:
+            fold.fold(outcome)
+            if on_progress is not None:
+                on_progress(
+                    EngineProgress(
+                        chunks_done=fold.chunks_done,
+                        pairs_compared=fold.compared,
+                        matches=fold.match_count(),
+                        elapsed_seconds=time.perf_counter() - started,
+                    )
+                )
+
+        chunks = _chunked(
+            self._blocking.candidate_pairs(external, local), self._config.chunk_size
+        )
+        if executor == "process":
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_process_worker,
+                initargs=(
+                    external,
+                    local,
+                    self._comparator,
+                    self._decider,
+                    self._cache_size,
+                ),
+            ) as pool:
+                _pump(pool, _run_process_chunk, chunks, handle, workers)
+            # per-worker caches: totals are the summed per-chunk deltas
+            return fold.cache_hits, fold.cache_misses
+
+        runner = _ChunkRunner(
+            external,
+            local,
+            self._comparator,
+            self._decider,
+            self._cache_size,
+            thread_safe=executor == "thread",
+        )
+        if executor == "thread":
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                _pump(pool, runner.run_chunk, chunks, handle, workers)
+        else:
+            for chunk in chunks:
+                handle(runner.run_chunk(chunk))
+        # shared cache: exact totals live on the runner's comparator
+        return runner.comparator.cache_hits, runner.comparator.cache_misses
+
+
+def _pump(
+    pool: Executor,
+    fn: Callable[[List[Pair]], _ChunkOutcome],
+    chunks: Iterator[List[Pair]],
+    handle: Callable[[_ChunkOutcome], None],
+    workers: int,
+) -> None:
+    """Submit chunks with a bounded in-flight window; fold in order.
+
+    The window keeps all workers busy without materializing the whole
+    candidate stream as pending futures (``Executor.map`` would submit
+    everything up front).
+    """
+    window = max(2, workers * 4)
+    pending: "deque" = deque()
+    for chunk in chunks:
+        pending.append(pool.submit(fn, chunk))
+        if len(pending) >= window:
+            handle(pending.popleft().result())
+    while pending:
+        handle(pending.popleft().result())

@@ -1,0 +1,89 @@
+"""Execution statistics and progress reporting for the linking engine.
+
+:class:`EngineStats` is the per-run report surfaced on
+:class:`~repro.linking.pipeline.LinkingResult`; :class:`EngineProgress`
+is the snapshot handed to a job's ``on_progress`` callback after every
+folded chunk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class EngineProgress:
+    """A live snapshot during a running job.
+
+    The total chunk count is unknown while the candidate stream is
+    still being drained, so progress reports only what has completed.
+    """
+
+    chunks_done: int
+    pairs_compared: int
+    matches: int
+    elapsed_seconds: float
+
+    @property
+    def pairs_per_second(self) -> float:
+        """Throughput so far."""
+        if self.elapsed_seconds <= 0.0:
+            return 0.0
+        return self.pairs_compared / self.elapsed_seconds
+
+    def format(self) -> str:
+        return (
+            f"chunk {self.chunks_done}: "
+            f"{self.pairs_compared} pairs, {self.matches} matches, "
+            f"{self.pairs_per_second:,.0f} pairs/s"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class EngineStats:
+    """How a finished :class:`~repro.engine.job.LinkingJob` ran.
+
+    ``executor`` is the strategy that actually executed the job — after
+    a parallel failure it reads ``serial`` and ``fallback_reason`` says
+    why. Cache counters are summed across workers for the process
+    executor.
+    """
+
+    executor: str
+    workers: int
+    chunk_size: int
+    chunk_count: int
+    pairs_compared: int
+    elapsed_seconds: float
+    cache_hits: int = 0
+    cache_misses: int = 0
+    fallback_reason: str | None = None
+
+    @property
+    def pairs_per_second(self) -> float:
+        """Candidate pairs compared per wall-clock second."""
+        if self.elapsed_seconds <= 0.0:
+            return 0.0
+        return self.pairs_compared / self.elapsed_seconds
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Similarity-cache hits over lookups (0.0 when cache disabled)."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def format(self) -> str:
+        """One-paragraph human-readable report."""
+        lines = [
+            f"executor={self.executor} workers={self.workers} "
+            f"chunks={self.chunk_count} (size {self.chunk_size})",
+            f"compared {self.pairs_compared} pairs in "
+            f"{self.elapsed_seconds:.2f}s -> "
+            f"{self.pairs_per_second:,.0f} pairs/s",
+            f"similarity cache: {self.cache_hits} hits / "
+            f"{self.cache_misses} misses "
+            f"(hit rate {self.cache_hit_rate:.1%})",
+        ]
+        if self.fallback_reason:
+            lines.append(f"fell back to serial: {self.fallback_reason}")
+        return "\n".join(lines)

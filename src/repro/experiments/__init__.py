@@ -10,7 +10,10 @@ One module per experiment family (ids from DESIGN.md §5):
 * :mod:`repro.experiments.sweeps` — **A1/A2/A4**: support-threshold
   sweep, segmentation-strategy ablation, scalability in |TS|;
 * :mod:`repro.experiments.blocking_comparison` — **A3**: rule-based
-  reduction vs the classic blocking baselines;
+  reduction vs the classic blocking baselines (through the engine);
+* :mod:`repro.experiments.throughput` — **A5**: batch linking
+  throughput through :class:`repro.engine.LinkingJob` (pairs/sec,
+  cache hit rate, chunking);
 * :mod:`repro.experiments.generalization` — **X1**: the future-work
   subsumption generalization.
 
@@ -32,6 +35,12 @@ from repro.experiments.sweeps import (
 from repro.experiments.blocking_comparison import (
     BlockingComparisonRow,
     run_blocking_comparison,
+)
+from repro.experiments.throughput import (
+    ThroughputRow,
+    provider_batch,
+    run_linking_throughput,
+    toponym_linking_setup,
 )
 from repro.experiments.generalization import (
     GeneralizationReport,
@@ -60,6 +69,10 @@ __all__ = [
     "run_scalability",
     "BlockingComparisonRow",
     "run_blocking_comparison",
+    "ThroughputRow",
+    "provider_batch",
+    "run_linking_throughput",
+    "toponym_linking_setup",
     "GeneralizationReport",
     "run_generalization",
     "GeneralityReport",

@@ -9,25 +9,27 @@ quality triple.
 The rule-based method is trained on TS and evaluated on a *fresh* batch
 of provider records (never seen during learning), giving an honest
 out-of-sample comparison.
+
+Every method runs through :class:`repro.engine.LinkingJob`, so each row
+also reports engine throughput (``time`` covers blocking *and* the
+chunked, cached pair comparison) alongside the quality triple.
 """
 
 from __future__ import annotations
 
-import random
-import time
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List
 
 from repro.core.classifier import RuleClassifier
 from repro.core.learner import LearnerConfig, RuleLearner
 from repro.datagen.catalog import (
-    MANUFACTURER,
     PART_NUMBER,
     ElectronicCatalogGenerator,
     GeneratedCatalog,
 )
 from repro.datagen.config import CatalogConfig
-from repro.datagen.corruption import Corruptor
+from repro.engine import JobConfig, LinkingJob
+from repro.experiments.throughput import provider_batch
 from repro.linking.blocking import (
     BlockingMethod,
     CanopyBlocking,
@@ -36,12 +38,10 @@ from repro.linking.blocking import (
     SortedNeighbourhood,
     StandardBlocking,
 )
-from repro.linking.evaluation import BlockingQuality, evaluate_blocking
+from repro.linking.comparators import FieldComparator, RecordComparator
+from repro.linking.evaluation import evaluate_blocking
+from repro.linking.matchers import ThresholdMatcher
 from repro.linking.records import RecordStore
-from repro.rdf.graph import Graph
-from repro.rdf.namespace import Namespace
-from repro.rdf.terms import Literal, Term
-from repro.rdf.triples import Triple
 
 
 @dataclass(frozen=True, slots=True)
@@ -54,36 +54,24 @@ class BlockingComparisonRow:
     pairs_completeness: float
     pairs_quality: float
     seconds: float
+    pairs_per_second: float = 0.0
+    cache_hit_rate: float = 0.0
 
     def format(self) -> str:
         return (
             f"{self.method:<22}{self.candidate_pairs:<12}"
             f"{self.reduction_ratio:>8.4f} {self.pairs_completeness:>8.4f} "
-            f"{self.pairs_quality:>8.4f} {self.seconds:>8.2f}s"
+            f"{self.pairs_quality:>8.4f} {self.seconds:>8.2f}s "
+            f"{self.pairs_per_second:>11,.0f} {self.cache_hit_rate:>7.1%}"
         )
 
 
-def _fresh_provider_batch(
-    catalog: GeneratedCatalog, n_items: int, seed: int
-) -> Tuple[Graph, List[Tuple[Term, Term]]]:
-    """Corrupted twins of catalog items NOT used in TS (out-of-sample)."""
-    rng = random.Random(seed)
-    linked_locals = {link.local for link in catalog.links}
-    unseen = [item for item in catalog.items if item.iri not in linked_locals]
-    if len(unseen) < n_items:
-        n_items = len(unseen)
-    chosen = rng.sample(unseen, n_items)
-    ns = Namespace("http://example.org/catalog/provider-test/")
-    graph = Graph(identifier="external-test")
-    truth: List[Tuple[Term, Term]] = []
-    corruptor = Corruptor()
-    for i, item in enumerate(chosen):
-        ext = ns.term(f"t{i}")
-        corrupted = corruptor.corrupt(item.part_number, rng)
-        graph.add(Triple(ext, PART_NUMBER, Literal(corrupted)))
-        graph.add(Triple(ext, MANUFACTURER, Literal(item.manufacturer)))
-        truth.append((ext, item.iri))
-    return graph, truth
+#: Column header matching :meth:`BlockingComparisonRow.format` — shared
+#: by the CLI, the benchmark report and :func:`main`.
+BLOCKING_COMPARISON_HEADER = (
+    f"{'method':<22}{'pairs':<12}{'RR':>8} {'PC':>9} {'PQ':>9} {'time':>9} "
+    f"{'pairs/s':>11} {'cache':>7}"
+)
 
 
 def run_blocking_comparison(
@@ -91,10 +79,12 @@ def run_blocking_comparison(
     n_test_items: int = 1000,
     support_threshold: float = 0.002,
     seed: int = 4242,
+    job_config: JobConfig | None = None,
 ) -> List[BlockingComparisonRow]:
     """Compare all blocking methods on an out-of-sample provider batch."""
     if catalog is None:
         catalog = ElectronicCatalogGenerator(CatalogConfig.thales_like()).generate()
+    engine_config = job_config or JobConfig(executor="serial", chunk_size=2048)
 
     training_set = catalog.to_training_set()
     rules = RuleLearner(
@@ -102,10 +92,12 @@ def run_blocking_comparison(
     ).learn(training_set)
     classifier = RuleClassifier(rules.with_min_confidence(0.4))
 
-    test_graph, truth = _fresh_provider_batch(catalog, n_test_items, seed)
+    test_graph, truth = provider_batch(catalog, n_test_items, seed)
     external = RecordStore.from_graph(test_graph, {"pn": PART_NUMBER})
     local = RecordStore.from_graph(catalog.local_graph, {"pn": PART_NUMBER})
     naive = len(external) * len(local)
+    comparator = RecordComparator([FieldComparator("pn")])
+    matcher = ThresholdMatcher(match_threshold=0.9)
 
     methods: Dict[str, BlockingMethod] = {
         "rule-based (paper)": RuleBasedBlocking(
@@ -122,10 +114,10 @@ def run_blocking_comparison(
 
     rows: List[BlockingComparisonRow] = []
     for name, method in methods.items():
-        started = time.perf_counter()
-        candidates = list(method.candidate_pairs(external, local))
-        elapsed = time.perf_counter() - started
-        quality = evaluate_blocking(candidates, truth, naive_pairs=naive)
+        job = LinkingJob(method, comparator, matcher, engine_config)
+        result = job.run(external, local)
+        stats = result.stats
+        quality = evaluate_blocking(result.candidate_pairs, truth, naive_pairs=naive)
         rows.append(
             BlockingComparisonRow(
                 method=name,
@@ -133,7 +125,9 @@ def run_blocking_comparison(
                 reduction_ratio=quality.reduction_ratio,
                 pairs_completeness=quality.pairs_completeness,
                 pairs_quality=quality.pairs_quality,
-                seconds=elapsed,
+                seconds=stats.elapsed_seconds,
+                pairs_per_second=stats.pairs_per_second,
+                cache_hit_rate=stats.cache_hit_rate,
             )
         )
     return rows
@@ -148,9 +142,7 @@ def main() -> None:
     """
     catalog = ElectronicCatalogGenerator(CatalogConfig.small()).generate()
     print("A3 blocking comparison (out-of-sample provider batch)")
-    print(
-        f"{'method':<22}{'pairs':<12}{'RR':>8} {'PC':>9} {'PQ':>8} {'time':>9}"
-    )
+    print(BLOCKING_COMPARISON_HEADER)
     for row in run_blocking_comparison(catalog, n_test_items=400):
         print(row.format())
 

@@ -32,15 +32,30 @@ class FieldComparator:
 
     def compare(self, left: Record, right: Record) -> float:
         """Best similarity across the value cross-product of the field."""
-        left_values = left.values(self.field_name)
-        right_values = right.values(self.field_name)
+        return self.compare_values(
+            left.values(self.field_name), right.values(self.field_name)
+        )
+
+    def compare_values(
+        self,
+        left_values: Sequence[str],
+        right_values: Sequence[str],
+        pair_similarity: Callable[[str, str], float] | None = None,
+    ) -> float:
+        """Best similarity across a value cross-product.
+
+        ``pair_similarity`` lets callers (e.g. the engine's memoizing
+        comparator) intercept the per-value-pair similarity while the
+        missing-value and cross-product semantics stay defined here,
+        in one place.
+        """
         if not left_values or not right_values:
             return self.missing_value
-        return max(
-            self.similarity(normalize_value(a), normalize_value(b))
-            for a in left_values
-            for b in right_values
-        )
+        sim = pair_similarity or self._normalized_similarity
+        return max(sim(a, b) for a in left_values for b in right_values)
+
+    def _normalized_similarity(self, a: str, b: str) -> float:
+        return self.similarity(normalize_value(a), normalize_value(b))
 
 
 @dataclass(frozen=True, slots=True)
@@ -91,8 +106,8 @@ class RecordComparator:
         """Compute the comparison vector of a pair."""
         similarities: Dict[str, float] = {}
         weighted = 0.0
-        for comparator in self._comparators:
-            sim = comparator.compare(left, right)
+        for index, comparator in enumerate(self._comparators):
+            sim = self._field_similarity(index, comparator, left, right)
             similarities[comparator.field_name] = sim
             weighted += comparator.weight * sim
         return ComparisonVector(
@@ -101,3 +116,9 @@ class RecordComparator:
             similarities=similarities,
             aggregate=weighted / self._total_weight,
         )
+
+    def _field_similarity(
+        self, index: int, comparator: FieldComparator, left: Record, right: Record
+    ) -> float:
+        """One field's similarity; subclasses may memoize per value pair."""
+        return comparator.compare(left, right)

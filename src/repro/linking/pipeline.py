@@ -9,7 +9,7 @@ matches become ``owl:sameAs`` links.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Protocol, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Protocol, Sequence, Tuple
 
 from repro.linking.blocking import BlockingMethod
 from repro.linking.comparators import ComparisonVector, RecordComparator
@@ -19,12 +19,15 @@ from repro.linking.evaluation import (
     evaluate_blocking,
     evaluate_matching,
 )
-from repro.linking.matchers import MatchDecision, MatchStatus
+from repro.linking.matchers import MatchDecision
 from repro.linking.records import RecordStore
 from repro.rdf.graph import Graph
 from repro.rdf.namespace import OWL
 from repro.rdf.terms import Term
 from repro.rdf.triples import Triple
+
+if TYPE_CHECKING:  # engine imports this module; keep the cycle lazy
+    from repro.engine.stats import EngineStats
 
 Pair = Tuple[Term, Term]
 
@@ -41,13 +44,16 @@ class LinkingResult:
 
     ``matches`` are confirmed links, ``possible`` the Fellegi-Sunter
     clerical-review band, ``compared`` the number of candidate pairs
-    actually compared (the cost the paper's method reduces).
+    actually compared (the cost the paper's method reduces). ``stats``
+    carries the engine's execution report (throughput, cache hit rate,
+    chunking) when the run went through :class:`repro.engine.LinkingJob`.
     """
 
     matches: List[MatchDecision] = field(default_factory=list)
     possible: List[MatchDecision] = field(default_factory=list)
     compared: int = 0
     naive_pairs: int = 0
+    stats: "EngineStats | None" = None
 
     @property
     def match_pairs(self) -> List[Pair]:
@@ -80,9 +86,19 @@ class LinkingResult:
     # internal: candidate pairs kept for blocking_quality
     _candidate_pairs: List[Pair] = field(default_factory=list, repr=False)
 
+    @property
+    def candidate_pairs(self) -> List[Pair]:
+        """The candidate pairs actually compared, in comparison order."""
+        return list(self._candidate_pairs)
+
 
 class LinkingPipeline:
     """Compose blocking, comparison and matching into one run.
+
+    A thin serial facade over :class:`repro.engine.LinkingJob` — the
+    chunked batch engine that also offers parallel executors and
+    similarity caching. Use the job directly for throughput control;
+    use the pipeline when you just want the result.
 
     >>> pipeline = LinkingPipeline(blocking, comparator, matcher)
     >>> result = pipeline.run(external_store, local_store)
@@ -108,25 +124,12 @@ class LinkingPipeline:
 
     def run(self, external: RecordStore, local: RecordStore) -> LinkingResult:
         """Execute the pipeline over the two stores."""
-        result = LinkingResult(naive_pairs=len(external) * len(local))
-        best: Dict[Term, MatchDecision] = {}
-        for ext_id, local_id in self._blocking.candidate_pairs(external, local):
-            left = external.get(ext_id)
-            right = local.get(local_id)
-            if left is None or right is None:
-                continue
-            result.compared += 1
-            result._candidate_pairs.append((ext_id, local_id))
-            decision = self._matcher.decide(self._comparator.compare(left, right))
-            if decision.status is MatchStatus.MATCH:
-                if self._best_only:
-                    incumbent = best.get(ext_id)
-                    if incumbent is None or decision.score > incumbent.score:
-                        best[ext_id] = decision
-                else:
-                    result.matches.append(decision)
-            elif decision.status is MatchStatus.POSSIBLE:
-                result.possible.append(decision)
-        if self._best_only:
-            result.matches.extend(best.values())
-        return result
+        from repro.engine.job import JobConfig, LinkingJob
+
+        job = LinkingJob(
+            self._blocking,
+            self._comparator,
+            self._matcher,
+            JobConfig(executor="serial", best_match_only=self._best_only),
+        )
+        return job.run(external, local)

@@ -1,0 +1,125 @@
+"""Unit tests for the engine's LRU similarity cache."""
+
+import pytest
+
+from repro.engine import CachedRecordComparator, LRUCache
+from repro.linking import FieldComparator, Record, RecordComparator
+from repro.rdf import EX
+
+
+def record(name, pn=None, maker="acme"):
+    fields = {"maker": (maker,)}
+    if pn is not None:
+        fields["pn"] = (pn,)
+    return Record(id=EX[name], fields=fields)
+
+
+@pytest.fixture
+def comparator():
+    return RecordComparator(
+        [FieldComparator("pn", weight=2.0), FieldComparator("maker", weight=1.0)]
+    )
+
+
+class TestLRUCache:
+    def test_hit_and_miss_counting(self):
+        cache = LRUCache(4)
+        assert LRUCache.is_miss(cache.get("a"))
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a" so "b" becomes the LRU entry
+        cache.put("c", 3)
+        assert cache.get("a") == 1
+        assert LRUCache.is_miss(cache.get("b"))
+        assert cache.get("c") == 3
+        assert len(cache) == 2
+
+    def test_zero_capacity_disables_storage(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert LRUCache.is_miss(cache.get("a"))
+        assert len(cache) == 0
+
+    def test_falsy_values_are_cacheable(self):
+        cache = LRUCache(2)
+        cache.put("zero", 0.0)
+        assert cache.get("zero") == 0.0
+        assert cache.hits == 1
+
+    def test_hit_rate_before_any_lookup(self):
+        assert LRUCache(2).hit_rate == 0.0
+
+
+class TestCachedRecordComparator:
+    def test_vectors_identical_to_uncached(self, comparator):
+        cached = CachedRecordComparator(comparator)
+        pairs = [
+            (record("a", "crcw0805-10k"), record("b", "crcw0805-10k")),
+            (record("c", "crcw0805-10k"), record("d", "crcw0806-10k", maker="tyco")),
+            (record("e", "T83-220"), record("f", "t83 220")),
+            (record("g"), record("h", "x1")),  # missing field on the left
+            (record("i", "x1"), record("j")),  # missing field on the right
+        ]
+        for left, right in pairs:
+            # twice: the second pass answers from the cache
+            for _ in range(2):
+                assert cached.compare(left, right) == comparator.compare(left, right)
+        assert cached.cache_hits > 0
+
+    def test_cache_shared_across_pairs(self, comparator):
+        cached = CachedRecordComparator(comparator)
+        cached.compare(record("a", "x100"), record("b", "x200"))
+        hits_before = cached.cache_hits
+        # different record ids, same values: every similarity is a hit
+        cached.compare(record("c", "x100"), record("d", "x200"))
+        assert cached.cache_hits == hits_before + 2
+        assert cached.cache_hit_rate == pytest.approx(0.5)
+
+    def test_keyed_on_normalized_values(self, comparator):
+        cached = CachedRecordComparator(comparator)
+        cached.compare(record("a", "CRCW 0805"), record("b", "crcw-0805"))
+        hits_before = cached.cache_hits
+        # different surface forms, identical normalized pair -> cache hit
+        cached.compare(record("c", "crcw 0805"), record("d", "CRCW-0805"))
+        assert cached.cache_hits > hits_before
+
+    def test_multivalued_fields_take_best_pair(self, comparator):
+        left = Record(id=EX.m1, fields={"pn": ("abc", "xyz"), "maker": ("acme",)})
+        right = Record(id=EX.m2, fields={"pn": ("xyz",), "maker": ("acme",)})
+        cached = CachedRecordComparator(comparator)
+        assert cached.compare(left, right) == comparator.compare(left, right)
+        assert cached.compare(left, right)["pn"] == pytest.approx(1.0)
+
+    def test_cache_size_zero_still_correct(self, comparator):
+        cached = CachedRecordComparator(comparator, cache_size=0)
+        left, right = record("a", "x100"), record("b", "x100")
+        assert cached.compare(left, right) == comparator.compare(left, right)
+        assert cached.cache_hits == 0
+
+    def test_fields_do_not_collide(self):
+        # two fields with different similarity functions over equal values
+        exact = RecordComparator(
+            [
+                FieldComparator("pn", similarity=lambda a, b: 1.0 if a == b else 0.0),
+                FieldComparator("maker"),
+            ]
+        )
+        cached = CachedRecordComparator(exact)
+        left = Record(id=EX.f1, fields={"pn": ("abcd",), "maker": ("abcd",)})
+        right = Record(id=EX.f2, fields={"pn": ("abce",), "maker": ("abce",)})
+        vector = cached.compare(left, right)
+        assert vector["pn"] == 0.0  # exact comparator says no
+        assert vector["maker"] > 0.8  # jaro-winkler says close
+
+    def test_exposes_inner_and_field_names(self, comparator):
+        cached = CachedRecordComparator(comparator)
+        assert cached.inner is comparator
+        assert cached.field_names == ("pn", "maker")

@@ -165,6 +165,39 @@ class TestBlockingComparison:
         assert fallback.pairs_completeness >= strict.pairs_completeness
         assert strict.reduction_ratio >= fallback.reduction_ratio
 
+    def test_rows_carry_engine_throughput(self, rows):
+        for row in rows:
+            assert row.seconds >= 0.0
+            assert row.pairs_per_second >= 0.0
+            assert 0.0 <= row.cache_hit_rate <= 1.0
+
+
+class TestLinkingThroughput:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        from repro.experiments import run_linking_throughput
+
+        cat = ElectronicCatalogGenerator(CatalogConfig.small()).generate()
+        return run_linking_throughput(cat, sizes=(100, 200))
+
+    def test_one_row_per_size(self, rows):
+        assert [row.n_external for row in rows] == [100, 200]
+
+    def test_engine_metrics_populated(self, rows):
+        for row in rows:
+            assert row.compared > 0
+            assert row.pairs_per_second > 0
+            assert 0.0 <= row.cache_hit_rate <= 1.0
+            assert row.chunk_count >= 1
+            assert row.executor == "serial"
+
+    def test_matching_quality_reasonable(self, rows):
+        # prefix blocking on lightly corrupted part numbers links well
+        assert rows[-1].f1 > 0.8
+
+    def test_format_is_one_line(self, rows):
+        assert "\n" not in rows[0].format()
+
 
 class TestGeneralization:
     def test_report_consistency(self, catalog):

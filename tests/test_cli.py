@@ -19,11 +19,36 @@ class TestParser:
     @pytest.mark.parametrize(
         "command",
         ["table1", "stats", "sweeps", "blocking", "generalization",
-         "generality", "export-rules"],
+         "generality", "link", "throughput", "export-rules"],
     )
     def test_commands_parse(self, command):
         args = build_parser().parse_args([command])
         assert args.command == command
+
+    def test_link_engine_flags(self):
+        args = build_parser().parse_args(
+            ["link", "--executor", "process", "--workers", "2",
+             "--chunk-size", "256", "--cache-size", "0",
+             "--blocking", "rules", "--match-threshold", "0.8"]
+        )
+        assert args.executor == "process"
+        assert args.workers == 2
+        assert args.chunk_size == 256
+        assert args.cache_size == 0
+        assert args.blocking == "rules"
+        assert args.match_threshold == 0.8
+
+    def test_link_rejects_unknown_executor(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["link", "--executor", "gpu"])
+
+    @pytest.mark.parametrize(
+        "flags",
+        [["--chunk-size", "0"], ["--workers", "0"], ["--cache-size", "-1"]],
+    )
+    def test_link_rejects_bad_engine_values(self, flags):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["link", *flags])
 
     def test_common_flags(self):
         args = build_parser().parse_args(
@@ -89,3 +114,33 @@ class TestExecution:
         code = main(["generality", "--preset", "tiny"])
         assert code == 0
         assert "toponym" in capsys.readouterr().out
+
+    def test_link_tiny_serial(self, capsys):
+        code = main(
+            ["link", "--preset", "tiny", "--test-items", "40",
+             "--executor", "serial", "--chunk-size", "64"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "linked" in out
+        assert "pairs/s" in out
+        assert "hit rate" in out
+
+    def test_link_with_progress(self, capsys):
+        code = main(
+            ["link", "--preset", "tiny", "--test-items", "40",
+             "--executor", "serial", "--chunk-size", "16", "--progress"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "chunk" in captured.err
+
+    def test_throughput_tiny(self, capsys):
+        code = main(
+            ["throughput", "--preset", "tiny", "--sizes", "30", "60",
+             "--executor", "serial"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "A5 linking throughput" in out
+        assert "pairs/s" in out
