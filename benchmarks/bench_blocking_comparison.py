@@ -43,6 +43,7 @@ def test_bench_blocking_comparison(benchmark, small_catalog, report_sink):
     report_sink(
         "blocking_comparison",
         "\n".join([header] + [row.format() for row in result]),
+        data={"rows": result},
     )
 
 

@@ -25,7 +25,7 @@ def test_bench_generality(benchmark, gazetteer, report_sink):
     result = benchmark.pedantic(
         run_generality, args=(gazetteer,), rounds=3, iterations=1
     )
-    report_sink("generality", result.format())
+    report_sink("generality", result.format(), data=result)
 
 
 class TestGeneralityShape:

@@ -30,7 +30,7 @@ def test_bench_generalization(benchmark, thales_catalog, report_sink):
         iterations=1,
     )
     sections = [result.format()]
-    report_sink("generalization", "\n\n".join(sections))
+    report_sink("generalization", "\n\n".join(sections), data=result)
 
 
 class TestGeneralizationShape:

@@ -19,7 +19,7 @@ def test_bench_intext_stats(benchmark, thales_catalog, report_sink):
     result = benchmark.pedantic(
         run_stats, args=(thales_catalog,), rounds=3, iterations=1
     )
-    report_sink("intext_stats", result.format())
+    report_sink("intext_stats", result.format(), data=result)
 
 
 class TestStatsBallpark:

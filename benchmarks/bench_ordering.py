@@ -23,7 +23,11 @@ def test_bench_ordering_ablation(benchmark, thales_catalog, report_sink):
         "A5 rule-ordering ablation (top decision per item)\n"
         f"{'strategy':<12}{'#decided':<10}{'accuracy':>8} {'pairs':>12} {'factor':>9}"
     )
-    report_sink("ordering", "\n".join([header] + [row.format() for row in result]))
+    report_sink(
+        "ordering",
+        "\n".join([header] + [row.format() for row in result]),
+        data={"rows": result},
+    )
 
 
 class TestOrderingShape:

@@ -56,6 +56,7 @@ def test_bench_scalability_report(benchmark, report_sink):
     report_sink(
         "scalability",
         "\n".join([header] + [row.format() for row in rows]),
+        data={"rows": rows},
     )
     # sanity: growth is roughly linear, not quadratic — 10x links must
     # cost well under 100x learn time (generous bound for timer noise)
@@ -77,6 +78,7 @@ def test_bench_linking_throughput(benchmark, small_catalog, report_sink):
     report_sink(
         "linking_throughput",
         "\n".join([THROUGHPUT_HEADER] + [row.format() for row in rows]),
+        data={"rows": rows},
     )
     for row in rows:
         assert row.pairs_per_second > 0

@@ -28,6 +28,7 @@ def test_bench_segmentation(benchmark, thales_catalog, report_sink):
     report_sink(
         "segmentation",
         "\n".join([header] + [row.format() for row in result]),
+        data={"rows": result},
     )
 
 

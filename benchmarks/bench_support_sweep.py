@@ -32,6 +32,7 @@ def test_bench_support_sweep(benchmark, thales_catalog, report_sink):
     report_sink(
         "support_sweep",
         "\n".join([header] + [row.format() for row in result]),
+        data={"rows": result},
     )
 
 

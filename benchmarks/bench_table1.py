@@ -20,7 +20,7 @@ def test_bench_table1(benchmark, thales_catalog, report_sink):
     result = benchmark.pedantic(
         run_table1, args=(thales_catalog,), rounds=3, iterations=1
     )
-    report_sink("table1", result.format())
+    report_sink("table1", result.format(), data=result)
 
 
 class TestTable1Shape:

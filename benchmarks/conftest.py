@@ -3,9 +3,13 @@
 Each benchmark regenerates one experiment from DESIGN.md §5. The
 catalogs are session-scoped (generation is setup cost, not measured
 work) and every bench writes its paper-style report to
-``benchmarks/results/<experiment>.txt`` so the tables survive the run.
+``benchmarks/results/<experiment>.txt`` plus a machine-readable
+``<experiment>.json`` twin, so the perf trajectory is trackable across
+PRs without re-parsing the human tables.
 """
 
+import dataclasses
+import json
 from pathlib import Path
 
 import pytest
@@ -13,6 +17,29 @@ import pytest
 from repro.datagen import CatalogConfig, ElectronicCatalogGenerator
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def jsonable(value):
+    """Recursively convert reports/rows into JSON-serializable data.
+
+    Dataclasses become dicts, sequences become lists, and leaf objects
+    the paper model uses (IRIs, enums...) fall back to ``str``.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(key): jsonable(item) for key, item in value.items()}
+    if isinstance(value, (set, frozenset)):
+        # stable order so committed JSON twins diff cleanly across runs
+        return sorted((jsonable(item) for item in value), key=repr)
+    if isinstance(value, (list, tuple)):
+        return [jsonable(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
 
 
 @pytest.fixture(scope="session")
@@ -29,11 +56,15 @@ def small_catalog():
 
 @pytest.fixture(scope="session")
 def report_sink():
-    """Write a named report file under benchmarks/results/."""
+    """Write a named report (txt + json) under benchmarks/results/."""
     RESULTS_DIR.mkdir(exist_ok=True)
 
-    def write(name: str, text: str) -> None:
+    def write(name: str, text: str, data=None) -> None:
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        if data is not None:
+            (RESULTS_DIR / f"{name}.json").write_text(
+                json.dumps(jsonable(data), indent=2, sort_keys=True) + "\n"
+            )
         print(f"\n{text}")
 
     return write

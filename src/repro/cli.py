@@ -195,6 +195,13 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--progress", action="store_true", help="print per-chunk progress to stderr"
     )
+    parser.add_argument(
+        "--index",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="back blocking/classification with the shared inverted "
+        "feature index (--no-index falls back to the scan paths)",
+    )
 
 
 def _cmd_link(args: argparse.Namespace) -> int:
@@ -203,6 +210,7 @@ def _cmd_link(args: argparse.Namespace) -> int:
     from repro.experiments.throughput import provider_batch
     from repro.linking import (
         FieldComparator,
+        QGramBlocking,
         RecordComparator,
         RecordStore,
         RuleBasedBlocking,
@@ -228,11 +236,16 @@ def _cmd_link(args: argparse.Namespace) -> int:
             catalog.ontology,
             test_graph,
             fallback_full=args.blocking == "rules",
+            use_index=args.index,
         )
     elif args.blocking == "sorted":
         blocking = SortedNeighbourhood.on_field("pn", window_size=7)
+    elif args.blocking == "qgram":
+        blocking = QGramBlocking("pn", q=2, threshold=0.8, use_index=args.index)
     else:
-        blocking = StandardBlocking.on_field_prefix("pn", length=4)
+        blocking = StandardBlocking.on_field_prefix(
+            "pn", length=4, use_index=args.index
+        )
 
     job = LinkingJob(
         blocking,
@@ -263,6 +276,7 @@ def _cmd_throughput(args: argparse.Namespace) -> int:
         sizes=tuple(args.sizes),
         job_config=_job_config(args),
         seed=4242 if args.seed is None else args.seed,
+        use_index=args.index,
     )
     print(THROUGHPUT_HEADER)
     for row in rows:
@@ -321,7 +335,7 @@ def build_parser() -> argparse.ArgumentParser:
     link.add_argument("--test-items", type=_positive_int, default=300)
     link.add_argument(
         "--blocking",
-        choices=("rules", "rules-strict", "prefix", "sorted"),
+        choices=("rules", "rules-strict", "prefix", "sorted", "qgram"),
         default="prefix",
         help="candidate generation method (default: prefix)",
     )

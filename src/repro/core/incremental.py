@@ -2,28 +2,30 @@
 
 The Thales workflow is continuous — providers keep sending files and
 experts keep validating reconciliations. Re-running Algorithm 1 from
-scratch on every batch is wasteful: all its state is a handful of
-counters. :class:`IncrementalRuleLearner` keeps those counters and
-re-emits the rule set on demand; feeding it the same links in any batch
-split yields exactly the batch learner's output.
+scratch on every batch is wasteful: all its state is one shared
+:class:`~repro.index.TrainingFeatureIndex`. :class:`IncrementalRuleLearner`
+grows that index under :meth:`add_links` (each new link appends its row
+to the relevant posting lists — O(1) per feature) and re-emits the rule
+set on demand from posting probes; feeding it the same links in any
+batch split yields exactly the batch learner's output.
 """
 
 from __future__ import annotations
 
-from collections import Counter
-from typing import Dict, FrozenSet, Iterable, List, Tuple
+from typing import Dict, Iterable, List
 
 from repro.core.learner import LearnerConfig, LearningStatistics
 from repro.core.measures import ContingencyCounts, RuleQualityMeasures
 from repro.core.rules import ClassificationRule, RuleSet
 from repro.core.training import SameAsLink, TrainingSet
+from repro.index import TrainingFeatureIndex
 from repro.ontology.model import Ontology
 from repro.rdf.graph import Graph
 from repro.rdf.terms import IRI
 
 
 class IncrementalRuleLearner:
-    """Counter-based online version of Algorithm 1.
+    """Posting-list-backed online version of Algorithm 1.
 
     >>> learner = IncrementalRuleLearner(LearnerConfig(...), ontology)
     >>> learner.add_links(first_batch, external_graph)
@@ -34,11 +36,7 @@ class IncrementalRuleLearner:
     def __init__(self, config: LearnerConfig, ontology: Ontology) -> None:
         self.config = config
         self._ontology = ontology
-        self._total = 0
-        self._pair_counts: Counter[Tuple[IRI, str]] = Counter()
-        self._class_counts: Counter[IRI] = Counter()
-        self._conjunction_counts: Counter[Tuple[IRI, str, IRI]] = Counter()
-        self._occurrences: Counter[str] = Counter()
+        self._index = TrainingFeatureIndex(config.segmenter)
         self._seen: set[SameAsLink] = set()
 
     # ------------------------------------------------------------------
@@ -47,13 +45,20 @@ class IncrementalRuleLearner:
     @property
     def total_links(self) -> int:
         """Links ingested so far (|TS|)."""
-        return self._total
+        return self._index.rows
+
+    @property
+    def index(self) -> TrainingFeatureIndex:
+        """The shared feature index this learner maintains."""
+        return self._index
 
     def add_links(self, links: Iterable[SameAsLink], external: Graph) -> int:
         """Ingest a batch of validated links; returns how many were new.
 
         Duplicate links (already ingested) are skipped, mirroring the
-        set semantics of ``TS``.
+        set semantics of ``TS``. Each new link becomes one index row:
+        its segments land on the (property, segment) postings, its
+        most-specific classes on the class postings.
         """
         if self.config.properties is None:
             raise ValueError(
@@ -67,24 +72,13 @@ class IncrementalRuleLearner:
                 continue
             self._seen.add(link)
             added += 1
-            self._total += 1
-            per_property: Dict[IRI, set[str]] = {}
+            property_values: Dict[IRI, tuple[str, ...]] = {}
             for prop in self.config.properties:
-                segments: set[str] = set()
-                for value in external.literal_values(link.external, prop):
-                    pieces = self.config.segmenter(value)
-                    self._occurrences.update(pieces)
-                    segments.update(pieces)
-                if segments:
-                    per_property[prop] = segments
+                values = tuple(external.literal_values(link.external, prop))
+                if values:
+                    property_values[prop] = values
             classes = self._ontology.most_specific_classes_of(link.local)
-            for cls in classes:
-                self._class_counts[cls] += 1
-            for prop, segments in per_property.items():
-                for segment in segments:
-                    self._pair_counts[(prop, segment)] += 1
-                    for cls in classes:
-                        self._conjunction_counts[(prop, segment, cls)] += 1
+            self._index.ingest(property_values, classes)
         return added
 
     def add_training_set(self, training_set: TrainingSet) -> int:
@@ -97,33 +91,31 @@ class IncrementalRuleLearner:
     def _min_count(self) -> int:
         import math
 
-        threshold = self.config.support_threshold * self._total
+        threshold = self.config.support_threshold * self._index.rows
         if self.config.strict_threshold:
             return int(math.floor(threshold)) + 1
         return max(1, int(math.ceil(threshold)))
 
     def rules(self) -> RuleSet:
         """The current rule set under the configured threshold."""
-        if self._total == 0:
+        index = self._index
+        if index.rows == 0:
             return RuleSet()
         min_count = self._min_count()
-        frequent_pairs = {
-            pair for pair, count in self._pair_counts.items() if count >= min_count
-        }
-        frequent_classes = {
-            cls for cls, count in self._class_counts.items() if count >= min_count
-        }
+        pair_counts = index.frequent_pairs(min_count)
+        class_counts = index.frequent_classes(min_count)
+        conjunction_counts = index.conjunction_counts(
+            pair_counts.keys(), set(class_counts.keys())
+        )
         rules: List[ClassificationRule] = []
-        for (prop, segment, cls), both in self._conjunction_counts.items():
+        for (prop, segment, cls), both in conjunction_counts.items():
             if both < min_count:
-                continue
-            if (prop, segment) not in frequent_pairs or cls not in frequent_classes:
                 continue
             counts = ContingencyCounts(
                 both=both,
-                premise=self._pair_counts[(prop, segment)],
-                conclusion=self._class_counts[cls],
-                total=self._total,
+                premise=pair_counts[(prop, segment)],
+                conclusion=class_counts[cls],
+                total=index.rows,
             )
             rules.append(
                 ClassificationRule(
@@ -137,22 +129,17 @@ class IncrementalRuleLearner:
         return RuleSet(rules)
 
     def statistics(self) -> LearningStatistics:
-        """Counter snapshot in the batch learner's statistics shape."""
-        min_count = self._min_count() if self._total else 1
-        frequent_pairs = {
-            pair for pair, count in self._pair_counts.items() if count >= min_count
-        }
-        selected_segments = {segment for _, segment in frequent_pairs}
+        """Index snapshot in the batch learner's statistics shape."""
+        index = self._index
+        min_count = self._min_count() if index.rows else 1
+        pair_counts = index.frequent_pairs(min_count)
+        selected_segments = {segment for _, segment in pair_counts}
         return LearningStatistics(
-            total_links=self._total,
-            distinct_segments=len(self._occurrences),
-            segment_occurrences=sum(self._occurrences.values()),
-            selected_segment_occurrences=sum(
-                self._occurrences[s] for s in selected_segments
-            ),
-            frequent_pairs=len(frequent_pairs),
-            frequent_classes=sum(
-                1 for count in self._class_counts.values() if count >= min_count
-            ),
+            total_links=index.rows,
+            distinct_segments=index.distinct_segments(),
+            segment_occurrences=index.segment_occurrences(),
+            selected_segment_occurrences=index.selected_occurrences(selected_segments),
+            frequent_pairs=len(pair_counts),
+            frequent_classes=len(index.frequent_classes(min_count)),
             rule_count=len(self.rules()),
         )

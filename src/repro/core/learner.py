@@ -15,6 +15,17 @@ threshold ``th`` (a fraction of ``|TS|``):
 Frequencies count *training links* (not value occurrences): a segment
 appearing twice in one part-number still counts once for that link,
 matching the set semantics of ``{X | p(X,Y) ∧ subsegment(Y,a)}``.
+
+The passes run against a shared
+:class:`~repro.index.TrainingFeatureIndex`: pass 1 and 2 read posting
+lengths, pass 3 is the posting intersection
+``freq(p ∧ a ∧ c) = |post(p, a) ∩ post(c)|``. :meth:`RuleLearner.learn`
+builds the index when none is supplied; callers relearning under
+several thresholds (sweeps, benchmarks) build it once via
+:meth:`RuleLearner.build_index` and amortize pass 0 away.
+:meth:`RuleLearner.learn_scan` keeps the original Counter-based passes
+as the reference oracle — the equivalence tests assert both paths emit
+byte-identical rule sets and statistics.
 """
 
 from __future__ import annotations
@@ -26,6 +37,7 @@ from typing import Callable, Dict, FrozenSet, Iterable, List, Sequence, Tuple
 from repro.core.measures import ContingencyCounts, RuleQualityMeasures
 from repro.core.rules import ClassificationRule, RuleSet
 from repro.core.training import TrainingExample, TrainingSet
+from repro.index import TrainingFeatureIndex
 from repro.rdf.terms import IRI
 from repro.text.segmentation import SegmentFunction, SeparatorSegmenter
 
@@ -105,10 +117,87 @@ class RuleLearner:
         return self._statistics
 
     # ------------------------------------------------------------------
-    # Algorithm 1
+    # Algorithm 1 — index-backed passes
     # ------------------------------------------------------------------
-    def learn(self, training_set: TrainingSet) -> RuleSet:
-        """Run Algorithm 1 over *training_set* and return the rules."""
+    def build_index(self, training_set: TrainingSet) -> TrainingFeatureIndex:
+        """Pass 0 as a reusable artifact: segment, intern, index.
+
+        The returned index can be handed to :meth:`learn` any number of
+        times (e.g. across a support-threshold sweep); only the cheap
+        posting probes rerun.
+        """
+        config = self.config
+        examples = training_set.examples(
+            list(config.properties) if config.properties is not None else None
+        )
+        return TrainingFeatureIndex.from_examples(examples, config.segmenter)
+
+    def learn(
+        self,
+        training_set: TrainingSet,
+        index: TrainingFeatureIndex | None = None,
+    ) -> RuleSet:
+        """Run Algorithm 1 over *training_set* and return the rules.
+
+        With *index* given (from :meth:`build_index`), pass 0 is skipped
+        and the three frequency passes run as posting-list probes.
+        """
+        if index is None:
+            index = self.build_index(training_set)
+        total = index.rows
+        min_count = self._min_count(total)
+
+        # Pass 1: frequent (property, segment) pairs = long-enough postings.
+        pair_counts = index.frequent_pairs(min_count)
+
+        # Pass 2: frequent most-specific classes.
+        class_counts = index.frequent_classes(min_count)
+
+        # Pass 3: conjunction frequencies |post(p,a) ∩ post(c)| -> rules.
+        conjunction_counts = index.conjunction_counts(
+            pair_counts.keys(), set(class_counts.keys())
+        )
+        rules: List[ClassificationRule] = []
+        for (prop, segment, cls), both in conjunction_counts.items():
+            if both < min_count:
+                continue
+            counts = ContingencyCounts(
+                both=both,
+                premise=pair_counts[(prop, segment)],
+                conclusion=class_counts[cls],
+                total=total,
+            )
+            rules.append(
+                ClassificationRule(
+                    property=prop,
+                    segment=segment,
+                    conclusion=cls,
+                    measures=RuleQualityMeasures.from_counts(counts),
+                    counts=counts,
+                )
+            )
+
+        selected_segments = {segment for _, segment in pair_counts}
+        self._statistics = LearningStatistics(
+            total_links=total,
+            distinct_segments=index.distinct_segments(),
+            segment_occurrences=index.segment_occurrences(),
+            selected_segment_occurrences=index.selected_occurrences(selected_segments),
+            frequent_pairs=len(pair_counts),
+            frequent_classes=len(class_counts),
+            rule_count=len(rules),
+        )
+        return RuleSet(rules)
+
+    # ------------------------------------------------------------------
+    # Algorithm 1 — original scan passes (reference oracle)
+    # ------------------------------------------------------------------
+    def learn_scan(self, training_set: TrainingSet) -> RuleSet:
+        """The original Counter-based passes, kept as the reference.
+
+        The index tests assert :meth:`learn` reproduces this output
+        byte-for-byte; everything else should call :meth:`learn`.
+        """
         config = self.config
         examples = training_set.examples(
             list(config.properties) if config.properties is not None else None

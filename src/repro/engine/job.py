@@ -321,6 +321,11 @@ class LinkingJob:
             fold = _FoldState(external, local, config.best_match_only)
             hits, misses = self._attempt(executor, workers, external, local, fold, started)
         elapsed = time.perf_counter() - started
+        # index-backed blocking methods report their shared index after
+        # the candidate stream has been drained (getattr: duck-typed
+        # blocking doubles in tests need not subclass BlockingMethod)
+        stats_fn = getattr(self._blocking, "index_stats", None)
+        index_stats = stats_fn() if callable(stats_fn) else None
         stats = EngineStats(
             executor=executor,
             workers=workers,
@@ -331,6 +336,10 @@ class LinkingJob:
             cache_hits=hits,
             cache_misses=misses,
             fallback_reason=fallback_reason,
+            index_build_seconds=index_stats.build_seconds if index_stats else 0.0,
+            index_probe_seconds=index_stats.probe_seconds if index_stats else 0.0,
+            index_features=index_stats.features if index_stats else 0,
+            index_postings=index_stats.postings if index_stats else 0,
         )
         result = LinkingResult(
             matches=fold.final_matches(),

@@ -47,6 +47,10 @@ class EngineStats:
     a parallel failure it reads ``serial`` and ``fallback_reason`` says
     why. Cache counters are summed across workers for the process
     executor.
+
+    The ``index_*`` fields report the blocking method's shared inverted
+    index (see :mod:`repro.index`) when one was used: build/probe wall
+    time and posting-list sizes. They stay zero for scan-based blocking.
     """
 
     executor: str
@@ -58,6 +62,10 @@ class EngineStats:
     cache_hits: int = 0
     cache_misses: int = 0
     fallback_reason: str | None = None
+    index_build_seconds: float = 0.0
+    index_probe_seconds: float = 0.0
+    index_features: int = 0
+    index_postings: int = 0
 
     @property
     def pairs_per_second(self) -> float:
@@ -84,6 +92,17 @@ class EngineStats:
             f"{self.cache_misses} misses "
             f"(hit rate {self.cache_hit_rate:.1%})",
         ]
+        if self.index_features or self.index_postings:
+            mean_posting = (
+                self.index_postings / self.index_features if self.index_features else 0.0
+            )
+            lines.append(
+                f"blocking index: {self.index_features} features / "
+                f"{self.index_postings} postings "
+                f"(mean {mean_posting:.1f}), "
+                f"build {self.index_build_seconds * 1000:.1f}ms, "
+                f"probe {self.index_probe_seconds * 1000:.1f}ms"
+            )
         if self.fallback_reason:
             lines.append(f"fell back to serial: {self.fallback_reason}")
         return "\n".join(lines)

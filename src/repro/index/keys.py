@@ -1,0 +1,137 @@
+"""Record-side inverted key indexes shared across blocking methods.
+
+Blocking methods derive key material from records (q-gram sub-lists,
+key prefixes, phonetic codes...) and need, per key, the local records
+carrying it. :class:`RecordKeyIndex` builds that once per store — keys
+map to posting lists of record *ordinals* (positions in store order) so
+candidate emission preserves the exact order the scan-based
+implementations produced.
+
+:func:`shared_record_index` memoizes indexes per
+:class:`~repro.linking.records.RecordStore` (weakly, so stores stay
+collectable) under a signature string describing the key derivation;
+a store mutation bumps its version and invalidates the cached entries.
+"""
+
+from __future__ import annotations
+
+import time
+import weakref
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Sequence, Tuple
+
+from repro.index.inverted import IndexStats, InvertedIndex
+from repro.rdf.terms import Term
+
+if TYPE_CHECKING:  # pragma: no cover - circular import guard
+    from repro.linking.records import Record, RecordStore
+
+#: Derives the blocking keys of one record (possibly none).
+KeyFunction = Callable[["Record"], Iterable[str]]
+
+
+class RecordKeyIndex:
+    """Inverted index: blocking key → records (in store order).
+
+    >>> index = RecordKeyIndex.build(local_store, keys_for=qgram_keys)
+    >>> list(index.candidates("crcw"))
+    [EX.p1, EX.p7]
+    """
+
+    __slots__ = ("_ids", "_index", "build_seconds", "probe_seconds")
+
+    def __init__(self, ids: Sequence[Term], index: InvertedIndex, build_seconds: float) -> None:
+        self._ids: Tuple[Term, ...] = tuple(ids)
+        self._index = index
+        self.build_seconds = build_seconds
+        #: cumulative probe time, accumulated by callers via :meth:`probed`.
+        self.probe_seconds = 0.0
+
+    @classmethod
+    def build(cls, store: "RecordStore", keys_for: KeyFunction) -> "RecordKeyIndex":
+        """Index every record of *store* under its derived keys."""
+        started = time.perf_counter()
+        ids: List[Term] = []
+        index = InvertedIndex()
+        for ordinal, record in enumerate(store):
+            ids.append(record.id)
+            for key in keys_for(record):
+                if key:
+                    index.add(key, ordinal)
+        return cls(ids, index, time.perf_counter() - started)
+
+    # ------------------------------------------------------------------
+    # probes
+    # ------------------------------------------------------------------
+    def candidates(self, key: str) -> Iterable[Term]:
+        """Record ids indexed under *key*, in store order."""
+        ids = self._ids
+        for ordinal in self._index.posting(key):
+            yield ids[ordinal]
+
+    def candidate_ordinals(self, key: str) -> Iterable[int]:
+        """Record ordinals indexed under *key* (posting list order)."""
+        return self._index.posting(key)
+
+    def id_of(self, ordinal: int) -> Term:
+        """The record id at *ordinal* (store order at build time)."""
+        return self._ids[ordinal]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._index
+
+    def __len__(self) -> int:
+        """Number of distinct keys."""
+        return len(self._index)
+
+    def probed(self, seconds: float) -> None:
+        """Account *seconds* of probe time (for EngineStats wiring)."""
+        self.probe_seconds += seconds
+
+    def stats(self) -> IndexStats:
+        """Posting-list stats plus build/probe timings."""
+        return self._index.stats(
+            build_seconds=self.build_seconds, probe_seconds=self.probe_seconds
+        )
+
+    def __repr__(self) -> str:
+        return f"<RecordKeyIndex keys={len(self._index)} records={len(self._ids)}>"
+
+
+# ----------------------------------------------------------------------
+# shared per-store cache
+# ----------------------------------------------------------------------
+
+#: store → {signature: (store version at build, index)}
+_SHARED: "weakref.WeakKeyDictionary[RecordStore, Dict[str, Tuple[int, RecordKeyIndex]]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def shared_record_index(
+    store: "RecordStore",
+    signature: str,
+    keys_for: KeyFunction,
+) -> RecordKeyIndex:
+    """The store's key index for *signature*, built at most once.
+
+    *signature* must uniquely describe the key derivation (field, q,
+    threshold...) — two callers presenting the same signature for the
+    same store share one index. The cache entry is dropped when the
+    store has been mutated since the build (its version moved on).
+    """
+    per_store = _SHARED.get(store)
+    if per_store is None:
+        per_store = {}
+        _SHARED[store] = per_store
+    version = getattr(store, "version", None)
+    cached = per_store.get(signature)
+    if cached is not None and cached[0] == version:
+        return cached[1]
+    index = RecordKeyIndex.build(store, keys_for)
+    per_store[signature] = (version, index)
+    return index
+
+
+def shared_index_cache_clear() -> None:
+    """Drop every cached index (mainly for tests and benchmarks)."""
+    _SHARED.clear()

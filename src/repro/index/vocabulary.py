@@ -1,0 +1,69 @@
+"""Interned feature vocabulary: hashable features → dense int ids.
+
+Every indexed layer speaks the same feature language: a
+``(property, segment)`` premise feature, a class feature, a blocking
+key. :class:`FeatureVocabulary` interns them into dense ids so posting
+lists, count arrays and probe tables can be integer-addressed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, List, Tuple
+
+
+class FeatureVocabulary:
+    """A bidirectional feature ↔ dense-id mapping.
+
+    Ids are assigned in first-seen order and never change, so a
+    vocabulary can keep growing under incremental ingestion while every
+    previously handed-out id stays valid.
+
+    >>> vocab = FeatureVocabulary()
+    >>> vocab.intern(("pn", "crcw0805"))
+    0
+    >>> vocab.intern(("pn", "crcw0805"))
+    0
+    >>> vocab.feature_of(0)
+    ('pn', 'crcw0805')
+    """
+
+    __slots__ = ("_ids", "_features")
+
+    def __init__(self) -> None:
+        self._ids: Dict[Hashable, int] = {}
+        self._features: List[Hashable] = []
+
+    def intern(self, feature: Hashable) -> int:
+        """The feature's id, assigning the next dense id if unseen."""
+        fid = self._ids.get(feature)
+        if fid is None:
+            fid = len(self._features)
+            self._ids[feature] = fid
+            self._features.append(feature)
+        return fid
+
+    def id_of(self, feature: Hashable) -> int | None:
+        """The feature's id, or ``None`` when never interned."""
+        return self._ids.get(feature)
+
+    def feature_of(self, fid: int) -> Hashable:
+        """The feature carrying id *fid* (raises IndexError if unknown)."""
+        return self._features[fid]
+
+    def __len__(self) -> int:
+        return len(self._features)
+
+    def __contains__(self, feature: Hashable) -> bool:
+        return feature in self._ids
+
+    def __iter__(self) -> Iterator[Hashable]:
+        """Features in id order."""
+        return iter(self._features)
+
+    def items(self) -> Iterator[Tuple[Hashable, int]]:
+        """(feature, id) pairs in id order."""
+        for fid, feature in enumerate(self._features):
+            yield feature, fid
+
+    def __repr__(self) -> str:
+        return f"<FeatureVocabulary features={len(self._features)}>"

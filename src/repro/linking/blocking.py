@@ -16,18 +16,29 @@ Paper §2 surveys exactly these families:
 same ``candidate_pairs`` interface so experiment A3 can compare all of
 them on reduction ratio and pairs completeness. :class:`FullIndex` is the
 naive ``|S_E| x |S_L|`` cartesian product, the paper's strawman.
+
+Key-driven methods (standard and q-gram blocking) build their candidate
+sets from shared :class:`~repro.index.RecordKeyIndex` posting lists —
+built once per (store, key derivation) and reused across runs — and
+:class:`RuleBasedBlocking` batch-probes the classifier's rule index.
+Every method keeps a scan-based reference path behind ``use_index=False``
+and the index equivalence tests assert both emit identical candidate
+pair sequences.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 import math
+import time
 from abc import ABC, abstractmethod
 from collections import defaultdict
 from typing import Callable, Dict, Iterable, Iterator, List, Sequence, Set, Tuple
 
 from repro.core.classifier import RuleClassifier
 from repro.core.subspace import LinkingSubspace
+from repro.index import IndexStats, shared_record_index
 from repro.linking.records import Record, RecordStore
 from repro.ontology.model import Ontology
 from repro.rdf.graph import Graph
@@ -52,6 +63,15 @@ class BlockingMethod(ABC):
         """Number of candidate pairs (materializes the iterator)."""
         return sum(1 for _ in self.candidate_pairs(external, local))
 
+    def index_stats(self) -> IndexStats | None:
+        """Index build/probe report of the last run (None when unused).
+
+        Index-backed methods overwrite this after draining
+        :meth:`candidate_pairs`; the engine folds it into
+        :class:`~repro.engine.stats.EngineStats`.
+        """
+        return None
+
 
 class FullIndex(BlockingMethod):
     """No blocking at all: the naive cartesian product ``|S_E| x |S_L|``."""
@@ -63,6 +83,10 @@ class FullIndex(BlockingMethod):
             for loc in local.ids():
                 yield ext, loc
 
+    def pair_count(self, external: RecordStore, local: RecordStore) -> int:
+        """``|S_E| x |S_L|`` directly — no iterator to materialize."""
+        return len(external) * len(local)
+
 
 class StandardBlocking(BlockingMethod):
     """Exact-key blocking on a derived blocking key.
@@ -71,32 +95,65 @@ class StandardBlocking(BlockingMethod):
     of a field, or a Soundex code); records with equal non-empty keys land
     in the same block and all cross-source pairs inside a block become
     candidates.
+
+    With ``use_index=True`` and a cache *signature* (set by the
+    classmethod constructors), the local store's block index is a shared
+    :class:`~repro.index.RecordKeyIndex` — built once, reused by every
+    job that blocks the same store the same way. Candidate pairs are
+    identical either way.
     """
 
-    def __init__(self, key: Callable[[Record], str]) -> None:
+    def __init__(
+        self,
+        key: Callable[[Record], str],
+        use_index: bool = True,
+        signature: str | None = None,
+    ) -> None:
         self._key = key
+        self._use_index = use_index
+        self._signature = signature
+        self._last_index_stats: IndexStats | None = None
 
     @classmethod
-    def on_field_prefix(cls, field_name: str, length: int = 5) -> "StandardBlocking":
+    def on_field_prefix(
+        cls, field_name: str, length: int = 5, use_index: bool = True
+    ) -> "StandardBlocking":
         """The paper's example: same first *length* characters of a field."""
         def key(record: Record) -> str:
             return normalize_value(record.value(field_name))[:length]
 
-        return cls(key)
+        return cls(key, use_index=use_index, signature=f"prefix:{field_name}:{length}")
 
     @classmethod
     def on_field_transform(
         cls, field_name: str, transform: Callable[[str], str]
     ) -> "StandardBlocking":
-        """Key = ``transform(field value)`` (e.g. a phonetic encoder)."""
+        """Key = ``transform(field value)`` (e.g. a phonetic encoder).
+
+        Arbitrary transforms carry no stable cache signature, so the
+        index is rebuilt per run (sharing would risk signature
+        collisions between distinct callables).
+        """
         def key(record: Record) -> str:
             return transform(record.value(field_name))
 
-        return cls(key)
+        return cls(key, signature=None)
+
+    def _keys_for(self, record: Record) -> Iterator[str]:
+        key = self._key(record)
+        if key:
+            yield key
+
+    def index_stats(self) -> IndexStats | None:
+        return self._last_index_stats
 
     def candidate_pairs(
         self, external: RecordStore, local: RecordStore
     ) -> Iterator[CandidatePair]:
+        if self._use_index and self._signature is not None:
+            yield from self._candidate_pairs_indexed(external, local)
+            return
+        self._last_index_stats = None
         blocks: Dict[str, List[Term]] = defaultdict(list)
         for record in local:
             key = self._key(record)
@@ -108,6 +165,25 @@ class StandardBlocking(BlockingMethod):
                 continue
             for local_id in blocks.get(key, ()):
                 yield record.id, local_id
+
+    def _candidate_pairs_indexed(
+        self, external: RecordStore, local: RecordStore
+    ) -> Iterator[CandidatePair]:
+        assert self._signature is not None
+        index = shared_record_index(local, self._signature, self._keys_for)
+        probe_seconds = 0.0
+        for record in external:
+            started = time.perf_counter()
+            key = self._key(record)
+            matches = list(index.candidates(key)) if key else []
+            probe_seconds += time.perf_counter() - started
+            for local_id in matches:
+                yield record.id, local_id
+        index.probed(probe_seconds)
+        # per-run report: one-time build cost, this run's probe time
+        self._last_index_stats = dataclasses.replace(
+            index.stats(), probe_seconds=probe_seconds
+        )
 
 
 class SortedNeighbourhood(BlockingMethod):
@@ -166,6 +242,11 @@ class QGramBlocking(BlockingMethod):
 
     ``max_grams`` caps the combinatorial explosion on long values (the
     classic implementations do the same).
+
+    With ``use_index=True`` the local store's sub-list inverted index is
+    a shared :class:`~repro.index.RecordKeyIndex` keyed on the full
+    q-gram configuration, so repeated jobs against the same catalog skip
+    the rebuild. Candidate pairs are identical to the scan path.
     """
 
     def __init__(
@@ -174,6 +255,7 @@ class QGramBlocking(BlockingMethod):
         q: int = 2,
         threshold: float = 0.8,
         max_grams: int = 12,
+        use_index: bool = True,
     ) -> None:
         if not 0.0 < threshold <= 1.0:
             raise ValueError(f"threshold must be in (0, 1], got {threshold}")
@@ -183,6 +265,8 @@ class QGramBlocking(BlockingMethod):
         self._q = q
         self._threshold = threshold
         self._max_grams = max_grams
+        self._use_index = use_index
+        self._last_index_stats: IndexStats | None = None
 
     def _keys(self, record: Record) -> Set[str]:
         value = normalize_value(record.value(self._field))
@@ -198,9 +282,16 @@ class QGramBlocking(BlockingMethod):
             "".join(combo) for combo in itertools.combinations(grams, keep)
         }
 
+    def index_stats(self) -> IndexStats | None:
+        return self._last_index_stats
+
     def candidate_pairs(
         self, external: RecordStore, local: RecordStore
     ) -> Iterator[CandidatePair]:
+        if self._use_index:
+            yield from self._candidate_pairs_indexed(external, local)
+            return
+        self._last_index_stats = None
         index: Dict[str, List[Term]] = defaultdict(list)
         for record in local:
             for key in self._keys(record):
@@ -213,6 +304,32 @@ class QGramBlocking(BlockingMethod):
                     if pair not in seen:
                         seen.add(pair)
                         yield pair
+
+    def _candidate_pairs_indexed(
+        self, external: RecordStore, local: RecordStore
+    ) -> Iterator[CandidatePair]:
+        signature = (
+            f"qgram:{self._field}:{self._q}:{self._threshold}:{self._max_grams}"
+        )
+        index = shared_record_index(local, signature, self._keys)
+        seen: Set[CandidatePair] = set()
+        probe_seconds = 0.0
+        for record in external:
+            started = time.perf_counter()
+            fresh: List[CandidatePair] = []
+            for key in self._keys(record):
+                for local_id in index.candidates(key):
+                    pair = (record.id, local_id)
+                    if pair not in seen:
+                        seen.add(pair)
+                        fresh.append(pair)
+            probe_seconds += time.perf_counter() - started
+            yield from fresh
+        index.probed(probe_seconds)
+        # per-run report: one-time build cost, this run's probe time
+        self._last_index_stats = dataclasses.replace(
+            index.stats(), probe_seconds=probe_seconds
+        )
 
 
 class CanopyBlocking(BlockingMethod):
@@ -268,6 +385,12 @@ class RuleBasedBlocking(BlockingMethod):
     pairs against the instances of the predicted classes. Undecided
     records fall back to the full local store (``fallback_full=True``,
     the fair default for completeness comparisons) or to no pairs.
+
+    With ``use_index=True`` the batch is classified through the
+    classifier's inverted rule index
+    (:meth:`~repro.core.classifier.RuleClassifier.predict_many`);
+    ``use_index=False`` keeps the per-record rule scan as the reference
+    path. Predictions — and therefore candidate pairs — are identical.
     """
 
     def __init__(
@@ -276,16 +399,33 @@ class RuleBasedBlocking(BlockingMethod):
         ontology: Ontology,
         external_graph: Graph,
         fallback_full: bool = True,
+        use_index: bool = True,
     ) -> None:
         self._classifier = classifier
         self._ontology = ontology
         self._graph = external_graph
         self._fallback_full = fallback_full
+        self._use_index = use_index
+        self._last_index_stats: IndexStats | None = None
+
+    def index_stats(self) -> IndexStats | None:
+        return self._last_index_stats
 
     def candidate_pairs(
         self, external: RecordStore, local: RecordStore
     ) -> Iterator[CandidatePair]:
-        predictions = self._classifier.predict_all(list(external.ids()), self._graph)
+        items = list(external.ids())
+        if self._use_index:
+            self._classifier.build_probe_table()
+            started = time.perf_counter()
+            predictions = self._classifier.predict_many(items, self._graph)
+            probe_seconds = time.perf_counter() - started
+            self._last_index_stats = self._classifier.probe_index_stats(probe_seconds)
+        else:
+            self._last_index_stats = None
+            predictions = {
+                item: self._classifier.predict(item, self._graph) for item in items
+            }
         subspace = LinkingSubspace.from_predictions(predictions, self._ontology)
         local_ids = set(local.ids())
         for ext_id in external.ids():

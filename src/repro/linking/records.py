@@ -53,6 +53,7 @@ class RecordStore:
 
     def __init__(self, records: Iterable[Record] = ()) -> None:
         self._records: Dict[Term, Record] = {}
+        self._version = 0
         for record in records:
             self.add(record)
 
@@ -88,6 +89,12 @@ class RecordStore:
     def add(self, record: Record) -> None:
         """Insert or replace the record with the same id."""
         self._records[record.id] = record
+        self._version += 1
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; shared indexes cache against it."""
+        return self._version
 
     def __getitem__(self, item_id: Term) -> Record:
         return self._records[item_id]

@@ -11,7 +11,8 @@ from __future__ import annotations
 
 import math
 from collections import Counter
-from typing import Callable, Dict, Iterable, List, Sequence
+from functools import lru_cache
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
 
 
 def levenshtein_distance(a: str, b: str) -> int:
@@ -168,17 +169,29 @@ def qgram_profile(text: str, q: int = 2, pad: bool = True) -> Counter:
     return Counter(text[i:i + q] for i in range(len(text) - q + 1))
 
 
+@lru_cache(maxsize=8192)
+def _qgram_profile_normed(text: str, q: int) -> Tuple[Dict[str, int], float]:
+    """Memoized (profile, L2 norm) for the cosine hot path.
+
+    Blocking and canopy clustering compare one value against a whole
+    block, so one side repeats across thousands of calls; rebuilding the
+    Counter each time dominated ``qgram_cosine_similarity``. The cached
+    dict is shared — callers must treat it as read-only.
+    """
+    profile = qgram_profile(text, q)
+    norm = math.sqrt(sum(count * count for count in profile.values()))
+    return dict(profile), norm
+
+
 def qgram_cosine_similarity(a: str, b: str, q: int = 2) -> float:
     """Cosine between q-gram count vectors; 1.0 when both empty."""
-    profile_a = qgram_profile(a, q)
-    profile_b = qgram_profile(b, q)
+    profile_a, norm_a = _qgram_profile_normed(a, q)
+    profile_b, norm_b = _qgram_profile_normed(b, q)
     if not profile_a and not profile_b:
         return 1.0
     if not profile_a or not profile_b:
         return 0.0
     dot = sum(count * profile_b.get(gram, 0) for gram, count in profile_a.items())
-    norm_a = math.sqrt(sum(c * c for c in profile_a.values()))
-    norm_b = math.sqrt(sum(c * c for c in profile_b.values()))
     return dot / (norm_a * norm_b)
 
 

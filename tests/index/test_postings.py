@@ -1,0 +1,149 @@
+"""Unit and property tests for the posting-list / vocabulary primitives."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index import EMPTY_POSTING, FeatureVocabulary, InvertedIndex, PostingList
+
+row_sets = st.sets(st.integers(min_value=0, max_value=500), max_size=60)
+
+
+class TestPostingList:
+    def test_empty(self):
+        posting = PostingList()
+        assert len(posting) == 0
+        assert list(posting) == []
+        assert 3 not in posting
+
+    def test_append_strictly_increasing(self):
+        posting = PostingList()
+        posting.append(1)
+        posting.append(5)
+        assert posting.to_list() == [1, 5]
+        with pytest.raises(ValueError):
+            posting.append(5)
+        with pytest.raises(ValueError):
+            posting.append(2)
+
+    def test_add_keeps_sorted_and_dedupes(self):
+        posting = PostingList()
+        assert posting.add(9)
+        assert posting.add(3)
+        assert not posting.add(9)
+        assert posting.to_list() == [3, 9]
+
+    def test_constructor_sorts(self):
+        assert PostingList([4, 1, 4, 2]).to_list() == [1, 2, 4]
+
+    def test_contains_binary_search(self):
+        posting = PostingList([1, 4, 9, 16])
+        assert 4 in posting
+        assert 5 not in posting
+
+    def test_intersection_and_count(self):
+        a = PostingList([1, 4, 9])
+        b = PostingList([4, 9, 12])
+        assert a.intersection(b).to_list() == [4, 9]
+        assert a.intersection_count(b) == 2
+        assert b.intersection_count(a) == 2
+
+    def test_intersection_with_empty(self):
+        a = PostingList([1, 2])
+        assert a.intersection(EMPTY_POSTING).to_list() == []
+        assert EMPTY_POSTING.intersection_count(a) == 0
+
+    def test_union(self):
+        a = PostingList([1, 4, 9])
+        b = PostingList([4, 9, 12])
+        assert a.union(b).to_list() == [1, 4, 9, 12]
+
+    def test_galloping_path_on_skewed_sizes(self):
+        short = PostingList([0, 250, 499])
+        long = PostingList(range(500))
+        assert short.intersection(long).to_list() == [0, 250, 499]
+        assert long.intersection_count(short) == 3
+
+    def test_equality(self):
+        assert PostingList([1, 2]) == PostingList([2, 1])
+        assert PostingList([1]) != PostingList([2])
+
+
+class TestPostingListProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(row_sets, row_sets)
+    def test_intersection_matches_set_semantics(self, a, b):
+        pa, pb = PostingList(a), PostingList(b)
+        assert pa.intersection(pb).to_list() == sorted(a & b)
+        assert pa.intersection_count(pb) == len(a & b)
+
+    @settings(max_examples=60, deadline=None)
+    @given(row_sets, row_sets)
+    def test_union_matches_set_semantics(self, a, b):
+        assert PostingList(a).union(PostingList(b)).to_list() == sorted(a | b)
+
+    @settings(max_examples=60, deadline=None)
+    @given(row_sets)
+    def test_membership_matches_set(self, rows):
+        posting = PostingList(rows)
+        for candidate in range(0, 501, 50):
+            assert (candidate in posting) == (candidate in rows)
+
+
+class TestFeatureVocabulary:
+    def test_interns_densely_in_first_seen_order(self):
+        vocab = FeatureVocabulary()
+        assert vocab.intern("a") == 0
+        assert vocab.intern("b") == 1
+        assert vocab.intern("a") == 0
+        assert len(vocab) == 2
+        assert list(vocab) == ["a", "b"]
+
+    def test_round_trip(self):
+        vocab = FeatureVocabulary()
+        fid = vocab.intern(("pn", "crcw"))
+        assert vocab.feature_of(fid) == ("pn", "crcw")
+        assert vocab.id_of(("pn", "crcw")) == fid
+        assert vocab.id_of("missing") is None
+        assert ("pn", "crcw") in vocab
+
+
+class TestInvertedIndex:
+    def test_add_and_count(self):
+        index = InvertedIndex()
+        index.add("k", 0)
+        index.add("k", 0)  # duplicate row ignored
+        index.add("k", 3)
+        index.add("other", 1)
+        assert index.count("k") == 2
+        assert index.count("other") == 1
+        assert index.count("missing") == 0
+        assert index.total_postings() == 3
+
+    def test_intersection_count(self):
+        index = InvertedIndex()
+        for row in (0, 2, 4):
+            index.add("even", row)
+        for row in (0, 1, 2):
+            index.add("low", row)
+        assert index.intersection_count("even", "low") == 2
+
+    def test_features_iterates_in_id_order(self):
+        index = InvertedIndex()
+        index.add("b", 0)
+        index.add("a", 1)
+        features = [feature for feature, _, _ in index.features()]
+        assert features == ["b", "a"]
+
+    def test_stats(self):
+        index = InvertedIndex()
+        index.add("k", 0)
+        index.add("k", 1)
+        stats = index.stats(build_seconds=0.5)
+        assert stats.features == 1
+        assert stats.postings == 2
+        assert stats.mean_posting_length == 2.0
+        merged = stats.merged(index.stats(probe_seconds=0.25))
+        assert merged.features == 2
+        assert merged.build_seconds == 0.5
+        assert merged.probe_seconds == 0.25

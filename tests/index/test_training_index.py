@@ -1,0 +1,86 @@
+"""The training-link index against brute-force counting on the tiny catalog."""
+
+from collections import Counter
+
+import pytest
+
+from repro.index import TrainingFeatureIndex
+from repro.rdf import EX
+from repro.text.segmentation import SeparatorSegmenter
+
+
+@pytest.fixture
+def index(tiny_training_set):
+    examples = tiny_training_set.examples([EX.partNumber])
+    return TrainingFeatureIndex.from_examples(examples, SeparatorSegmenter())
+
+
+class TestTrainingFeatureIndex:
+    def test_rows_is_link_count(self, index, tiny_training_set):
+        assert index.rows == len(tiny_training_set)
+
+    def test_pair_counts_match_conftest_hand_counts(self, index):
+        # docstring of tests/conftest.py: ohm=4, uf=3, t83=2
+        assert index.pair_count(EX.partNumber, "ohm") == 4
+        assert index.pair_count(EX.partNumber, "uf") == 3
+        assert index.pair_count(EX.partNumber, "t83") == 2
+        assert index.pair_count(EX.partNumber, "xyz") == 1
+        assert index.pair_count(EX.partNumber, "missing") == 0
+
+    def test_class_counts_match_conftest_hand_counts(self, index):
+        assert index.class_count(EX.Resistor) == 4
+        assert index.class_count(EX.Capacitor) == 5
+        assert index.class_count(EX.Diode) == 1
+
+    def test_conjunction_is_posting_intersection(self, index):
+        assert index.conjunction_count(EX.partNumber, "uf", EX.Capacitor) == 3
+        assert index.conjunction_count(EX.partNumber, "ohm", EX.Resistor) == 3
+        assert index.conjunction_count(EX.partNumber, "ohm", EX.Capacitor) == 1
+        assert index.conjunction_count(EX.partNumber, "uf", EX.Diode) == 0
+
+    def test_bulk_conjunctions_equal_pairwise_intersections(self, index):
+        pairs = dict(index.frequent_pairs(1))
+        classes = index.frequent_classes(1)
+        bulk = index.conjunction_counts(pairs.keys(), set(classes.keys()))
+        for (prop, segment, cls), count in bulk.items():
+            assert count == index.conjunction_count(prop, segment, cls)
+        # and nothing with a non-zero intersection is missing
+        for prop, segment in pairs:
+            for cls in classes:
+                direct = index.conjunction_count(prop, segment, cls)
+                if direct:
+                    assert bulk[(prop, segment, cls)] == direct
+
+    def test_occurrence_statistics(self, index, tiny_training_set):
+        segmenter = SeparatorSegmenter()
+        expected = Counter()
+        for example in tiny_training_set.examples([EX.partNumber]):
+            for values in example.property_values.values():
+                for value in values:
+                    expected.update(segmenter(value))
+        assert index.occurrences == expected
+        assert index.distinct_segments() == len(expected)
+        assert index.segment_occurrences() == sum(expected.values())
+        assert index.selected_occurrences(["ohm", "uf"]) == expected["ohm"] + expected["uf"]
+
+    def test_incremental_ingest_equals_batch_build(self, tiny_training_set):
+        examples = tiny_training_set.examples([EX.partNumber])
+        batch = TrainingFeatureIndex.from_examples(examples, SeparatorSegmenter())
+        grown = TrainingFeatureIndex(SeparatorSegmenter())
+        for example in examples:
+            grown.ingest(example.property_values, example.classes)
+        assert grown.rows == batch.rows
+        assert grown.occurrences == batch.occurrences
+        for feature, _, posting in batch.pairs.features():
+            assert grown.pairs.posting(feature).to_list() == posting.to_list()
+        for feature, _, posting in batch.classes.features():
+            assert grown.classes.posting(feature).to_list() == posting.to_list()
+
+    def test_stats_report(self, index):
+        stats = index.stats(probe_seconds=0.1)
+        assert stats.features == len(index.pairs) + len(index.classes)
+        assert stats.postings == (
+            index.pairs.total_postings() + index.classes.total_postings()
+        )
+        assert stats.build_seconds >= 0.0
+        assert stats.probe_seconds == 0.1
