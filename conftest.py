@@ -1,0 +1,17 @@
+"""Repository-level pytest options.
+
+``--snapshot-update`` rewrites the golden scenario snapshots under
+``tests/scenarios/snapshots/`` instead of asserting against them — see
+``docs/testing.md`` for the workflow. The option must live in the
+rootdir conftest so it is registered before collection regardless of
+which test subset is invoked.
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--snapshot-update",
+        action="store_true",
+        default=False,
+        help="rewrite golden scenario snapshots instead of asserting",
+    )

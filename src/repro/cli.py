@@ -12,6 +12,8 @@ export/import utility:
 * ``link`` — run an end-to-end batch linking job through the engine
   (chunked, cached, optionally parallel) and report throughput;
 * ``throughput`` — the engine throughput experiment (A5);
+* ``scenarios`` — list or run the scenario workload matrix (batch +
+  streaming legs with the byte-identity check and metric envelopes);
 * ``export-rules`` — learn on a preset catalog and write the rules as
   JSON or Turtle.
 """
@@ -284,6 +286,72 @@ def _cmd_throughput(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.scenarios import (
+        UnknownScenarioError,
+        get_scenario,
+        run_scenario,
+        scenario_names,
+    )
+
+    if args.action == "list":
+        specs = [get_scenario(name) for name in scenario_names()]
+        if args.json:
+            print(
+                json.dumps(
+                    [
+                        {
+                            "scenario": spec.name,
+                            "domain": spec.domain,
+                            "description": spec.description,
+                            "tags": list(spec.tags),
+                            "deltas": spec.deltas,
+                        }
+                        for spec in specs
+                    ],
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+            return 0
+        print(f"{'scenario':<28} {'domain':<12} description")
+        for spec in specs:
+            print(f"{spec.name:<28} {spec.domain:<12} {spec.description}")
+            print(f"{'':<28} {'':<12} tags: {', '.join(spec.tags)}")
+        return 0
+
+    names = args.scenarios or scenario_names()
+    reports = []
+    failed = False
+    for name in names:
+        try:
+            report = run_scenario(name, streaming=not args.no_streaming)
+        except UnknownScenarioError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        reports.append(report)
+        if not args.json:
+            print(report.format())
+        if not report.ok:
+            failed = True
+    if args.json:
+        payload = [
+            {
+                **report.snapshot(),
+                "batch_seconds": report.batch_seconds,
+                "streaming_seconds": report.streaming_seconds,
+                "envelope_violations": list(report.envelope_violations),
+            }
+            for report in reports
+        ]
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    elif not failed:
+        print(f"{len(reports)} scenario(s) ok")
+    return 1 if failed else 0
+
+
 def _cmd_export_rules(args: argparse.Namespace) -> int:
     catalog = _generate(args)
     learner = RuleLearner(
@@ -355,6 +423,29 @@ def build_parser() -> argparse.ArgumentParser:
         action for action in sub.choices.values() if action.prog.endswith("generalization")
     )
     generalization.add_argument("--max-depth-lift", type=int, default=4)
+
+    scenarios = sub.add_parser(
+        "scenarios", help="the scenario workload matrix (list / run)"
+    )
+    scenarios.add_argument(
+        "action", choices=("list", "run"), help="list the registry or run scenarios"
+    )
+    scenarios.add_argument(
+        "--scenario",
+        action="append",
+        dest="scenarios",
+        metavar="NAME",
+        help="scenario to run (repeatable; default: all registered)",
+    )
+    scenarios.add_argument(
+        "--no-streaming",
+        action="store_true",
+        help="skip the streaming leg and its byte-identity check",
+    )
+    scenarios.add_argument(
+        "--json", action="store_true", help="emit reports as JSON"
+    )
+    scenarios.set_defaults(handler=_cmd_scenarios)
 
     export = sub.add_parser("export-rules", help="learn and export rules")
     _add_common(export)

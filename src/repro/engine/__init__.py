@@ -18,6 +18,12 @@ a streaming, chunked, optionally parallel batch job:
 
 ``LinkingPipeline`` is now a thin serial facade over this engine;
 future scaling work (sharding, async backends) plugs in here.
+
+:class:`StreamingLinkingJob` is the second execution mode: record
+deltas ingested as they arrive (each delta one chunked batch job over
+the shared, version-invalidated local key index), expert-link deltas
+grown through an incremental learner — with final matches guaranteed
+byte-identical to a from-scratch batch run.
 """
 
 from repro.engine.cache import (
@@ -27,6 +33,7 @@ from repro.engine.cache import (
 )
 from repro.engine.job import EXECUTORS, JobConfig, LinkingJob
 from repro.engine.stats import EngineProgress, EngineStats
+from repro.engine.streaming import StreamingDelta, StreamingLinkingJob
 
 __all__ = [
     "DEFAULT_CACHE_SIZE",
@@ -37,4 +44,6 @@ __all__ = [
     "LinkingJob",
     "EngineProgress",
     "EngineStats",
+    "StreamingDelta",
+    "StreamingLinkingJob",
 ]

@@ -208,6 +208,21 @@ def _chunked(pairs: Iterator[Pair], size: int) -> Iterator[List[Pair]]:
         yield chunk
 
 
+def update_best_match(best: Dict[Term, MatchDecision], decision: MatchDecision) -> None:
+    """One step of the Unique Name Assumption fold: keep the top-scoring
+    match per external record, first-seen winning score ties.
+
+    Shared by the batch fold and the streaming replay
+    (:meth:`~repro.engine.streaming.StreamingLinkingJob.result`) — the
+    byte-identity guarantee between the two modes rests on both
+    executing exactly this selection.
+    """
+    ext_id = decision.vector.left.id
+    incumbent = best.get(ext_id)
+    if incumbent is None or decision.score > incumbent.score:
+        best[ext_id] = decision
+
+
 class _FoldState:
     """Folds chunk outcomes — in chunk order — into result lists.
 
@@ -248,9 +263,7 @@ class _FoldState:
             )
             if decision.status is MatchStatus.MATCH:
                 if self._best_only:
-                    incumbent = self._best.get(ext_id)
-                    if incumbent is None or decision.score > incumbent.score:
-                        self._best[ext_id] = decision
+                    update_best_match(self._best, decision)
                 else:
                     self.matches.append(decision)
             else:

@@ -45,8 +45,13 @@ def provider_batch(
     n_items: int,
     seed: int = 4242,
     namespace: str = "http://example.org/catalog/provider-test/",
+    corruptor: Corruptor | None = None,
 ) -> Tuple[Graph, List[Pair]]:
-    """Corrupted twins of catalog items NOT used in TS (out-of-sample)."""
+    """Corrupted twins of catalog items NOT used in TS (out-of-sample).
+
+    ``corruptor`` overrides the default corruption model — scenario
+    profiles (clean, harsh...) pass their own.
+    """
     rng = random.Random(seed)
     linked_locals = {link.local for link in catalog.links}
     unseen = [item for item in catalog.items if item.iri not in linked_locals]
@@ -56,7 +61,7 @@ def provider_batch(
     ns = Namespace(namespace)
     graph = Graph(identifier="external-test")
     truth: List[Pair] = []
-    corruptor = Corruptor()
+    corruptor = corruptor or Corruptor()
     for i, item in enumerate(chosen):
         ext = ns.term(f"t{i}")
         corrupted = corruptor.corrupt(item.part_number, rng)

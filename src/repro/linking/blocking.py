@@ -268,19 +268,26 @@ class QGramBlocking(BlockingMethod):
         self._use_index = use_index
         self._last_index_stats: IndexStats | None = None
 
-    def _keys(self, record: Record) -> Set[str]:
+    def _keys(self, record: Record) -> List[str]:
+        """Sub-list keys of a record, in sorted (deterministic) order.
+
+        Key order drives candidate emission order, which best-match
+        tie-breaking downstream depends on — sorted keys keep runs
+        byte-identical across processes (hash randomization would
+        otherwise reorder a set).
+        """
         value = normalize_value(record.value(self._field))
         if not value:
-            return set()
+            return []
         grams = sorted(
             {value[i:i + self._q] for i in range(max(1, len(value) - self._q + 1))}
         )[: self._max_grams]
         keep = max(1, math.ceil(len(grams) * self._threshold))
         if keep >= len(grams):
-            return {"".join(grams)}
-        return {
-            "".join(combo) for combo in itertools.combinations(grams, keep)
-        }
+            return ["".join(grams)]
+        return sorted(
+            {"".join(combo) for combo in itertools.combinations(grams, keep)}
+        )
 
     def index_stats(self) -> IndexStats | None:
         return self._last_index_stats
@@ -427,13 +434,19 @@ class RuleBasedBlocking(BlockingMethod):
                 item: self._classifier.predict(item, self._graph) for item in items
             }
         subspace = LinkingSubspace.from_predictions(predictions, self._ontology)
-        local_ids = set(local.ids())
+        # deterministic emission: subspace candidate sets iterate in hash
+        # order, which PYTHONHASHSEED reshuffles between processes, and
+        # best-match tie-breaking downstream would inherit the shuffle —
+        # store order (fallback) / sorted ids keep runs byte-identical
+        local_order = list(local.ids())
+        local_ids = set(local_order)
         for ext_id in external.ids():
             candidates = subspace.candidates_for(ext_id)
             if not candidates and self._fallback_full:
-                for local_id in local_ids:
+                for local_id in local_order:
                     yield ext_id, local_id
                 continue
-            for candidate in candidates:
-                if candidate in local_ids:
-                    yield ext_id, candidate
+            matching = [c for c in candidates if c in local_ids]
+            matching.sort(key=str)
+            for candidate in matching:
+                yield ext_id, candidate

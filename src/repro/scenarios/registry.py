@@ -1,0 +1,51 @@
+"""The scenario registry: named workloads, listable and runnable.
+
+Scenarios register at import of :mod:`repro.scenarios.library` (the
+package ``__init__`` does this), so ``scenario_names()`` is complete as
+soon as ``repro.scenarios`` is imported. The registry is append-only
+within a process; re-registering a name is an error — two workloads
+answering to one name would make golden snapshots ambiguous.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from repro.scenarios.spec import ScenarioSpec
+
+_REGISTRY: Dict[str, ScenarioSpec] = {}
+
+
+class UnknownScenarioError(KeyError):
+    """Raised when a scenario name is not registered."""
+
+    def __init__(self, name: str) -> None:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        super().__init__(f"unknown scenario {name!r}; registered: {known}")
+        self.name = name
+
+
+def register(spec: ScenarioSpec) -> ScenarioSpec:
+    """Add *spec* to the registry; returns it (decorator-friendly)."""
+    if spec.name in _REGISTRY:
+        raise ValueError(f"scenario {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """The registered spec for *name*."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownScenarioError(name) from None
+
+
+def scenario_names() -> List[str]:
+    """Registered names, in registration order (the matrix order)."""
+    return list(_REGISTRY)
+
+
+def all_scenarios() -> Iterator[ScenarioSpec]:
+    """Iterate over registered specs in registration order."""
+    yield from _REGISTRY.values()

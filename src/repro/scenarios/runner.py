@@ -1,0 +1,274 @@
+"""Run scenarios: batch leg, streaming leg, identity check, envelope.
+
+:func:`run_scenario` executes one registered scenario twice —
+
+1. **batch**: one :class:`~repro.engine.LinkingJob` over the whole
+   external store;
+2. **streaming**: a :class:`~repro.engine.StreamingLinkingJob` fed the
+   same records in ``spec.deltas`` contiguous deltas; rule-driven
+   scenarios additionally stream the training set in
+   ``spec.link_batches`` batches through an
+   :class:`~repro.core.incremental.IncrementalRuleLearner` before the
+   record deltas arrive
+
+— and then asserts the two produced **byte-identical** outcomes: the
+same match decisions (vectors, scores, statuses) in the same order, the
+same possible-band, the same candidate pairs. The report carries the
+quality metrics, the envelope verdict and content digests stable enough
+to pin in golden snapshot files.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.incremental import IncrementalRuleLearner
+from repro.core.serialize import rules_to_json
+from repro.engine import JobConfig, LinkingJob, StreamingLinkingJob
+from repro.linking.matchers import MatchDecision
+from repro.linking.pipeline import LinkingResult
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.spec import BuiltScenario, ScenarioSpec
+
+#: Engine configuration of scenario runs: serial keeps tiny workloads
+#: fast (no pool bring-up) and the outcome is executor-independent
+#: anyway — the engine's own tests pin that.
+DEFAULT_SCENARIO_CONFIG = JobConfig(executor="serial", chunk_size=256)
+
+
+def _split(items: Sequence, parts: int) -> List[List]:
+    """Split *items* into *parts* contiguous chunks (last may be short)."""
+    if parts < 1:
+        raise ValueError(f"parts must be >= 1, got {parts}")
+    size = max(1, -(-len(items) // parts))
+    return [list(items[i:i + size]) for i in range(0, len(items), size)]
+
+
+def _match_digest(matches: Sequence[MatchDecision]) -> str:
+    """Content digest of a match list: ids, status and score, in order."""
+    hasher = hashlib.sha256()
+    for decision in matches:
+        line = (
+            f"{decision.vector.left.id.n3()}\t{decision.vector.right.id.n3()}\t"
+            f"{decision.status.value}\t{decision.score:.12f}\n"
+        )
+        hasher.update(line.encode("utf-8"))
+    return f"sha256:{hasher.hexdigest()}"
+
+
+def _rules_digest(built: BuiltScenario) -> Optional[str]:
+    if built.rules is None:
+        return None
+    digest = hashlib.sha256(rules_to_json(built.rules).encode("utf-8")).hexdigest()
+    return f"sha256:{digest}"
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioReport:
+    """One scenario run: workload shape, quality, identity, envelope."""
+
+    name: str
+    domain: str
+    tags: Tuple[str, ...]
+    external_records: int
+    local_records: int
+    truth_links: int
+    rules: int
+    compared: int
+    naive_pairs: int
+    matches: int
+    possible: int
+    precision: float
+    recall: float
+    f1: float
+    pairs_completeness: float
+    reduction_ratio: float
+    match_digest: str
+    rules_digest: Optional[str]
+    streaming_deltas: int
+    streaming_identical: bool
+    envelope_violations: Tuple[str, ...]
+    batch_seconds: float
+    streaming_seconds: float
+
+    @property
+    def ok(self) -> bool:
+        """Inside the envelope and streaming matched batch exactly."""
+        return self.streaming_identical and not self.envelope_violations
+
+    def snapshot(self) -> Dict[str, object]:
+        """The golden-snapshot payload: everything deterministic.
+
+        Timings are excluded; floats are rounded so the JSON is stable
+        to re-serialization.
+        """
+        return {
+            "scenario": self.name,
+            "domain": self.domain,
+            "tags": list(self.tags),
+            "external_records": self.external_records,
+            "local_records": self.local_records,
+            "truth_links": self.truth_links,
+            "rules": self.rules,
+            "compared": self.compared,
+            "naive_pairs": self.naive_pairs,
+            "matches": self.matches,
+            "possible": self.possible,
+            "precision": round(self.precision, 6),
+            "recall": round(self.recall, 6),
+            "f1": round(self.f1, 6),
+            "pairs_completeness": round(self.pairs_completeness, 6),
+            "reduction_ratio": round(self.reduction_ratio, 6),
+            "match_digest": self.match_digest,
+            "rules_digest": self.rules_digest,
+            "streaming_deltas": self.streaming_deltas,
+            "streaming_identical": self.streaming_identical,
+        }
+
+    def snapshot_json(self) -> str:
+        """The snapshot as canonical JSON text."""
+        return json.dumps(self.snapshot(), indent=2, sort_keys=True) + "\n"
+
+    def format(self) -> str:
+        """One report line for CLI / bench tables."""
+        status = "ok" if self.ok else "FAIL"
+        line = (
+            f"{self.name:<28} {status:<5} "
+            f"P={self.precision:.3f} R={self.recall:.3f} F1={self.f1:.3f} "
+            f"PC={self.pairs_completeness:.3f} RR={self.reduction_ratio:.3f} "
+            f"pairs={self.compared:<7} matches={self.matches:<5} "
+            f"stream={'=' if self.streaming_identical else 'DIVERGED'}"
+        )
+        if self.envelope_violations:
+            line += "  [" + "; ".join(self.envelope_violations) + "]"
+        return line
+
+
+def _identical(batch: LinkingResult, stream: LinkingResult) -> bool:
+    """Byte-identity of the two legs' complete outcomes."""
+    return (
+        batch.matches == stream.matches
+        and batch.possible == stream.possible
+        and batch.candidate_pairs == stream.candidate_pairs
+        and batch.compared == stream.compared
+    )
+
+
+def _run_streaming(
+    spec: ScenarioSpec, built: BuiltScenario, config: JobConfig
+) -> Tuple[LinkingResult, int]:
+    """The streaming leg: link deltas (and, when rule-driven, train first).
+
+    Returns the result plus the number of record deltas actually
+    ingested (``_split`` can produce fewer chunks than ``spec.deltas``
+    when the sizes don't divide evenly)."""
+    if built.incremental:
+        assert built.learner_config and built.training_set and built.ontology
+        job = StreamingLinkingJob(
+            built.local,
+            built.comparator,
+            built.matcher,
+            config,
+            blocking_factory=built.blocking_factory,
+            learner=IncrementalRuleLearner(built.learner_config, built.ontology),
+        )
+        for batch in _split(built.training_set.links, spec.link_batches):
+            job.ingest_links(batch, built.training_set.external_graph)
+    else:
+        job = StreamingLinkingJob(
+            built.local,
+            built.comparator,
+            built.matcher,
+            config,
+            blocking=built.make_blocking(),
+        )
+    for delta in _split(list(built.external), spec.deltas):
+        job.ingest(delta)
+    return job.result(), len(job.deltas)
+
+
+def run_scenario(
+    scenario: Union[str, ScenarioSpec],
+    job_config: JobConfig | None = None,
+    streaming: bool = True,
+) -> ScenarioReport:
+    """Build and execute one scenario; return its report.
+
+    ``streaming=False`` skips the streaming leg (``streaming_identical``
+    then reports True vacuously with 0 deltas) — useful for quick metric
+    checks; snapshots and CI always run both legs.
+    """
+    spec = scenario if isinstance(scenario, ScenarioSpec) else get_scenario(scenario)
+    config = job_config or DEFAULT_SCENARIO_CONFIG
+    built = spec.build()
+
+    started = time.perf_counter()
+    batch_job = LinkingJob(
+        built.make_blocking(), built.comparator, built.matcher, config
+    )
+    batch = batch_job.run(built.external, built.local)
+    batch_seconds = time.perf_counter() - started
+
+    streaming_seconds = 0.0
+    identical = True
+    deltas = 0
+    if streaming:
+        started = time.perf_counter()
+        stream, deltas = _run_streaming(spec, built, config)
+        streaming_seconds = time.perf_counter() - started
+        identical = _identical(batch, stream)
+
+    matching = batch.matching_quality(built.truth)
+    blocking = batch.blocking_quality(built.truth)
+    rule_count = len(built.rules) if built.rules is not None else 0
+    violations = spec.envelope.violations(
+        precision=matching.precision,
+        recall=matching.recall,
+        pairs_completeness=blocking.pairs_completeness,
+        reduction_ratio=blocking.reduction_ratio,
+        rules=rule_count,
+    )
+    return ScenarioReport(
+        name=spec.name,
+        domain=spec.domain,
+        tags=spec.tags,
+        external_records=len(built.external),
+        local_records=len(built.local),
+        truth_links=len(built.truth),
+        rules=rule_count,
+        compared=batch.compared,
+        naive_pairs=batch.naive_pairs,
+        matches=len(batch.matches),
+        possible=len(batch.possible),
+        precision=matching.precision,
+        recall=matching.recall,
+        f1=matching.f1,
+        pairs_completeness=blocking.pairs_completeness,
+        reduction_ratio=blocking.reduction_ratio,
+        match_digest=_match_digest(batch.matches),
+        rules_digest=_rules_digest(built),
+        streaming_deltas=deltas,
+        streaming_identical=identical,
+        envelope_violations=tuple(violations),
+        batch_seconds=batch_seconds,
+        streaming_seconds=streaming_seconds,
+    )
+
+
+def run_all(
+    names: Sequence[str] | None = None,
+    job_config: JobConfig | None = None,
+    streaming: bool = True,
+) -> List[ScenarioReport]:
+    """Run every (or the named) registered scenarios, in matrix order."""
+    from repro.scenarios.registry import scenario_names
+
+    selected = list(names) if names else scenario_names()
+    return [
+        run_scenario(name, job_config=job_config, streaming=streaming)
+        for name in selected
+    ]

@@ -1,0 +1,93 @@
+"""Differential fuzz: ``RuleClassifier.predict_many`` vs per-item ``predict``.
+
+``predict_many`` routes through the inverted (property, segment) → rules
+probe table; ``predict`` scans every rule per item. The probe path
+promises *exactly* the scan path's output — same predictions, same
+deciding rules, same order — for any rule set and any record shape.
+Hypothesis generates both sides: random rule sets (including duplicate
+(property, segment, conclusion) triples with different measures, the
+tie-breaking case) and random multi-valued, partially-populated record
+graphs over a shared segment vocabulary.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.classifier import RuleClassifier
+from repro.core.measures import ContingencyCounts, RuleQualityMeasures
+from repro.core.rules import ClassificationRule, RuleSet
+from repro.rdf import EX, Graph, Literal, Triple
+
+PROPERTIES = (EX.partNumber, EX.reference, EX.label)
+CLASSES = (EX.Resistor, EX.Capacitor, EX.Diode, EX.Inductor)
+SEGMENTS = ("ohm", "uf", "t83", "crcw", "63v", "x7r", "smd", "q9")
+ITEMS = tuple(EX[f"item{i}"] for i in range(6))
+
+
+@st.composite
+def classification_rules(draw):
+    """One rule with a random—but consistent—contingency table."""
+    total = draw(st.integers(min_value=4, max_value=60))
+    premise = draw(st.integers(min_value=1, max_value=total))
+    conclusion = draw(st.integers(min_value=1, max_value=total))
+    both = draw(st.integers(min_value=1, max_value=min(premise, conclusion)))
+    counts = ContingencyCounts(
+        both=both, premise=premise, conclusion=conclusion, total=total
+    )
+    return ClassificationRule(
+        property=draw(st.sampled_from(PROPERTIES)),
+        segment=draw(st.sampled_from(SEGMENTS)),
+        conclusion=draw(st.sampled_from(CLASSES)),
+        measures=RuleQualityMeasures.from_counts(counts),
+        counts=counts,
+    )
+
+
+rule_sets = st.lists(classification_rules(), min_size=1, max_size=16)
+
+
+@st.composite
+def record_graphs(draw):
+    """A graph where each item carries 0..3 values per 0..3 properties."""
+    graph = Graph(identifier="fuzz")
+    for item in ITEMS:
+        for prop in PROPERTIES:
+            n_values = draw(st.integers(min_value=0, max_value=3))
+            for _ in range(n_values):
+                segments = draw(
+                    st.lists(st.sampled_from(SEGMENTS + ("noise", "zz1")),
+                             min_size=1, max_size=4)
+                )
+                graph.add(Triple(item, prop, Literal("-".join(segments))))
+    return graph
+
+
+@given(rule_sets, record_graphs())
+@settings(max_examples=80, deadline=None)
+def test_predict_many_equals_per_item_predict(rules, graph):
+    classifier = RuleClassifier(RuleSet(rules))
+    scanned = {item: classifier.predict(item, graph) for item in ITEMS}
+    probed = classifier.predict_many(ITEMS, graph)
+    assert probed == scanned
+
+
+@given(rule_sets, record_graphs())
+@settings(max_examples=40, deadline=None)
+def test_predict_many_is_stable_across_probe_rebuilds(rules, graph):
+    # two classifiers over the same rules: one probes lazily, one is
+    # forced to build eagerly; identical output either way
+    lazy = RuleClassifier(RuleSet(rules))
+    eager = RuleClassifier(RuleSet(rules))
+    eager.build_probe_table()
+    assert lazy.predict_many(ITEMS, graph) == eager.predict_many(ITEMS, graph)
+
+
+@given(rule_sets, record_graphs())
+@settings(max_examples=40, deadline=None)
+def test_predictions_are_ranked_and_deduplicated(rules, graph):
+    classifier = RuleClassifier(RuleSet(rules))
+    for predictions in classifier.predict_many(ITEMS, graph).values():
+        classes = [p.predicted_class for p in predictions]
+        assert len(classes) == len(set(classes)), "duplicate class prediction"
+        ranks = [(-p.confidence, -p.lift) for p in predictions]
+        assert ranks == sorted(ranks), "predictions not ranked best-first"

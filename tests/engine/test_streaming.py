@@ -1,0 +1,355 @@
+"""StreamingLinkingJob: delta ingestion ≡ batch execution."""
+
+import pytest
+
+from repro.core.classifier import RuleClassifier
+from repro.core.incremental import IncrementalRuleLearner
+from repro.core.learner import LearnerConfig, RuleLearner
+from repro.core.training import SameAsLink, TrainingSet
+from repro.engine import JobConfig, LinkingJob, StreamingLinkingJob
+from repro.linking.blocking import RuleBasedBlocking, StandardBlocking
+from repro.linking.comparators import FieldComparator, RecordComparator
+from repro.linking.matchers import ThresholdMatcher
+from repro.linking.records import Record, RecordStore
+from repro.rdf import EX, Graph, Literal, Triple
+
+
+def _record(name: str, pn: str) -> Record:
+    return Record(id=EX[name], fields={"pn": (pn,)})
+
+
+@pytest.fixture
+def local_store():
+    return RecordStore(
+        [
+            _record("l1", "crcw-0805-10k"),
+            _record("l2", "crcw-0805-22k"),
+            _record("l3", "t83-100uf"),
+            _record("l4", "t83-220uf"),
+            _record("l5", "bzx-55c"),
+        ]
+    )
+
+
+@pytest.fixture
+def external_records():
+    return [
+        _record("e1", "CRCW-0805-10K"),
+        _record("e2", "crcw.0805.22k"),
+        _record("e3", "t83 100uf"),
+        _record("e4", "t83-220uf-tr"),
+        _record("e5", "unrelated-xyz"),
+        _record("e6", "bzx-55c"),
+    ]
+
+
+def _ingredients():
+    blocking = StandardBlocking.on_field_prefix("pn", length=4)
+    comparator = RecordComparator([FieldComparator("pn")])
+    matcher = ThresholdMatcher(match_threshold=0.85, possible_threshold=0.6)
+    return blocking, comparator, matcher
+
+
+def _batch_result(external_records, local_store, config):
+    blocking, comparator, matcher = _ingredients()
+    job = LinkingJob(blocking, comparator, matcher, config)
+    return job.run(RecordStore(external_records), local_store)
+
+
+class TestConstruction:
+    def test_requires_blocking_or_factory_with_learner(self, local_store):
+        _, comparator, matcher = _ingredients()
+        with pytest.raises(ValueError, match="blocking"):
+            StreamingLinkingJob(local_store, comparator, matcher)
+        with pytest.raises(ValueError, match="blocking"):
+            StreamingLinkingJob(
+                local_store, comparator, matcher,
+                blocking_factory=lambda rules: None,
+            )
+
+    def test_rejects_both_blocking_and_factory(self, local_store):
+        blocking, comparator, matcher = _ingredients()
+        with pytest.raises(ValueError, match="not both"):
+            StreamingLinkingJob(
+                local_store, comparator, matcher,
+                blocking=blocking, blocking_factory=lambda rules: blocking,
+            )
+
+    def test_rejects_blocking_with_dangling_learner(self, local_store):
+        # a learner without a factory could never re-materialize
+        # blocking; fail at construction, not mid-stream
+        from repro.ontology import Ontology
+
+        blocking, comparator, matcher = _ingredients()
+        learner = IncrementalRuleLearner(
+            LearnerConfig(properties=(EX.partNumber,)), Ontology(name="x")
+        )
+        with pytest.raises(ValueError, match="not both"):
+            StreamingLinkingJob(
+                local_store, comparator, matcher,
+                blocking=blocking, learner=learner,
+            )
+
+    def test_rejects_stream_unsafe_blocking(self, local_store):
+        from repro.linking.blocking import CanopyBlocking, SortedNeighbourhood
+
+        _, comparator, matcher = _ingredients()
+        for unsafe in (
+            SortedNeighbourhood.on_field("pn", window_size=3),
+            CanopyBlocking("pn"),
+        ):
+            with pytest.raises(ValueError, match="cannot stream"):
+                StreamingLinkingJob(
+                    local_store, comparator, matcher, blocking=unsafe
+                )
+
+    def test_rejects_stream_unsafe_factory_product(self, local_store):
+        from repro.linking.blocking import CanopyBlocking
+        from repro.ontology import Ontology
+
+        _, comparator, matcher = _ingredients()
+        job = StreamingLinkingJob(
+            local_store, comparator, matcher,
+            blocking_factory=lambda rules: CanopyBlocking("pn"),
+            learner=IncrementalRuleLearner(
+                LearnerConfig(properties=(EX.partNumber,)), Ontology(name="x")
+            ),
+        )
+        with pytest.raises(ValueError, match="cannot stream"):
+            job.ingest([_record("e1", "crcw-0805-10k")])
+
+    def test_learner_accessors_require_learner(self, local_store):
+        blocking, comparator, matcher = _ingredients()
+        job = StreamingLinkingJob(local_store, comparator, matcher, blocking=blocking)
+        with pytest.raises(RuntimeError):
+            job.rules()
+        with pytest.raises(RuntimeError):
+            job.ingest_links([], Graph())
+
+
+class TestDeltaEquivalence:
+    @pytest.mark.parametrize("split", [1, 2, 3, 6])
+    def test_any_delta_split_equals_batch(self, local_store, external_records, split):
+        config = JobConfig(executor="serial", chunk_size=2)
+        batch = _batch_result(external_records, local_store, config)
+
+        blocking, comparator, matcher = _ingredients()
+        job = StreamingLinkingJob(
+            local_store, comparator, matcher, config, blocking=blocking
+        )
+        size = max(1, -(-len(external_records) // split))
+        for start in range(0, len(external_records), size):
+            job.ingest(external_records[start:start + size])
+        stream = job.result()
+
+        assert stream.matches == batch.matches
+        assert stream.possible == batch.possible
+        assert stream.candidate_pairs == batch.candidate_pairs
+        assert stream.compared == batch.compared
+        assert stream.naive_pairs == batch.naive_pairs
+
+    def test_best_match_selection_spans_deltas(self, local_store):
+        # two externals with the same id across deltas would be odd, but
+        # two MATCH decisions for one external in *different chunks* is
+        # the case best-match selection must resolve globally: feed the
+        # same record id twice and the higher score must win regardless
+        # of which delta carried it
+        config = JobConfig(executor="serial", chunk_size=1)
+        blocking, comparator, matcher = _ingredients()
+        job = StreamingLinkingJob(
+            local_store, comparator, matcher, config, blocking=blocking
+        )
+        job.ingest([_record("dup", "crcw-0805-22k")])
+        job.ingest([_record("dup", "crcw-0805-10k")])
+        result = job.result()
+        winners = {d.vector.left.id: d for d in result.matches}
+        assert len(winners) == 1
+        assert winners[EX["dup"]].score == 1.0
+
+    def test_best_match_only_false_keeps_every_match(self, local_store, external_records):
+        config = JobConfig(executor="serial", best_match_only=False)
+        batch = _batch_result(external_records, local_store, config)
+        blocking, comparator, matcher = _ingredients()
+        job = StreamingLinkingJob(
+            local_store, comparator, matcher, config, blocking=blocking
+        )
+        for record in external_records:
+            job.ingest([record])
+        assert job.result().matches == batch.matches
+
+    def test_empty_delta_is_a_noop(self, local_store, external_records):
+        blocking, comparator, matcher = _ingredients()
+        job = StreamingLinkingJob(
+            local_store, comparator, matcher, blocking=blocking
+        )
+        delta = job.ingest([])
+        assert delta.records == 0 and delta.compared == 0
+        job.ingest(external_records)
+        assert job.records_ingested == len(external_records)
+        assert len(job.deltas) == 2
+
+    def test_result_is_cumulative_and_repeatable(self, local_store, external_records):
+        blocking, comparator, matcher = _ingredients()
+        job = StreamingLinkingJob(
+            local_store, comparator, matcher, blocking=blocking
+        )
+        job.ingest(external_records[:3])
+        mid = job.result()
+        job.ingest(external_records[3:])
+        final = job.result()
+        assert mid.compared <= final.compared
+        assert final.matches == job.result().matches
+
+
+class TestLocalVersionInvalidation:
+    def test_local_mutation_rebuilds_shared_postings(self, local_store):
+        # the first delta warms the shared RecordKeyIndex; a local-store
+        # mutation bumps its version, so the next delta must see the new
+        # record through rebuilt postings
+        blocking, comparator, matcher = _ingredients()
+        job = StreamingLinkingJob(
+            local_store, comparator, matcher, blocking=blocking
+        )
+        before = job.ingest([_record("a1", "zzz-999")])
+        assert before.matches == 0
+        job.local.add(_record("l9", "zzz-999"))
+        after = job.ingest([_record("a2", "zzz-999")])
+        assert after.matches == 1
+        pairs = job.result().match_pairs
+        assert (EX["a2"], EX["l9"]) in pairs
+
+
+class TestEngineStatsAggregation:
+    def test_stats_sum_over_deltas(self, local_store, external_records):
+        config = JobConfig(executor="serial", chunk_size=2)
+        blocking, comparator, matcher = _ingredients()
+        job = StreamingLinkingJob(
+            local_store, comparator, matcher, config, blocking=blocking
+        )
+        job.ingest(external_records[:3])
+        job.ingest(external_records[3:])
+        stats = job.result().stats
+        batch = _batch_result(external_records, local_store, config)
+        assert stats.pairs_compared == batch.stats.pairs_compared
+        assert stats.chunk_count >= batch.stats.chunk_count
+        assert stats.executor == "serial"
+        assert stats.index_features > 0
+        assert stats.index_build_seconds >= 0.0
+
+    def test_empty_stream_reports_zero_stats(self, local_store):
+        blocking, comparator, matcher = _ingredients()
+        job = StreamingLinkingJob(
+            local_store, comparator, matcher, blocking=blocking
+        )
+        stats = job.result().stats
+        assert stats.chunk_count == 0 and stats.pairs_compared == 0
+
+    def test_delta_report_formats(self, local_store, external_records):
+        blocking, comparator, matcher = _ingredients()
+        job = StreamingLinkingJob(
+            local_store, comparator, matcher, blocking=blocking
+        )
+        delta = job.ingest(external_records)
+        assert "delta 0" in delta.format()
+        assert f"{delta.records} records" in delta.format()
+
+
+class TestIncrementalLearnerMode:
+    def _training_material(self):
+        # part numbers whose first segment indicates the class
+        data = [
+            ("t1", "aaa-1", "l1", "Resistor"),
+            ("t2", "aaa-2", "l2", "Resistor"),
+            ("t3", "bbb-1", "l3", "Capacitor"),
+            ("t4", "bbb-2", "l4", "Capacitor"),
+        ]
+        from repro.ontology import Ontology
+
+        onto = Ontology(name="stream-test")
+        onto.add_subclass(EX.Resistor, EX.Component)
+        onto.add_subclass(EX.Capacitor, EX.Component)
+        graph = Graph(identifier="external")
+        links = []
+        local_graph_records = []
+        for ext, pn, loc, cls in data:
+            onto.add_instance(EX[loc], EX[cls])
+            graph.add(Triple(EX[ext], EX.partNumber, Literal(pn)))
+            links.append(SameAsLink(external=EX[ext], local=EX[loc]))
+            local_graph_records.append(_record(loc, pn))
+        local = RecordStore(local_graph_records)
+        return onto, graph, links, local
+
+    def test_streamed_links_match_from_scratch_batch(self):
+        onto, graph, links, local = self._training_material()
+        config = LearnerConfig(properties=(EX.partNumber,), support_threshold=0.1)
+        test_graph = Graph(identifier="test")
+        test_records = []
+        for i, pn in enumerate(("aaa-9", "bbb-9")):
+            test_graph.add(Triple(EX[f"q{i}"], EX.partNumber, Literal(pn)))
+            test_records.append(_record(f"q{i}", pn))
+
+        def factory(rules):
+            return RuleBasedBlocking(
+                RuleClassifier(rules), onto, test_graph, fallback_full=False
+            )
+
+        comparator = RecordComparator(
+            [FieldComparator("pn", similarity=lambda a, b: 1.0 if a[:3] == b[:3] else 0.0)]
+        )
+        matcher = ThresholdMatcher(match_threshold=0.9)
+        job_config = JobConfig(executor="serial")
+
+        # batch: learn from scratch on the full TS
+        training_set = TrainingSet(links, external=graph, ontology=onto)
+        batch_rules = RuleLearner(config).learn(training_set)
+        batch = LinkingJob(
+            factory(batch_rules), comparator, matcher, job_config
+        ).run(RecordStore(test_records), local)
+
+        # streaming: two training deltas, then two record deltas
+        job = StreamingLinkingJob(
+            local, comparator, matcher, job_config,
+            blocking_factory=factory,
+            learner=IncrementalRuleLearner(config, onto),
+        )
+        assert job.ingest_links(links[:2], graph) == 2
+        assert job.ingest_links(links[2:], graph) == 2
+        assert job.ingest_links(links[2:], graph) == 0  # duplicates skipped
+        job.ingest(test_records[:1])
+        job.ingest(test_records[1:])
+        stream = job.result()
+
+        assert job.rules().rules == batch_rules.rules
+        assert stream.matches == batch.matches
+        assert stream.candidate_pairs == batch.candidate_pairs
+
+    def test_rules_reemitted_between_record_deltas(self):
+        onto, graph, links, local = self._training_material()
+        config = LearnerConfig(properties=(EX.partNumber,), support_threshold=0.1)
+        test_graph = Graph(identifier="test")
+        test_graph.add(Triple(EX.q0, EX.partNumber, Literal("bbb-7")))
+        record = _record("q0", "bbb-7")
+
+        def factory(rules):
+            return RuleBasedBlocking(
+                RuleClassifier(rules), onto, test_graph, fallback_full=False
+            )
+
+        comparator = RecordComparator(
+            [FieldComparator("pn", similarity=lambda a, b: 1.0 if a[:3] == b[:3] else 0.0)]
+        )
+        job = StreamingLinkingJob(
+            local, comparator, ThresholdMatcher(match_threshold=0.9),
+            JobConfig(executor="serial"),
+            blocking_factory=factory,
+            learner=IncrementalRuleLearner(config, onto),
+        )
+        # only Resistor links so far: no bbb rule, the record is undecided
+        job.ingest_links(links[:2], graph)
+        assert job.ingest([record]).matches == 0
+        # Capacitor links arrive: the re-emitted rules now cover bbb —
+        # the delta sees both same-score capacitor candidates (raw
+        # matches, pre-selection) and the result keeps the best one
+        job.ingest_links(links[2:], graph)
+        assert job.ingest([record]).matches == 2
+        assert len(job.result().matches) == 1

@@ -1,0 +1,131 @@
+"""Hypothesis property tests for ``repro.index.postings``.
+
+The posting list is the storage primitive under the whole index
+subsystem; these properties pin its three contracts against the obvious
+set-based oracle on random integer lists:
+
+* galloping intersection ≡ set intersection (both size regimes: the
+  two-pointer merge for comparable lengths and the galloping probe when
+  one side is much shorter);
+* in-order append invariants (strictly-increasing appends accepted,
+  anything else rejected; ``add`` keeps the sorted-unique invariant
+  from arbitrary input);
+* membership bisection ≡ set membership.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.postings import EMPTY_POSTING, PostingList
+
+rows = st.integers(min_value=-(2**40), max_value=2**40)
+row_lists = st.lists(rows, max_size=80)
+
+
+def _sorted_unique(values):
+    return sorted(set(values))
+
+
+# ----------------------------------------------------------------------
+# construction / add / append invariants
+# ----------------------------------------------------------------------
+@given(row_lists)
+def test_construction_yields_sorted_unique(values):
+    posting = PostingList(values)
+    assert posting.to_list() == _sorted_unique(values)
+    assert len(posting) == posting.count == len(set(values))
+
+
+@given(row_lists)
+def test_add_reports_novelty_and_keeps_invariant(values):
+    posting = PostingList()
+    seen = set()
+    for value in values:
+        assert posting.add(value) is (value not in seen)
+        seen.add(value)
+        assert posting.to_list() == sorted(seen)
+
+
+@given(row_lists)
+def test_in_order_append_equals_add(values):
+    ordered = _sorted_unique(values)
+    appended = PostingList()
+    for value in ordered:
+        appended.append(value)
+    assert appended.to_list() == ordered
+    assert appended == PostingList(values)
+
+
+@given(row_lists.filter(lambda v: len(set(v)) >= 2))
+def test_append_rejects_non_increasing(values):
+    ordered = _sorted_unique(values)
+    posting = PostingList(ordered)
+    import pytest
+
+    for bad in (ordered[-1], ordered[0], ordered[-1] - 1):
+        with pytest.raises(ValueError):
+            posting.append(bad)
+    # the failed appends must not have corrupted the list
+    assert posting.to_list() == ordered
+
+
+# ----------------------------------------------------------------------
+# membership bisection
+# ----------------------------------------------------------------------
+@given(row_lists, row_lists)
+def test_membership_matches_set(values, probes):
+    posting = PostingList(values)
+    reference = set(values)
+    for probe in values + probes:
+        assert (probe in posting) is (probe in reference)
+
+
+@given(row_lists)
+def test_getitem_walks_the_sorted_rows(values):
+    posting = PostingList(values)
+    ordered = _sorted_unique(values)
+    for i, expected in enumerate(ordered):
+        assert posting[i] == expected
+
+
+# ----------------------------------------------------------------------
+# intersection ≡ set intersection (both merge regimes)
+# ----------------------------------------------------------------------
+@given(row_lists, row_lists)
+def test_intersection_matches_set_oracle(a, b):
+    left, right = PostingList(a), PostingList(b)
+    expected = sorted(set(a) & set(b))
+    assert left.intersection(right).to_list() == expected
+    assert right.intersection(left).to_list() == expected
+    assert left.intersection_count(right) == len(expected)
+
+
+@given(st.lists(rows, min_size=1, max_size=4), st.lists(rows, min_size=60, max_size=120))
+@settings(max_examples=50)
+def test_galloping_regime_matches_set_oracle(short, long):
+    # len(long) > 8 * len(short) forces the galloping branch; seed some
+    # guaranteed overlap so the property is not vacuous
+    long = long + short
+    left, right = PostingList(short), PostingList(long)
+    expected = sorted(set(short) & set(long))
+    assert left.intersection(right).to_list() == expected
+    assert right.intersection(left).to_list() == expected
+
+
+@given(row_lists)
+def test_intersection_identities(values):
+    posting = PostingList(values)
+    assert posting.intersection(posting).to_list() == posting.to_list()
+    assert posting.intersection(EMPTY_POSTING).to_list() == []
+    assert EMPTY_POSTING.intersection(posting).to_list() == []
+
+
+# ----------------------------------------------------------------------
+# union ≡ set union (the remaining algebra op, for completeness)
+# ----------------------------------------------------------------------
+@given(row_lists, row_lists)
+def test_union_matches_set_oracle(a, b):
+    left, right = PostingList(a), PostingList(b)
+    expected = sorted(set(a) | set(b))
+    assert left.union(right).to_list() == expected
+    assert right.union(left).to_list() == expected

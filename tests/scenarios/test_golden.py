@@ -1,0 +1,78 @@
+"""Golden-snapshot regression tests over the scenario matrix.
+
+Every registered scenario runs end to end (batch + streaming legs) and
+its deterministic outcome — workload shape, quality metrics, match and
+rule digests, streaming identity — must equal the checked-in snapshot
+under ``snapshots/<name>.json`` byte for byte.
+
+A failure means a code change altered scenario behavior. If the change
+is deliberate, regenerate with::
+
+    PYTHONPATH=src python -m pytest tests/scenarios --snapshot-update
+
+review the snapshot diff like any other code diff, and commit it. See
+``docs/testing.md`` for the full workflow.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios import get_scenario, scenario_names
+
+SNAPSHOT_DIR = Path(__file__).parent / "snapshots"
+
+
+def test_matrix_is_at_least_eight_scenarios():
+    # the acceptance floor of the scenario subsystem: a real matrix,
+    # not a token pair of smoke workloads
+    assert len(scenario_names()) >= 8
+
+
+def test_matrix_covers_the_promised_axes():
+    tags = {tag for name in scenario_names() for tag in get_scenario(name).tags}
+    domains = {get_scenario(name).domain for name in scenario_names()}
+    assert {"size:tiny", "size:small"} <= tags
+    assert {"corruption:none", "corruption:default", "corruption:harsh"} <= tags
+    assert {"hierarchy:deep", "hierarchy:flat"} <= tags
+    assert "schema:multi-valued" in tags
+    assert "schema:heterogeneous" in tags
+    assert {"electronics", "toponyms"} <= domains
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_scenario_matches_golden_snapshot(name, scenario_report, snapshot_update):
+    report = scenario_report(name)
+    path = SNAPSHOT_DIR / f"{name}.json"
+
+    if snapshot_update:
+        SNAPSHOT_DIR.mkdir(exist_ok=True)
+        path.write_text(report.snapshot_json())
+        return
+
+    assert path.exists(), (
+        f"no golden snapshot for scenario {name!r}; generate one with "
+        "'python -m pytest tests/scenarios --snapshot-update'"
+    )
+    expected = json.loads(path.read_text())
+    actual = report.snapshot()
+    assert actual == expected, (
+        f"scenario {name!r} drifted from its golden snapshot; if the "
+        "change is deliberate, rerun with --snapshot-update and commit "
+        "the diff"
+    )
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_scenario_streaming_is_byte_identical_and_inside_envelope(
+    name, scenario_report
+):
+    report = scenario_report(name)
+    assert report.streaming_identical, (
+        f"streaming leg of {name!r} diverged from the batch engine"
+    )
+    assert not report.envelope_violations, (
+        f"{name!r} fell outside its metric envelope: "
+        f"{'; '.join(report.envelope_violations)}"
+    )

@@ -25,6 +25,19 @@ class TestParser:
         args = build_parser().parse_args([command])
         assert args.command == command
 
+    def test_scenarios_flags(self):
+        args = build_parser().parse_args(
+            ["scenarios", "run", "--scenario", "a", "--scenario", "b",
+             "--no-streaming", "--json"]
+        )
+        assert args.action == "run"
+        assert args.scenarios == ["a", "b"]
+        assert args.no_streaming and args.json
+
+    def test_scenarios_rejects_unknown_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenarios", "audit"])
+
     def test_link_engine_flags(self):
         args = build_parser().parse_args(
             ["link", "--executor", "process", "--workers", "2",
@@ -134,6 +147,51 @@ class TestExecution:
         assert code == 0
         captured = capsys.readouterr()
         assert "chunk" in captured.err
+
+    def test_scenarios_list(self, capsys):
+        code = main(["scenarios", "list"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "electronics-tiny-prefix" in out
+        assert "toponyms-standard" in out
+        assert "tags:" in out
+
+    def test_scenarios_list_json(self, capsys):
+        import json
+
+        code = main(["scenarios", "list", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = {entry["scenario"] for entry in payload}
+        assert "electronics-tiny-prefix" in names
+        assert all("tags" in entry for entry in payload)
+
+    def test_scenarios_run_single(self, capsys):
+        code = main(["scenarios", "run", "--scenario", "electronics-tiny-prefix"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "electronics-tiny-prefix" in out
+        assert "stream==" in out
+        assert "1 scenario(s) ok" in out
+
+    def test_scenarios_run_json(self, capsys):
+        import json
+
+        code = main(
+            ["scenarios", "run", "--scenario", "electronics-tiny-prefix",
+             "--no-streaming", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["scenario"] == "electronics-tiny-prefix"
+        assert payload[0]["matches"] > 0
+
+    def test_scenarios_run_unknown_name_errors_cleanly(self, capsys):
+        code = main(["scenarios", "run", "--scenario", "no-such-scenario"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario" in err
+        assert "registered:" in err
 
     def test_throughput_tiny(self, capsys):
         code = main(
