@@ -1,66 +1,17 @@
 """Benchmark A3: rule-based reduction vs classic blocking baselines.
 
-Runs on the small catalog because the canopy baseline computes
-O(|test| x |catalog|) similarities — at paper scale that single
-baseline would dominate the suite (which is precisely the cost blocking
-methods exist to avoid).
-
-Every method executes through ``LinkingJob``, so ``time`` covers
-blocking plus the chunked, cached pair comparison, and each row also
-reports engine throughput (pairs/sec) and similarity-cache hit rate.
+Thin shim: the measurement logic lives in ``repro.bench.library``
+(run ``repro bench list`` for the registry, ``repro bench run`` for
+tiers and baselines). Executing this file runs just this experiment and
+writes the legacy report twins plus the trajectory record.
 """
 
-import pytest
+import pathlib
+import sys
 
-from repro.experiments.blocking_comparison import (
-    BLOCKING_COMPARISON_HEADER,
-    run_blocking_comparison,
-)
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 
-N_TEST_ITEMS = 300
-SUPPORT = 0.004
+from repro.bench import run_shim  # noqa: E402
 
-
-@pytest.fixture(scope="module")
-def rows(small_catalog):
-    return run_blocking_comparison(
-        small_catalog, n_test_items=N_TEST_ITEMS, support_threshold=SUPPORT
-    )
-
-
-def test_bench_blocking_comparison(benchmark, small_catalog, report_sink):
-    result = benchmark.pedantic(
-        run_blocking_comparison,
-        args=(small_catalog,),
-        kwargs={"n_test_items": N_TEST_ITEMS, "support_threshold": SUPPORT},
-        rounds=1,
-        iterations=1,
-    )
-    header = (
-        "A3 blocking comparison (out-of-sample provider batch)\n"
-        + BLOCKING_COMPARISON_HEADER
-    )
-    report_sink(
-        "blocking_comparison",
-        "\n".join([header] + [row.format() for row in result]),
-        data={"rows": result},
-    )
-
-
-class TestBlockingShape:
-    def test_every_method_reduces_except_fallback(self, rows):
-        for row in rows:
-            assert row.reduction_ratio >= 0.0
-
-    def test_strict_rules_prune_hard(self, rows):
-        by_name = {row.method: row for row in rows}
-        assert by_name["rule-based (strict)"].reduction_ratio > 0.7
-
-    def test_fallback_keeps_completeness(self, rows):
-        by_name = {row.method: row for row in rows}
-        assert by_name["rule-based (paper)"].pairs_completeness > 0.9
-
-    def test_rule_candidates_much_smaller_than_naive(self, rows):
-        by_name = {row.method: row for row in rows}
-        strict = by_name["rule-based (strict)"]
-        assert strict.candidate_pairs < (1 - strict.reduction_ratio + 0.15) * 1e9
+if __name__ == "__main__":
+    raise SystemExit(run_shim("blocking-comparison"))

@@ -1,47 +1,17 @@
 """Benchmark X2: the same pipeline on the toponym domain.
 
-The paper's §6 generality claim, made concrete: identical learner,
-different domain (place labels, token segmentation), same Table-1
-shape.
+Thin shim: the measurement logic lives in ``repro.bench.library``
+(run ``repro bench list`` for the registry, ``repro bench run`` for
+tiers and baselines). Executing this file runs just this experiment and
+writes the legacy report twins plus the trajectory record.
 """
 
-import pytest
+import pathlib
+import sys
 
-from repro.datagen.toponyms import ToponymConfig, generate_gazetteer
-from repro.experiments.generality import run_generality
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 
+from repro.bench import run_shim  # noqa: E402
 
-@pytest.fixture(scope="module")
-def gazetteer():
-    return generate_gazetteer(ToponymConfig())
-
-
-@pytest.fixture(scope="module")
-def report(gazetteer):
-    return run_generality(gazetteer)
-
-
-def test_bench_generality(benchmark, gazetteer, report_sink):
-    result = benchmark.pedantic(
-        run_generality, args=(gazetteer,), rounds=3, iterations=1
-    )
-    report_sink("generality", result.format(), data=result)
-
-
-class TestGeneralityShape:
-    def test_rules_learned(self, report):
-        assert report.total_rules > 10
-
-    def test_top_band_perfect(self, report):
-        assert report.rows[0].precision == pytest.approx(1.0)
-
-    def test_precision_decreasing_recall_increasing(self, report):
-        precisions = [row.precision for row in report.rows]
-        recalls = [row.recall for row in report.rows]
-        assert all(a >= b - 1e-9 for a, b in zip(precisions, precisions[1:]))
-        assert all(a <= b + 1e-9 for a, b in zip(recalls, recalls[1:]))
-
-    def test_type_words_make_strong_rules(self, report):
-        # the domain's signal is stronger than part numbers: most
-        # decidable items are covered at confidence 1 already
-        assert report.rows[0].recall > 0.5
+if __name__ == "__main__":
+    raise SystemExit(run_shim("generality"))

@@ -1,52 +1,17 @@
 """Benchmark X1: the future-work subsumption generalization.
 
-Sweeps the depth budget of the rule generalizer and reports the
-recall / lift trade-off of lifting rules through the class hierarchy
-(paper §6: "infer more general rules by exploiting the semantics of the
-subsumption between classes").
+Thin shim: the measurement logic lives in ``repro.bench.library``
+(run ``repro bench list`` for the registry, ``repro bench run`` for
+tiers and baselines). Executing this file runs just this experiment and
+writes the legacy report twins plus the trajectory record.
 """
 
-import pytest
+import pathlib
+import sys
 
-from repro.experiments.generalization import run_generalization
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 
-BUDGETS = (2, 4, None)
+from repro.bench import run_shim  # noqa: E402
 
-
-@pytest.fixture(scope="module")
-def reports(thales_catalog):
-    return {
-        budget: run_generalization(thales_catalog, max_depth_lift=budget)
-        for budget in BUDGETS
-    }
-
-
-def test_bench_generalization(benchmark, thales_catalog, report_sink):
-    result = benchmark.pedantic(
-        run_generalization,
-        args=(thales_catalog,),
-        kwargs={"max_depth_lift": 4},
-        rounds=1,
-        iterations=1,
-    )
-    sections = [result.format()]
-    report_sink("generalization", "\n\n".join(sections), data=result)
-
-
-class TestGeneralizationShape:
-    def test_recall_never_decreases(self, reports):
-        for report in reports.values():
-            assert report.extended_recall >= report.base_recall - 1e-9
-
-    def test_deeper_budgets_allow_more_rules(self, reports):
-        counts = [reports[b].n_generalized_rules for b in BUDGETS]
-        assert counts == sorted(counts)
-
-    def test_unbounded_lifting_decays_lift(self, reports):
-        unbounded = reports[None]
-        bounded = reports[2]
-        if unbounded.n_generalized_rules and bounded.n_generalized_rules:
-            assert (
-                unbounded.average_generalized_lift
-                <= bounded.average_generalized_lift + 1e-9
-            )
+if __name__ == "__main__":
+    raise SystemExit(run_shim("generalization"))

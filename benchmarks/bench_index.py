@@ -1,160 +1,17 @@
-"""Benchmark I1: the shared inverted feature index vs the scan passes.
+"""Benchmarks I1/I2: the shared inverted feature index vs the scan passes.
 
-Algorithm 1 is three frequency passes. The scan implementation re-walks
-every (link, property, segment, class) incidence on every learn; the
-index-backed implementation pays one build (pass 0: segment + intern +
-posting appends) and then answers each pass from posting lengths and
-intersections. Two regimes matter:
-
-* **frequency passes on a built index** — what a relearn costs once the
-  index exists (threshold sweeps, incremental re-emission, serving);
-* **sweep amortization** — relearning at several thresholds, where the
-  scan path repeats pass 0 per threshold and the index path builds once.
-
-Both must beat the scan path, and the speedups land in
-``benchmarks/results/index.json`` so the trajectory is trackable.
-Equivalence (byte-identical rule sets) is asserted inline.
+Thin shim: the measurement logic lives in ``repro.bench.library``
+(run ``repro bench list`` for the registry, ``repro bench run`` for
+tiers and baselines). Executing this file runs just this experiment and
+writes the legacy report twins plus the trajectory record.
 """
 
-import time
+import pathlib
+import sys
 
-from repro.core import LearnerConfig, RuleLearner
-from repro.datagen.catalog import PART_NUMBER
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 
-SUPPORT = 0.002
-SWEEP_THRESHOLDS = (0.0005, 0.001, 0.002, 0.005, 0.01)
-ROUNDS = 3
+from repro.bench import run_shim  # noqa: E402
 
-
-def _best_of(fn, rounds=ROUNDS):
-    """(best wall seconds, last result) over *rounds* runs."""
-    best = float("inf")
-    result = None
-    for _ in range(rounds):
-        started = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - started)
-    return best, result
-
-
-def test_bench_index_learner_passes(thales_catalog, report_sink):
-    training_set = thales_catalog.to_training_set()
-    config = LearnerConfig(properties=(PART_NUMBER,), support_threshold=SUPPORT)
-    learner = RuleLearner(config)
-
-    # reference: the original Counter-based scan, end to end
-    scan_seconds, scan_rules = _best_of(lambda: learner.learn_scan(training_set))
-
-    # index build (pass 0) and the frequency passes on the built index
-    build_seconds, index = _best_of(lambda: learner.build_index(training_set))
-    passes_seconds, index_rules = _best_of(
-        lambda: learner.learn(training_set, index=index)
-    )
-
-    # equivalence is non-negotiable
-    assert index_rules.rules == scan_rules.rules
-
-    # sweep amortization: relearn at 5 thresholds
-    def sweep_scan():
-        return [
-            RuleLearner(
-                LearnerConfig(properties=(PART_NUMBER,), support_threshold=th)
-            ).learn_scan(training_set)
-            for th in SWEEP_THRESHOLDS
-        ]
-
-    def sweep_indexed():
-        shared = learner.build_index(training_set)
-        return [
-            RuleLearner(
-                LearnerConfig(properties=(PART_NUMBER,), support_threshold=th)
-            ).learn(training_set, index=shared)
-            for th in SWEEP_THRESHOLDS
-        ]
-
-    sweep_scan_seconds, sweep_scan_rules = _best_of(sweep_scan, rounds=1)
-    sweep_index_seconds, sweep_index_rules = _best_of(sweep_indexed, rounds=1)
-    for scan_set, index_set in zip(sweep_scan_rules, sweep_index_rules):
-        assert index_set.rules == scan_set.rules
-
-    stats = index.stats()
-    passes_speedup = scan_seconds / passes_seconds if passes_seconds else float("inf")
-    sweep_speedup = (
-        sweep_scan_seconds / sweep_index_seconds if sweep_index_seconds else float("inf")
-    )
-    data = {
-        "total_links": index.rows,
-        "rules": len(index_rules),
-        "scan_learn_seconds": scan_seconds,
-        "index_build_seconds": build_seconds,
-        "index_passes_seconds": passes_seconds,
-        "passes_speedup_vs_scan": passes_speedup,
-        "sweep_thresholds": list(SWEEP_THRESHOLDS),
-        "sweep_scan_seconds": sweep_scan_seconds,
-        "sweep_indexed_seconds": sweep_index_seconds,
-        "sweep_speedup_vs_scan": sweep_speedup,
-        "posting_features": stats.features,
-        "posting_entries": stats.postings,
-        "mean_posting_length": stats.mean_posting_length,
-        "byte_identical_rules": True,
-    }
-    text = "\n".join(
-        [
-            "I1 shared inverted feature index vs scan-based Algorithm 1",
-            f"|TS| = {index.rows}, rules = {len(index_rules)}, "
-            f"postings = {stats.postings} over {stats.features} features "
-            f"(mean {stats.mean_posting_length:.1f})",
-            f"scan learn           {scan_seconds * 1000:8.1f} ms",
-            f"index build (pass 0) {build_seconds * 1000:8.1f} ms",
-            f"frequency passes     {passes_seconds * 1000:8.1f} ms   "
-            f"-> x{passes_speedup:.1f} vs scan learn",
-            f"5-threshold sweep    scan {sweep_scan_seconds * 1000:8.1f} ms / "
-            f"indexed {sweep_index_seconds * 1000:8.1f} ms   "
-            f"-> x{sweep_speedup:.1f}",
-        ]
-    )
-    report_sink("index", text, data=data)
-
-    # the acceptance claim: the frequency passes are measurably faster
-    # than re-scanning (generous floor — typical is ~10x)
-    assert passes_speedup > 1.5
-    assert sweep_speedup > 1.0
-
-
-def test_bench_classifier_probe_vs_scan(thales_catalog, report_sink):
-    """Batch prediction through the rule probe table vs per-rule scan."""
-    from repro.core import RuleClassifier
-    from repro.experiments.throughput import provider_batch
-
-    training_set = thales_catalog.to_training_set()
-    config = LearnerConfig(properties=(PART_NUMBER,), support_threshold=SUPPORT)
-    rules = RuleLearner(config).learn(training_set)
-    graph, truth = provider_batch(thales_catalog, 500, seed=99)
-    items = [external for external, _ in truth]
-    classifier = RuleClassifier(rules)
-
-    scan_seconds, scanned = _best_of(
-        lambda: {item: classifier.predict(item, graph) for item in items}
-    )
-    probe_seconds, probed = _best_of(
-        lambda: classifier.predict_many(items, graph)
-    )
-    assert probed == scanned
-    speedup = scan_seconds / probe_seconds if probe_seconds else float("inf")
-    data = {
-        "items": len(items),
-        "rules": len(rules),
-        "scan_seconds": scan_seconds,
-        "probe_seconds": probe_seconds,
-        "speedup": speedup,
-        "identical_predictions": True,
-    }
-    text = "\n".join(
-        [
-            "I2 classifier: rule probe table vs per-rule scan",
-            f"{len(items)} items x {len(rules)} rules",
-            f"scan  {scan_seconds * 1000:8.1f} ms",
-            f"probe {probe_seconds * 1000:8.1f} ms   -> x{speedup:.1f}",
-        ]
-    )
-    report_sink("classifier_index", text, data=data)
+if __name__ == "__main__":
+    raise SystemExit(run_shim("index-learner", "classifier-probe"))

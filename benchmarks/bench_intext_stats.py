@@ -1,49 +1,17 @@
 """Benchmark S1/S2: the paper's in-text §5 statistics.
 
-Measures the statistics pass and asserts the calibrated ballpark:
-~7.8k distinct segments / ~26k occurrences over TS part numbers, ~68
-frequent classes, rule count near 144, confidence-1 rules near 44.
+Thin shim: the measurement logic lives in ``repro.bench.library``
+(run ``repro bench list`` for the registry, ``repro bench run`` for
+tiers and baselines). Executing this file runs just this experiment and
+writes the legacy report twins plus the trajectory record.
 """
 
-import pytest
+import pathlib
+import sys
 
-from repro.experiments.stats import PAPER_STATS, run_stats
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 
+from repro.bench import run_shim  # noqa: E402
 
-@pytest.fixture(scope="module")
-def stats(thales_catalog):
-    return run_stats(thales_catalog)
-
-
-def test_bench_intext_stats(benchmark, thales_catalog, report_sink):
-    result = benchmark.pedantic(
-        run_stats, args=(thales_catalog,), rounds=3, iterations=1
-    )
-    report_sink("intext_stats", result.format(), data=result)
-
-
-class TestStatsBallpark:
-    def test_distinct_segments(self, stats):
-        assert PAPER_STATS["distinct_segments"] * 0.7 <= stats.distinct_segments
-        assert stats.distinct_segments <= PAPER_STATS["distinct_segments"] * 1.3
-
-    def test_segment_occurrences(self, stats):
-        assert PAPER_STATS["segment_occurrences"] * 0.8 <= stats.segment_occurrences
-        assert stats.segment_occurrences <= PAPER_STATS["segment_occurrences"] * 1.2
-
-    def test_frequent_classes(self, stats):
-        assert abs(stats.frequent_classes - PAPER_STATS["frequent_classes"]) <= 10
-
-    def test_rule_count(self, stats):
-        assert PAPER_STATS["rules"] * 0.6 <= stats.rule_count
-        assert stats.rule_count <= PAPER_STATS["rules"] * 1.4
-
-    def test_confidence_one_rules(self, stats):
-        assert abs(stats.confidence_one_rules - PAPER_STATS["confidence_one_rules"]) <= 15
-
-    def test_selected_occurrences_subset(self, stats):
-        assert 0 < stats.selected_occurrences < stats.segment_occurrences
-
-    def test_classes_with_rules_minority_of_frequent(self, stats):
-        # paper: 16 of 67 frequent classes have indicative segments
-        assert stats.classes_with_confident_rules < stats.frequent_classes
+if __name__ == "__main__":
+    raise SystemExit(run_shim("intext-stats"))

@@ -1,47 +1,17 @@
 """Benchmark A5: the §4.4 rule-ordering design choice.
 
-Paper ordering (confidence, then lift) versus CBA (confidence, then
-support) versus subspace-size-first (lift-major): decision accuracy and
-induced subspace size of the per-item top decision.
+Thin shim: the measurement logic lives in ``repro.bench.library``
+(run ``repro bench list`` for the registry, ``repro bench run`` for
+tiers and baselines). Executing this file runs just this experiment and
+writes the legacy report twins plus the trajectory record.
 """
 
-import pytest
+import pathlib
+import sys
 
-from repro.experiments.ordering_ablation import run_ordering_ablation
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 
+from repro.bench import run_shim  # noqa: E402
 
-@pytest.fixture(scope="module")
-def rows(thales_catalog):
-    return run_ordering_ablation(thales_catalog)
-
-
-def test_bench_ordering_ablation(benchmark, thales_catalog, report_sink):
-    result = benchmark.pedantic(
-        run_ordering_ablation, args=(thales_catalog,), rounds=1, iterations=1
-    )
-    header = (
-        "A5 rule-ordering ablation (top decision per item)\n"
-        f"{'strategy':<12}{'#decided':<10}{'accuracy':>8} {'pairs':>12} {'factor':>9}"
-    )
-    report_sink(
-        "ordering",
-        "\n".join([header] + [row.format() for row in result]),
-        data={"rows": result},
-    )
-
-
-class TestOrderingShape:
-    def test_same_coverage_across_strategies(self, rows):
-        # ordering changes WHICH decision wins, never whether one exists
-        decided = {row.decided_items for row in rows}
-        assert len(decided) == 1
-
-    def test_subspace_first_reduces_most(self, rows):
-        by_name = {row.strategy: row for row in rows}
-        assert by_name["subspace"].reduced_pairs <= by_name["paper"].reduced_pairs
-
-    def test_confidence_major_strategies_more_accurate(self, rows):
-        by_name = {row.strategy: row for row in rows}
-        assert by_name["paper"].top_decision_accuracy >= (
-            by_name["subspace"].top_decision_accuracy - 0.02
-        )
+if __name__ == "__main__":
+    raise SystemExit(run_shim("ordering"))

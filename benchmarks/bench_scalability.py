@@ -1,112 +1,17 @@
-"""Benchmarks A4/A5: learning cost versus |TS|, and linking throughput.
+"""Benchmarks A4/A5: learning cost versus |TS|, linking throughput, executor identity.
 
-The paper's whole point is avoiding quadratic linking cost; the rule
-learner itself must therefore scale gently in |TS| (A4), and the batch
-linking engine must turn the reduced candidate set into links as fast
-as the hardware allows (A5). A4 measures Algorithm 1's wall time at
-several training-set sizes; A5 drives provider batches through
-``LinkingJob`` and reports pairs/sec and similarity-cache hit rate,
-plus a byte-identity check between the serial and the parallel chunked
-path on the toponym domain.
+Thin shim: the measurement logic lives in ``repro.bench.library``
+(run ``repro bench list`` for the registry, ``repro bench run`` for
+tiers and baselines). Executing this file runs just this experiment and
+writes the legacy report twins plus the trajectory record.
 """
 
-import pytest
+import pathlib
+import sys
 
-from repro.core import LearnerConfig, RuleLearner
-from repro.datagen import CatalogConfig, ElectronicCatalogGenerator
-from repro.datagen.catalog import PART_NUMBER
-from repro.datagen.toponyms import ToponymConfig
-from repro.engine import JobConfig, LinkingJob
-from repro.experiments.sweeps import run_scalability
-from repro.experiments.throughput import (
-    THROUGHPUT_HEADER,
-    run_linking_throughput,
-    toponym_linking_setup,
-)
-from repro.rdf import serialize_ntriples
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 
-SIZES = (1000, 2500, 5000, 10265)
-LINK_SIZES = (200, 400, 800)
+from repro.bench import run_shim  # noqa: E402
 
-
-@pytest.mark.parametrize("n_links", SIZES)
-def test_bench_learning_scales(benchmark, n_links):
-    config = CatalogConfig.thales_like().with_links(n_links)
-    catalog = ElectronicCatalogGenerator(config).generate()
-    training_set = catalog.to_training_set()
-
-    def learn():
-        learner = RuleLearner(
-            LearnerConfig(properties=(PART_NUMBER,), support_threshold=0.002)
-        )
-        return learner.learn(training_set)
-
-    rules = benchmark.pedantic(learn, rounds=3, iterations=1)
-    assert len(rules) > 0
-
-
-def test_bench_scalability_report(benchmark, report_sink):
-    rows = benchmark.pedantic(
-        run_scalability, kwargs={"sizes": SIZES}, rounds=1, iterations=1
-    )
-    header = (
-        "A4 scalability: learning / classification time vs |TS|\n"
-        f"{'|TS|':<8}{'learn(s)':<10}{'classify(s)':<12}{'#rules':<8}"
-    )
-    report_sink(
-        "scalability",
-        "\n".join([header] + [row.format() for row in rows]),
-        data={"rows": rows},
-    )
-    # sanity: growth is roughly linear, not quadratic — 10x links must
-    # cost well under 100x learn time (generous bound for timer noise)
-    by_size = {row.n_links: row for row in rows}
-    small, large = by_size[1000], by_size[10265]
-    if small.learn_seconds > 0.001:
-        assert large.learn_seconds / small.learn_seconds < 60
-
-
-def test_bench_linking_throughput(benchmark, small_catalog, report_sink):
-    """A5: provider batches through the engine, serial baseline."""
-    rows = benchmark.pedantic(
-        run_linking_throughput,
-        args=(small_catalog,),
-        kwargs={"sizes": LINK_SIZES},
-        rounds=1,
-        iterations=1,
-    )
-    report_sink(
-        "linking_throughput",
-        "\n".join([THROUGHPUT_HEADER] + [row.format() for row in rows]),
-        data={"rows": rows},
-    )
-    for row in rows:
-        assert row.pairs_per_second > 0
-        assert 0.0 <= row.cache_hit_rate <= 1.0
-        assert row.chunk_count >= 1
-
-
-@pytest.mark.parametrize("executor", ("thread", "process"))
-def test_bench_parallel_chunked_identical_to_serial_on_toponyms(executor):
-    """Chunked parallel execution must be byte-identical to serial."""
-    blocking, comparator, matcher, external, local, truth = toponym_linking_setup(
-        ToponymConfig(n_links=400, catalog_size=1200)
-    )
-    serial = LinkingJob(
-        blocking, comparator, matcher, JobConfig(executor="serial")
-    ).run(external, local)
-    parallel = LinkingJob(
-        blocking,
-        comparator,
-        matcher,
-        JobConfig(executor=executor, workers=2, chunk_size=64),
-    ).run(external, local)
-    # the parallel path must actually have run — a silent serial
-    # fallback would make this check vacuous
-    assert parallel.stats.executor == executor
-    assert parallel.stats.fallback_reason is None
-    assert parallel.match_pairs == serial.match_pairs
-    serial_bytes = serialize_ntriples(serial.sameas_graph()).encode()
-    parallel_bytes = serialize_ntriples(parallel.sameas_graph()).encode()
-    assert parallel_bytes == serial_bytes
-    assert serial.matching_quality(truth).precision > 0.8
+if __name__ == "__main__":
+    raise SystemExit(run_shim("learning-scalability", "linking-throughput", "parallel-identity"))

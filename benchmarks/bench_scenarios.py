@@ -1,76 +1,17 @@
 """Benchmark S1: the scenario matrix, batch vs streaming.
 
-Runs every registered scenario through both engine modes and reports,
-per scenario, the workload shape, match quality, wall times and the
-streaming overhead (the price of delta-at-a-time execution relative to
-one batch: per-delta job setup plus the global best-match replay).
-Byte-identity of the two legs and the metric envelopes are asserted
-inline — a scenario that drifts or diverges fails the bench before it
-writes results.
-
-Results land in ``benchmarks/results/scenarios.txt`` + ``.json`` so the
-quality/throughput trajectory of every workload is trackable across PRs.
+Thin shim: the measurement logic lives in ``repro.bench.library``
+(run ``repro bench list`` for the registry, ``repro bench run`` for
+tiers and baselines). Executing this file runs just this experiment and
+writes the legacy report twins plus the trajectory record.
 """
 
-from repro.scenarios import run_all, scenario_names
+import pathlib
+import sys
 
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 
-def test_bench_scenarios(report_sink):
-    reports = run_all()
+from repro.bench import run_shim  # noqa: E402
 
-    # acceptance gates: the whole registered matrix, every scenario
-    # green, every streaming leg byte-identical
-    assert len(reports) == len(scenario_names()) >= 8
-    for report in reports:
-        assert report.streaming_identical, report.name
-        assert not report.envelope_violations, (
-            report.name,
-            report.envelope_violations,
-        )
-
-    rows = []
-    lines = [
-        "S1 scenario matrix: batch vs streaming engine",
-        f"{'scenario':<28}{'|S_E|':>6}{'|S_L|':>7}{'pairs':>8}{'F1':>7}"
-        f"{'PC':>7}{'RR':>7}{'batch':>9}{'stream':>9}{'overhead':>9}",
-    ]
-    for report in reports:
-        overhead = (
-            report.streaming_seconds / report.batch_seconds - 1.0
-            if report.batch_seconds
-            else 0.0
-        )
-        rows.append(
-            {
-                "scenario": report.name,
-                "domain": report.domain,
-                "tags": list(report.tags),
-                "external_records": report.external_records,
-                "local_records": report.local_records,
-                "compared": report.compared,
-                "matches": report.matches,
-                "rules": report.rules,
-                "precision": report.precision,
-                "recall": report.recall,
-                "f1": report.f1,
-                "pairs_completeness": report.pairs_completeness,
-                "reduction_ratio": report.reduction_ratio,
-                "batch_seconds": report.batch_seconds,
-                "streaming_seconds": report.streaming_seconds,
-                "streaming_deltas": report.streaming_deltas,
-                "streaming_overhead": overhead,
-                "streaming_identical": report.streaming_identical,
-                "match_digest": report.match_digest,
-            }
-        )
-        lines.append(
-            f"{report.name:<28}{report.external_records:>6}{report.local_records:>7}"
-            f"{report.compared:>8}{report.f1:>7.3f}"
-            f"{report.pairs_completeness:>7.3f}{report.reduction_ratio:>7.3f}"
-            f"{report.batch_seconds:>8.2f}s{report.streaming_seconds:>8.2f}s"
-            f"{overhead:>8.1%}"
-        )
-    lines.append(
-        f"{len(reports)} scenarios, all streaming legs byte-identical to batch"
-    )
-    report_sink("scenarios", "\n".join(lines), data=rows)
+if __name__ == "__main__":
+    raise SystemExit(run_shim("scenarios"))

@@ -1,54 +1,17 @@
 """Benchmark A2: segmentation-strategy ablation.
 
-§4.1 lets the expert choose separator characters *or* n-grams; the
-Thales experiment used separators. The ablation shows why: on
-part-number data the separator strategy dominates n-grams on precision
-at comparable recall, while n-grams explode the occurrence counts.
+Thin shim: the measurement logic lives in ``repro.bench.library``
+(run ``repro bench list`` for the registry, ``repro bench run`` for
+tiers and baselines). Executing this file runs just this experiment and
+writes the legacy report twins plus the trajectory record.
 """
 
-import pytest
+import pathlib
+import sys
 
-from repro.experiments.sweeps import run_segmentation_ablation
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 
+from repro.bench import run_shim  # noqa: E402
 
-@pytest.fixture(scope="module")
-def rows(thales_catalog):
-    return run_segmentation_ablation(thales_catalog)
-
-
-def test_bench_segmentation(benchmark, thales_catalog, report_sink):
-    result = benchmark.pedantic(
-        run_segmentation_ablation, args=(thales_catalog,), rounds=1, iterations=1
-    )
-    header = (
-        "A2 segmentation ablation (paper uses the separator strategy)\n"
-        f"{'strategy':<14}{'distinct':<10}{'occur.':<10}{'#rules':<8}"
-        f"{'#dec.':<8}{'prec.':>7} {'recall':>7}"
-    )
-    report_sink(
-        "segmentation",
-        "\n".join([header] + [row.format() for row in result]),
-        data={"rows": result},
-    )
-
-
-class TestSegmentationShape:
-    def test_all_strategies_ran(self, rows):
-        assert {"separator", "bigram", "trigram", "4-gram", "token"} == {
-            row.strategy for row in rows
-        }
-
-    def test_ngrams_inflate_occurrences(self, rows):
-        by_name = {row.strategy: row for row in rows}
-        assert by_name["bigram"].segment_occurrences > (
-            by_name["separator"].segment_occurrences * 2
-        )
-
-    def test_separator_beats_bigram_on_precision(self, rows):
-        by_name = {row.strategy: row for row in rows}
-        assert by_name["separator"].precision > by_name["bigram"].precision
-
-    def test_token_strategy_weak_on_part_numbers(self, rows):
-        # whole part numbers are near-unique tokens: few rules survive
-        by_name = {row.strategy: row for row in rows}
-        assert by_name["token"].recall < by_name["separator"].recall
+if __name__ == "__main__":
+    raise SystemExit(run_shim("segmentation"))

@@ -1,52 +1,17 @@
 """Benchmark A1: support-threshold sweep around the paper's th = 0.002.
 
-Ablation of the paper's main free parameter: lower thresholds admit
-more (noisier) rules, higher thresholds trade recall for precision.
+Thin shim: the measurement logic lives in ``repro.bench.library``
+(run ``repro bench list`` for the registry, ``repro bench run`` for
+tiers and baselines). Executing this file runs just this experiment and
+writes the legacy report twins plus the trajectory record.
 """
 
-import pytest
+import pathlib
+import sys
 
-from repro.experiments.sweeps import run_support_sweep
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 
-THRESHOLDS = (0.0005, 0.001, 0.002, 0.005, 0.01)
+from repro.bench import run_shim  # noqa: E402
 
-
-@pytest.fixture(scope="module")
-def rows(thales_catalog):
-    return run_support_sweep(thales_catalog, thresholds=THRESHOLDS)
-
-
-def test_bench_support_sweep(benchmark, thales_catalog, report_sink):
-    result = benchmark.pedantic(
-        run_support_sweep,
-        args=(thales_catalog,),
-        kwargs={"thresholds": THRESHOLDS},
-        rounds=1,
-        iterations=1,
-    )
-    header = (
-        f"A1 support-threshold sweep (paper fixes th = 0.002)\n"
-        f"{'th':<10}{'#rules':<8}{'#freq.cls':<10}{'#dec.':<8}"
-        f"{'prec.':>7} {'recall':>7}"
-    )
-    report_sink(
-        "support_sweep",
-        "\n".join([header] + [row.format() for row in result]),
-        data={"rows": result},
-    )
-
-
-class TestSweepShape:
-    def test_rule_count_monotone_in_threshold(self, rows):
-        counts = [row.n_rules for row in rows]
-        assert counts == sorted(counts, reverse=True)
-
-    def test_frequent_classes_monotone(self, rows):
-        classes = [row.n_frequent_classes for row in rows]
-        assert classes == sorted(classes, reverse=True)
-
-    def test_precision_recall_tradeoff(self, rows):
-        by_th = {row.support_threshold: row for row in rows}
-        low, high = by_th[0.0005], by_th[0.01]
-        assert high.precision >= low.precision
-        assert low.recall >= high.recall
+if __name__ == "__main__":
+    raise SystemExit(run_shim("support-sweep"))

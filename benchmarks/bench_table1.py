@@ -1,61 +1,17 @@
 """Benchmark T1: regenerate the paper's Table 1 (the only table).
 
-Measures the full Table 1 pipeline (learn at th = 0.002, evaluate all
-four confidence bands on TS) and asserts the reproduced *shape*:
-precision falls ~100 -> ~84 as the band threshold drops, recall rises
-~29 -> ~60 (cumulatively), and the per-band average lift stays high.
+Thin shim: the measurement logic lives in ``repro.bench.library``
+(run ``repro bench list`` for the registry, ``repro bench run`` for
+tiers and baselines). Executing this file runs just this experiment and
+writes the legacy report twins plus the trajectory record.
 """
 
-import pytest
+import pathlib
+import sys
 
-from repro.experiments.table1 import PAPER_TABLE1, run_table1
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 
+from repro.bench import run_shim  # noqa: E402
 
-@pytest.fixture(scope="module")
-def report(thales_catalog):
-    return run_table1(thales_catalog)
-
-
-def test_bench_table1(benchmark, thales_catalog, report_sink):
-    result = benchmark.pedantic(
-        run_table1, args=(thales_catalog,), rounds=3, iterations=1
-    )
-    report_sink("table1", result.format(), data=result)
-
-
-class TestTable1Shape:
-    """The reproduction claims (DESIGN.md §5, 'expected shape')."""
-
-    def test_top_band_is_perfect(self, report):
-        assert report.row(1.0).precision == pytest.approx(1.0)
-
-    def test_precision_monotone_decreasing(self, report):
-        precisions = [r.precision for r in report.rows]
-        assert all(a >= b - 1e-9 for a, b in zip(precisions, precisions[1:]))
-
-    def test_recall_monotone_increasing(self, report):
-        recalls = [r.recall for r in report.rows]
-        assert all(a <= b + 1e-9 for a, b in zip(recalls, recalls[1:]))
-
-    def test_bottom_band_precision_near_paper(self, report):
-        # paper: 83.8%; claim: the same regime (roughly 75-95%)
-        assert 0.70 <= report.row(0.4).precision <= 0.97
-
-    def test_top_band_recall_near_paper(self, report):
-        # paper: 29%; claim: confidence-1 rules decide ~a fifth to a
-        # third of the eligible items
-        assert 0.18 <= report.row(1.0).recall <= 0.40
-
-    def test_rule_counts_same_ballpark(self, report):
-        for threshold, paper_row in PAPER_TABLE1.items():
-            ours = report.row(threshold).n_rules
-            assert ours <= paper_row["rules"] * 3 + 10
-        total_paper = sum(r["rules"] for r in PAPER_TABLE1.values())
-        total_ours = sum(r.n_rules for r in report.rows)
-        assert total_paper * 0.5 <= total_ours <= total_paper * 1.5
-
-    def test_lift_large_in_every_nonempty_band(self, report):
-        # paper: lift > 20 everywhere; allow headroom for seed variance
-        for row in report.rows:
-            if row.n_rules:
-                assert row.average_lift > 12
+if __name__ == "__main__":
+    raise SystemExit(run_shim("table1"))

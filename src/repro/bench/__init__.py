@@ -1,0 +1,100 @@
+"""Benchmark orchestration: registry, runner, trajectory, regression gate.
+
+The perf counterpart of :mod:`repro.scenarios`: named, tiered, seeded
+benchmark specs (:mod:`repro.bench.library`), one standardized result
+schema per run (``benchmarks/results/trajectory/BENCH_<name>.json``)
+and a tolerance-envelope comparator against checked-in baselines — the
+machinery behind ``repro bench list|run|compare`` and the CI
+``perf-smoke`` gate.
+
+Importing the package imports the library, so the registry is complete
+immediately (mirroring how scenarios register).
+"""
+
+from repro.bench.compare import (
+    BenchComparison,
+    ComparisonReport,
+    MetricComparison,
+    compare_benchmarks,
+    compare_result,
+)
+from repro.bench.io import (
+    DEFAULT_BASELINE_DIR,
+    DEFAULT_RESULTS_DIR,
+    jsonable,
+    read_result,
+    trajectory_dir,
+    trajectory_path,
+    write_report,
+    write_result,
+)
+from repro.bench.registry import (
+    UnknownBenchmarkError,
+    all_benchmarks,
+    benchmark_names,
+    get_benchmark,
+    register,
+)
+from repro.bench.runner import (
+    BenchmarkCheckError,
+    BenchmarkRun,
+    engine_metrics,
+    environment_fingerprint,
+    run_benchmark,
+    run_benchmarks,
+    run_shim,
+)
+from repro.bench.spec import (
+    SCHEMA_VERSION,
+    TIERS,
+    BenchmarkResult,
+    BenchmarkSpec,
+    Measurement,
+    MetricBudget,
+    SchemaError,
+    result_from_payload,
+    tier_includes,
+)
+from repro.bench.workloads import build_workload, clear_workload_cache, workload_names
+
+from repro.bench import library as _library  # noqa: F401  (registers specs)
+
+__all__ = [
+    "BenchComparison",
+    "BenchmarkCheckError",
+    "BenchmarkResult",
+    "BenchmarkRun",
+    "BenchmarkSpec",
+    "ComparisonReport",
+    "DEFAULT_BASELINE_DIR",
+    "DEFAULT_RESULTS_DIR",
+    "Measurement",
+    "MetricBudget",
+    "MetricComparison",
+    "SCHEMA_VERSION",
+    "SchemaError",
+    "TIERS",
+    "UnknownBenchmarkError",
+    "all_benchmarks",
+    "benchmark_names",
+    "build_workload",
+    "clear_workload_cache",
+    "compare_benchmarks",
+    "compare_result",
+    "engine_metrics",
+    "environment_fingerprint",
+    "get_benchmark",
+    "jsonable",
+    "read_result",
+    "register",
+    "result_from_payload",
+    "run_benchmark",
+    "run_benchmarks",
+    "run_shim",
+    "tier_includes",
+    "trajectory_dir",
+    "trajectory_path",
+    "workload_names",
+    "write_report",
+    "write_result",
+]

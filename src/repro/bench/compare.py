@@ -1,0 +1,194 @@
+"""The regression comparator: current run vs checked-in baselines.
+
+For every selected spec the comparator loads the latest trajectory
+record and the committed baseline (same schema, same reader), walks the
+spec's :class:`~repro.bench.spec.MetricBudget` envelopes and classifies
+each gated metric:
+
+* ``ok`` — inside the envelope;
+* ``improved`` — inside the envelope *and* better than baseline (worth
+  a baseline refresh when it sticks);
+* ``regression`` — outside the envelope in the bad direction;
+* ``missing-metric`` — the baseline or the run lacks the gated metric
+  (treated as a regression: a silently vanished metric must not pass).
+
+A benchmark with no baseline file reports ``missing-baseline`` and does
+**not** fail the gate by default — first runs of a new benchmark land
+before their baseline does — unless ``fail_on_missing`` asks for
+strictness. Ungated metrics are reported informationally, never gating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.bench.io import read_result, trajectory_dir
+from repro.bench.runner import resolve_specs
+from repro.bench.spec import BenchmarkResult, BenchmarkSpec, MetricBudget
+
+#: Per-metric comparison states.
+METRIC_OK = "ok"
+METRIC_IMPROVED = "improved"
+METRIC_REGRESSION = "regression"
+METRIC_MISSING = "missing-metric"
+
+#: Per-benchmark states.
+BENCH_OK = "ok"
+BENCH_REGRESSION = "regression"
+BENCH_MISSING_BASELINE = "missing-baseline"
+BENCH_MISSING_RESULT = "missing-result"
+
+
+@dataclass(frozen=True, slots=True)
+class MetricComparison:
+    """One gated metric, diffed."""
+
+    metric: str
+    direction: str
+    status: str
+    baseline: Optional[float]
+    current: Optional[float]
+    allowed: Optional[float]
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """current / baseline (None when either side is missing/zero)."""
+        if self.baseline is None or self.current is None or self.baseline == 0:
+            return None
+        return self.current / self.baseline
+
+    def format(self) -> str:
+        arrow = {"lower": "<=", "higher": ">="}[self.direction]
+        baseline = "n/a" if self.baseline is None else f"{self.baseline:.6g}"
+        current = "n/a" if self.current is None else f"{self.current:.6g}"
+        allowed = "n/a" if self.allowed is None else f"{self.allowed:.6g}"
+        ratio = "" if self.ratio is None else f" (x{self.ratio:.2f})"
+        return (
+            f"    {self.status:<12} {self.metric}: {current} vs baseline "
+            f"{baseline}{ratio}, required {arrow} {allowed}"
+        )
+
+
+@dataclass
+class BenchComparison:
+    """One benchmark, diffed against its baseline."""
+
+    benchmark: str
+    status: str
+    metrics: List[MetricComparison] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[MetricComparison]:
+        return [m for m in self.metrics if m.status in (METRIC_REGRESSION, METRIC_MISSING)]
+
+    def format(self) -> str:
+        lines = [f"  {self.benchmark}: {self.status}"]
+        lines.extend(m.format() for m in self.metrics)
+        return "\n".join(lines)
+
+
+@dataclass
+class ComparisonReport:
+    """The whole gate: every selected benchmark, classified."""
+
+    comparisons: List[BenchComparison]
+
+    @property
+    def regressed(self) -> List[BenchComparison]:
+        return [c for c in self.comparisons if c.status == BENCH_REGRESSION]
+
+    @property
+    def missing_baselines(self) -> List[BenchComparison]:
+        return [c for c in self.comparisons if c.status == BENCH_MISSING_BASELINE]
+
+    @property
+    def missing_results(self) -> List[BenchComparison]:
+        return [c for c in self.comparisons if c.status == BENCH_MISSING_RESULT]
+
+    def ok(self, fail_on_missing: bool = False) -> bool:
+        """Whether the gate passes."""
+        if self.regressed:
+            return False
+        if fail_on_missing and (self.missing_baselines or self.missing_results):
+            return False
+        return True
+
+    def format(self) -> str:
+        lines = ["benchmark regression report"]
+        lines.extend(c.format() for c in self.comparisons)
+        verdict = (
+            f"{len(self.comparisons)} compared, "
+            f"{len(self.regressed)} regressed, "
+            f"{len(self.missing_baselines)} without baseline, "
+            f"{len(self.missing_results)} without result"
+        )
+        lines.append(verdict)
+        return "\n".join(lines)
+
+
+def compare_result(
+    spec: BenchmarkSpec,
+    current: Optional[BenchmarkResult],
+    baseline: Optional[BenchmarkResult],
+) -> BenchComparison:
+    """Diff one benchmark's run against its baseline."""
+    if current is None:
+        return BenchComparison(spec.name, BENCH_MISSING_RESULT)
+    if baseline is None:
+        return BenchComparison(spec.name, BENCH_MISSING_BASELINE)
+    metrics: List[MetricComparison] = []
+    regressed = False
+    for budget in spec.budgets:
+        metrics.append(_compare_metric(budget, baseline, current))
+        if metrics[-1].status in (METRIC_REGRESSION, METRIC_MISSING):
+            regressed = True
+    status = BENCH_REGRESSION if regressed else BENCH_OK
+    return BenchComparison(spec.name, status, metrics)
+
+
+def _compare_metric(
+    budget: MetricBudget, baseline: BenchmarkResult, current: BenchmarkResult
+) -> MetricComparison:
+    base_value = baseline.metrics.get(budget.metric)
+    cur_value = current.metrics.get(budget.metric)
+    if base_value is None or cur_value is None:
+        return MetricComparison(
+            metric=budget.metric,
+            direction=budget.direction,
+            status=METRIC_MISSING,
+            baseline=base_value,
+            current=cur_value,
+            allowed=None if base_value is None else budget.allowed_bound(base_value),
+        )
+    if budget.is_regression(base_value, cur_value):
+        status = METRIC_REGRESSION
+    elif budget.is_improvement(base_value, cur_value):
+        status = METRIC_IMPROVED
+    else:
+        status = METRIC_OK
+    return MetricComparison(
+        metric=budget.metric,
+        direction=budget.direction,
+        status=status,
+        baseline=base_value,
+        current=cur_value,
+        allowed=budget.allowed_bound(base_value),
+    )
+
+
+def compare_benchmarks(
+    results_dir: Path,
+    baseline_dir: Path,
+    names: Optional[Sequence[str]] = None,
+    tier: Optional[str] = None,
+) -> ComparisonReport:
+    """Diff every selected benchmark's trajectory record vs baseline."""
+    run_dir = trajectory_dir(Path(results_dir))
+    comparisons = []
+    for spec in resolve_specs(names, tier):
+        current = read_result(run_dir, spec.name)
+        baseline = read_result(Path(baseline_dir), spec.name)
+        comparisons.append(compare_result(spec, current, baseline))
+    return ComparisonReport(comparisons)

@@ -1,0 +1,105 @@
+"""Result I/O: the one place benchmark files are written and read.
+
+Two kinds of artifacts, one writer each:
+
+* **legacy report twins** — ``benchmarks/results/<name>.txt`` (the
+  human, paper-style table) plus ``<name>.json`` (machine-readable
+  payload). Before this module existed every ``bench_*.py`` script
+  hand-rolled these writers and some drifted into emitting txt only;
+  :func:`write_report` always writes both.
+* **trajectory records** — ``benchmarks/results/trajectory/BENCH_<name>.json``,
+  one standardized :class:`~repro.bench.spec.BenchmarkResult` per
+  benchmark per run. Baselines under ``benchmarks/baselines/`` use the
+  identical schema and the identical writer, so a baseline update is
+  literally a file copy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.bench.spec import BenchmarkResult, SchemaError, result_from_payload
+
+#: Default locations, relative to the invoking directory (the repo root
+#: in CI and the documented workflows); every CLI entry point takes
+#: ``--results-dir`` / ``--baseline-dir`` overrides.
+DEFAULT_RESULTS_DIR = Path("benchmarks") / "results"
+DEFAULT_BASELINE_DIR = Path("benchmarks") / "baselines"
+TRAJECTORY_DIRNAME = "trajectory"
+
+
+def trajectory_dir(results_dir: Path) -> Path:
+    """Where trajectory records live under a results directory."""
+    return Path(results_dir) / TRAJECTORY_DIRNAME
+
+
+def jsonable(value: Any) -> Any:
+    """Recursively convert reports/rows into JSON-serializable data.
+
+    Dataclasses become dicts, sequences become lists, and leaf objects
+    the paper model uses (IRIs, enums...) fall back to ``str``.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(key): jsonable(item) for key, item in value.items()}
+    if isinstance(value, (set, frozenset)):
+        # stable order so committed JSON twins diff cleanly across runs
+        return sorted((jsonable(item) for item in value), key=repr)
+    if isinstance(value, (list, tuple)):
+        return [jsonable(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def write_report(results_dir: Path, name: str, text: str, data: Any = None) -> None:
+    """Write the legacy ``<name>.txt`` + ``<name>.json`` report twins.
+
+    The JSON twin is always written — when a benchmark has no richer
+    payload the text itself is wrapped — so no result is ever txt-only
+    again.
+    """
+    results_dir = Path(results_dir)
+    results_dir.mkdir(parents=True, exist_ok=True)
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+    payload = jsonable(data) if data is not None else {"report": text}
+    (results_dir / f"{name}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+
+def trajectory_path(directory: Path, benchmark: str) -> Path:
+    """The ``BENCH_<name>.json`` path for *benchmark* under *directory*."""
+    return Path(directory) / f"BENCH_{benchmark}.json"
+
+
+def write_result(directory: Path, result: BenchmarkResult) -> Path:
+    """Serialize one trajectory/baseline record; returns the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = trajectory_path(directory, result.benchmark)
+    path.write_text(json.dumps(result.to_payload(), indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def read_result(directory: Path, benchmark: str) -> Optional[BenchmarkResult]:
+    """Load and validate a record; ``None`` when the file is absent.
+
+    A present-but-invalid file raises :class:`SchemaError` — a corrupt
+    baseline must fail loudly, not read as "no baseline".
+    """
+    path = trajectory_path(directory, benchmark)
+    if not path.exists():
+        return None
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise SchemaError(f"{path}: not valid JSON ({exc})") from exc
+    return result_from_payload(payload)

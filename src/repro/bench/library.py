@@ -1,0 +1,1038 @@
+"""The benchmark library: every registered spec.
+
+Four **smoke** benchmarks run on the small presets in seconds — they are
+the CI perf gate (``repro bench run --tier smoke``). The **standard**
+tier absorbs the paper-scale measurements the old standalone
+``bench_*.py`` scripts made (those scripts are now one-line shims onto
+this registry); **full** adds the multi-catalog scalability sweep and
+the whole scenario matrix.
+
+Every absorbed spec keeps its legacy report name, so the txt/json twins
+under ``benchmarks/results/`` stay continuous with pre-subsystem runs,
+and carries the old scripts' reproduction-shape assertions as
+``checks`` — which now actually execute on every run (the pytest
+harness never collected the ``bench_*.py`` files, so those assertions
+had been dead code).
+
+Measure functions take the built workload as their first argument and
+expose their knobs as keyword defaults, so tests can drive them on tiny
+workloads without paying paper-scale generation.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import List
+
+from repro.bench.registry import register
+from repro.bench.spec import BenchmarkSpec, Measurement, MetricBudget
+from repro.bench.workloads import workload_factory
+
+SUPPORT = 0.002
+
+#: Generous-but-sub-2x envelope for wall-clock metrics: machines and
+#: load differ (so the bound is as wide as it can be), but a genuine 2x
+#: slowdown must always trip the gate. The machine-robust signal lives
+#: in the ratio budgets (speedups, hit rates) — those are tight.
+WALL_TOLERANCE = 0.9
+WALL = MetricBudget("wall_seconds", direction="lower", rel_tolerance=WALL_TOLERANCE)
+
+
+@workload_factory("null")
+def _null_workload():
+    """For specs that build their own materials (scalability sweeps)."""
+    return None
+
+
+def _best_of(fn, rounds=3):
+    """(best wall seconds, last result) over *rounds* runs."""
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+# ----------------------------------------------------------------------
+# smoke tier — the CI perf gate
+# ----------------------------------------------------------------------
+def measure_smoke_learner(catalog, support_threshold=SUPPORT, rounds=3) -> Measurement:
+    """End-to-end Algorithm 1 learn on the small catalog."""
+    from repro.core import LearnerConfig, RuleLearner
+    from repro.datagen.catalog import PART_NUMBER
+
+    training_set = catalog.to_training_set()
+    learner = RuleLearner(
+        LearnerConfig(properties=(PART_NUMBER,), support_threshold=support_threshold)
+    )
+    learn_seconds, rules = _best_of(lambda: learner.learn(training_set), rounds=rounds)
+    return Measurement(
+        metrics={
+            "learn_seconds": learn_seconds,
+            "rules": len(rules),
+            "training_links": len(training_set),
+        },
+        text=(
+            "smoke: rule learner on the small catalog\n"
+            f"|TS| = {len(training_set)}, rules = {len(rules)}, "
+            f"best learn {learn_seconds * 1000:.1f} ms"
+        ),
+    )
+
+
+def measure_smoke_linking(catalog, sizes=(200, 400), seed=4242) -> Measurement:
+    """Provider batches through the serial engine (A5 at smoke scale)."""
+    from repro.bench.runner import engine_metrics
+    from repro.datagen.catalog import MANUFACTURER, PART_NUMBER
+    from repro.engine import JobConfig, LinkingJob
+    from repro.experiments.throughput import provider_batch
+    from repro.linking import (
+        FieldComparator,
+        RecordComparator,
+        RecordStore,
+        StandardBlocking,
+        ThresholdMatcher,
+    )
+
+    field_map = {"pn": PART_NUMBER, "maker": MANUFACTURER}
+    local = RecordStore.from_graph(catalog.local_graph, field_map)
+    blocking = StandardBlocking.on_field_prefix("pn", length=4)
+    comparator = RecordComparator(
+        [FieldComparator("pn", weight=2.0), FieldComparator("maker")]
+    )
+    matcher = ThresholdMatcher(match_threshold=0.9)
+    config = JobConfig(executor="serial", chunk_size=512)
+    lines = ["smoke: serial engine linking throughput"]
+    metrics = {}
+    f1 = 0.0
+    for size in sizes:
+        graph, truth = provider_batch(catalog, size, seed=seed)
+        external = RecordStore.from_graph(graph, field_map)
+        result = LinkingJob(blocking, comparator, matcher, config).run(external, local)
+        f1 = result.matching_quality(truth).f1
+        metrics = engine_metrics(result.stats)
+        metrics["f1"] = f1
+        lines.append(
+            f"|S_E|={size}: {result.compared} pairs, "
+            f"{result.stats.pairs_per_second:,.0f} pairs/s, "
+            f"cache {result.stats.cache_hit_rate:.1%}, F1 {f1:.3f}"
+        )
+    # metrics keep the largest batch (the stable, least noisy point)
+    return Measurement(metrics=metrics, text="\n".join(lines))
+
+
+def _overlapping_deltas(catalog, pool_size=400, n_deltas=8, delta_size=200, seed=7):
+    """Overlapping provider feeds: fresh ids per transmission, repeated
+    values — the cross-delta redundancy real re-sent files exhibit."""
+    from repro.datagen.catalog import MANUFACTURER, PART_NUMBER
+    from repro.experiments.throughput import provider_batch
+    from repro.linking import RecordStore
+    from repro.linking.records import Record
+
+    field_map = {"pn": PART_NUMBER, "maker": MANUFACTURER}
+    graph, _ = provider_batch(catalog, pool_size, seed=4242)
+    pool = list(RecordStore.from_graph(graph, field_map))
+    rng = random.Random(seed)
+    deltas = []
+    for index in range(n_deltas):
+        picks = rng.sample(pool, min(delta_size, len(pool)))
+        deltas.append(
+            [Record(id=f"{record.id}/tx{index}", fields=record.fields) for record in picks]
+        )
+    local = RecordStore.from_graph(catalog.local_graph, field_map)
+    return deltas, local
+
+
+def measure_streaming_cache_reuse(catalog, rounds=3, **delta_kwargs) -> Measurement:
+    """The cross-delta similarity-cache win, measured end to end.
+
+    The same overlapping delta stream is ingested twice: once with
+    ``shared_cache=False`` (cold per-delta caches, the pre-memoization
+    behavior) and once with the stream-owned shared cache. Outcomes
+    must be identical — memoization only skips recomputation — and the
+    shared leg must be measurably faster.
+    """
+    from repro.engine import JobConfig
+    from repro.engine.streaming import StreamingLinkingJob
+    from repro.linking import (
+        FieldComparator,
+        RecordComparator,
+        StandardBlocking,
+        ThresholdMatcher,
+    )
+
+    deltas, local = _overlapping_deltas(catalog, **delta_kwargs)
+
+    def run(shared: bool):
+        comparator = RecordComparator(
+            [FieldComparator("pn", weight=2.0), FieldComparator("maker")]
+        )
+        job = StreamingLinkingJob(
+            local,
+            comparator,
+            ThresholdMatcher(match_threshold=0.9),
+            JobConfig(executor="serial", chunk_size=256),
+            blocking=StandardBlocking.on_field_prefix("pn", length=4),
+            # the cold leg opts out of the stream-owned cache: every
+            # per-delta job builds its own — the pre-memoization behavior
+            shared_cache=shared,
+        )
+        for delta in deltas:
+            job.ingest(delta)
+        return job.result()
+
+    cold_seconds, cold = _best_of(lambda: run(shared=False), rounds=rounds)
+    shared_seconds, warm = _best_of(lambda: run(shared=True), rounds=rounds)
+    assert warm.match_pairs == cold.match_pairs  # memoization is invisible
+    speedup = cold_seconds / shared_seconds if shared_seconds else float("inf")
+    metrics = {
+        "cold_seconds": cold_seconds,
+        "shared_seconds": shared_seconds,
+        "speedup": speedup,
+        "cold_hit_rate": cold.stats.cache_hit_rate,
+        "shared_hit_rate": warm.stats.cache_hit_rate,
+        "matches": len(warm.matches),
+        "pairs_compared": warm.stats.pairs_compared,
+    }
+    text = "\n".join(
+        [
+            "smoke: cross-delta similarity-cache reuse (streaming engine)",
+            f"{len(deltas)} overlapping deltas, {warm.stats.pairs_compared} pairs",
+            f"cold per-delta caches  {cold_seconds * 1000:8.1f} ms   "
+            f"hit rate {cold.stats.cache_hit_rate:.1%}",
+            f"stream-shared cache    {shared_seconds * 1000:8.1f} ms   "
+            f"hit rate {warm.stats.cache_hit_rate:.1%}",
+            f"-> x{speedup:.2f}, identical matches",
+        ]
+    )
+    return Measurement(metrics=metrics, text=text)
+
+
+def measure_smoke_index_passes(catalog, support_threshold=SUPPORT, rounds=3) -> Measurement:
+    """Index-backed frequency passes vs the scan learn (I1 at smoke
+    scale) — the same measurement as ``measure_index_learner``, minus
+    the threshold sweep."""
+    return measure_index_learner(
+        catalog, support_threshold=support_threshold, sweep_thresholds=(), rounds=rounds
+    )
+
+
+register(
+    BenchmarkSpec(
+        name="smoke-learner",
+        description="Algorithm 1 end to end on the small catalog",
+        tier="smoke",
+        workload="small-catalog",
+        measure=measure_smoke_learner,
+        budgets=(WALL, MetricBudget("learn_seconds", "lower", WALL_TOLERANCE)),
+    )
+)
+
+register(
+    BenchmarkSpec(
+        name="smoke-linking",
+        description="serial engine throughput on small provider batches",
+        tier="smoke",
+        workload="small-catalog",
+        measure=measure_smoke_linking,
+        budgets=(
+            WALL,
+            MetricBudget("engine_seconds", "lower", WALL_TOLERANCE),
+            MetricBudget("pairs_per_second", "higher", 0.65),
+        ),
+    )
+)
+
+register(
+    BenchmarkSpec(
+        name="smoke-streaming-cache",
+        description="cross-delta similarity-cache reuse vs cold per-delta caches",
+        tier="smoke",
+        workload="small-catalog",
+        measure=measure_streaming_cache_reuse,
+        budgets=(
+            WALL,
+            MetricBudget("shared_seconds", "lower", WALL_TOLERANCE),
+            MetricBudget("speedup", "higher", 0.45),
+            MetricBudget("shared_hit_rate", "higher", 0.3),
+        ),
+        checks=(
+            lambda m: _assert(
+                m.metrics["speedup"] > 1.2,
+                f"shared cache not faster: x{m.metrics['speedup']:.2f}",
+            ),
+            lambda m: _assert(
+                m.metrics["shared_hit_rate"] > m.metrics["cold_hit_rate"],
+                "shared cache did not raise the hit rate",
+            ),
+        ),
+    )
+)
+
+register(
+    BenchmarkSpec(
+        name="smoke-index-passes",
+        description="index-backed frequency passes vs scan learn, small catalog",
+        tier="smoke",
+        workload="small-catalog",
+        measure=measure_smoke_index_passes,
+        budgets=(WALL, MetricBudget("passes_speedup", "higher", 0.45)),
+        checks=(
+            lambda m: _assert(
+                m.metrics["passes_speedup"] > 1.5,
+                f"frequency passes slower than expected: x{m.metrics['passes_speedup']:.2f}",
+            ),
+        ),
+    )
+)
+
+
+def _assert(condition: bool, message: str) -> None:
+    if not condition:
+        raise AssertionError(message)
+
+
+# ----------------------------------------------------------------------
+# standard tier — the absorbed paper-scale scripts
+# ----------------------------------------------------------------------
+def measure_table1(catalog, support_threshold=SUPPORT) -> Measurement:
+    from repro.experiments.table1 import run_table1
+
+    report = run_table1(catalog, support_threshold=support_threshold)
+    return Measurement(
+        metrics={
+            "rules": report.total_rules,
+            "eligible_items": report.eligible_items,
+            "top_band_precision": report.rows[0].precision,
+            "top_band_recall": report.rows[0].recall,
+            "bottom_band_precision": report.rows[-1].precision,
+            "bottom_band_recall": report.rows[-1].recall,
+        },
+        text=report.format(),
+        data=report,
+    )
+
+
+def _check_table1(measurement: Measurement) -> None:
+    report = measurement.data
+    assert report.row(1.0).precision > 0.999, "top band must be perfect"
+    precisions = [row.precision for row in report.rows]
+    recalls = [row.recall for row in report.rows]
+    assert all(a >= b - 1e-9 for a, b in zip(precisions, precisions[1:]))
+    assert all(a <= b + 1e-9 for a, b in zip(recalls, recalls[1:]))
+    assert 0.70 <= report.row(0.4).precision <= 0.97
+    assert 0.18 <= report.row(1.0).recall <= 0.40
+
+
+register(
+    BenchmarkSpec(
+        name="table1",
+        description="regenerate the paper's Table 1 at paper scale",
+        tier="standard",
+        workload="thales-catalog",
+        measure=measure_table1,
+        budgets=(WALL,),
+        checks=(_check_table1,),
+    )
+)
+
+
+def measure_intext_stats(catalog, support_threshold=SUPPORT) -> Measurement:
+    from repro.experiments.stats import run_stats
+
+    stats = run_stats(catalog, support_threshold=support_threshold)
+    return Measurement(
+        metrics={
+            "distinct_segments": stats.distinct_segments,
+            "segment_occurrences": stats.segment_occurrences,
+            "frequent_classes": stats.frequent_classes,
+            "rules": stats.rule_count,
+            "confidence_one_rules": stats.confidence_one_rules,
+        },
+        text=stats.format(),
+        data=stats,
+    )
+
+
+def _check_intext_stats(measurement: Measurement) -> None:
+    from repro.experiments.stats import PAPER_STATS
+
+    stats = measurement.data
+    assert (
+        PAPER_STATS["distinct_segments"] * 0.7
+        <= stats.distinct_segments
+        <= PAPER_STATS["distinct_segments"] * 1.3
+    )
+    assert PAPER_STATS["rules"] * 0.6 <= stats.rule_count <= PAPER_STATS["rules"] * 1.4
+    assert abs(stats.frequent_classes - PAPER_STATS["frequent_classes"]) <= 10
+    assert 0 < stats.selected_occurrences < stats.segment_occurrences
+
+
+register(
+    BenchmarkSpec(
+        name="intext-stats",
+        description="the paper's in-text paragraph 5 statistics",
+        tier="standard",
+        workload="thales-catalog",
+        measure=measure_intext_stats,
+        budgets=(WALL,),
+        checks=(_check_intext_stats,),
+        report_name="intext_stats",
+    )
+)
+
+
+def measure_support_sweep(
+    catalog, thresholds=(0.0005, 0.001, 0.002, 0.005, 0.01)
+) -> Measurement:
+    from repro.experiments.sweeps import run_support_sweep
+
+    rows = run_support_sweep(catalog, thresholds=thresholds)
+    header = (
+        "A1 support-threshold sweep (paper fixes th = 0.002)\n"
+        f"{'th':<10}{'#rules':<8}{'#freq.cls':<10}{'#dec.':<8}"
+        f"{'prec.':>7} {'recall':>7}"
+    )
+    return Measurement(
+        metrics={
+            "thresholds": len(rows),
+            "min_rules": min(row.n_rules for row in rows),
+            "max_rules": max(row.n_rules for row in rows),
+        },
+        text="\n".join([header] + [row.format() for row in rows]),
+        data={"rows": rows},
+    )
+
+
+def _check_support_sweep(measurement: Measurement) -> None:
+    rows = measurement.data["rows"]
+    counts = [row.n_rules for row in rows]
+    assert counts == sorted(counts, reverse=True), "rule count must fall with th"
+    by_th = {row.support_threshold: row for row in rows}
+    low, high = by_th[min(by_th)], by_th[max(by_th)]
+    assert high.precision >= low.precision
+    assert low.recall >= high.recall
+
+
+register(
+    BenchmarkSpec(
+        name="support-sweep",
+        description="A1: the support-threshold precision/recall trade-off",
+        tier="standard",
+        workload="thales-catalog",
+        measure=measure_support_sweep,
+        budgets=(WALL,),
+        checks=(_check_support_sweep,),
+    )
+)
+
+
+def measure_segmentation(catalog, support_threshold=SUPPORT) -> Measurement:
+    from repro.experiments.sweeps import run_segmentation_ablation
+
+    rows = run_segmentation_ablation(catalog, support_threshold=support_threshold)
+    header = (
+        "A2 segmentation ablation (paper uses the separator strategy)\n"
+        f"{'strategy':<14}{'distinct':<10}{'occur.':<10}{'#rules':<8}"
+        f"{'#dec.':<8}{'prec.':>7} {'recall':>7}"
+    )
+    return Measurement(
+        metrics={"strategies": len(rows)},
+        text="\n".join([header] + [row.format() for row in rows]),
+        data={"rows": rows},
+    )
+
+
+def _check_segmentation(measurement: Measurement) -> None:
+    by_name = {row.strategy: row for row in measurement.data["rows"]}
+    assert by_name["bigram"].segment_occurrences > (
+        by_name["separator"].segment_occurrences * 2
+    )
+    assert by_name["separator"].precision > by_name["bigram"].precision
+    assert by_name["token"].recall < by_name["separator"].recall
+
+
+register(
+    BenchmarkSpec(
+        name="segmentation",
+        description="A2: separator vs n-gram vs token segmentation",
+        tier="standard",
+        workload="thales-catalog",
+        measure=measure_segmentation,
+        budgets=(WALL,),
+        checks=(_check_segmentation,),
+    )
+)
+
+
+def measure_ordering(catalog) -> Measurement:
+    from repro.experiments.ordering_ablation import run_ordering_ablation
+
+    rows = run_ordering_ablation(catalog)
+    header = (
+        "A5 rule-ordering ablation (top decision per item)\n"
+        f"{'strategy':<12}{'#decided':<10}{'accuracy':>8} {'pairs':>12} {'factor':>9}"
+    )
+    return Measurement(
+        metrics={"strategies": len(rows)},
+        text="\n".join([header] + [row.format() for row in rows]),
+        data={"rows": rows},
+    )
+
+
+def _check_ordering(measurement: Measurement) -> None:
+    rows = measurement.data["rows"]
+    assert len({row.decided_items for row in rows}) == 1, "coverage must not vary"
+    by_name = {row.strategy: row for row in rows}
+    assert by_name["subspace"].reduced_pairs <= by_name["paper"].reduced_pairs
+    assert by_name["paper"].top_decision_accuracy >= (
+        by_name["subspace"].top_decision_accuracy - 0.02
+    )
+
+
+register(
+    BenchmarkSpec(
+        name="ordering",
+        description="paragraph 4.4 rule-ordering ablation (paper vs CBA vs subspace)",
+        tier="standard",
+        workload="thales-catalog",
+        measure=measure_ordering,
+        budgets=(WALL,),
+        checks=(_check_ordering,),
+    )
+)
+
+
+def measure_generalization(catalog, max_depth_lift=4) -> Measurement:
+    from repro.experiments.generalization import run_generalization
+
+    report = run_generalization(catalog, max_depth_lift=max_depth_lift)
+    return Measurement(
+        metrics={
+            "base_rules": report.n_base_rules,
+            "generalized_rules": report.n_generalized_rules,
+            "base_recall": report.base_recall,
+            "extended_recall": report.extended_recall,
+        },
+        text=report.format(),
+        data=report,
+    )
+
+
+def _check_generalization(measurement: Measurement) -> None:
+    report = measurement.data
+    assert report.extended_recall >= report.base_recall - 1e-9
+
+
+register(
+    BenchmarkSpec(
+        name="generalization",
+        description="X1: subsumption generalization recall/lift trade-off",
+        tier="standard",
+        workload="thales-catalog",
+        measure=measure_generalization,
+        budgets=(WALL,),
+        checks=(_check_generalization,),
+    )
+)
+
+
+def measure_generality(gazetteer) -> Measurement:
+    from repro.experiments.generality import run_generality
+
+    report = run_generality(gazetteer)
+    return Measurement(
+        metrics={
+            "rules": report.total_rules,
+            "top_band_precision": report.rows[0].precision,
+            "top_band_recall": report.rows[0].recall,
+        },
+        text=report.format(),
+        data=report,
+    )
+
+
+def _check_generality(measurement: Measurement) -> None:
+    report = measurement.data
+    assert report.total_rules > 10
+    assert report.rows[0].precision > 0.999
+    assert report.rows[0].recall > 0.5
+
+
+register(
+    BenchmarkSpec(
+        name="generality",
+        description="X2: the identical pipeline on the toponym domain",
+        tier="standard",
+        workload="gazetteer",
+        measure=measure_generality,
+        budgets=(WALL,),
+        checks=(_check_generality,),
+    )
+)
+
+
+def measure_blocking_comparison(
+    catalog, n_test_items=300, support_threshold=0.004
+) -> Measurement:
+    from repro.experiments.blocking_comparison import (
+        BLOCKING_COMPARISON_HEADER,
+        run_blocking_comparison,
+    )
+
+    rows = run_blocking_comparison(
+        catalog, n_test_items=n_test_items, support_threshold=support_threshold
+    )
+    header = (
+        "A3 blocking comparison (out-of-sample provider batch)\n"
+        + BLOCKING_COMPARISON_HEADER
+    )
+    strict = next(row for row in rows if row.method == "rule-based (strict)")
+    return Measurement(
+        metrics={
+            "methods": len(rows),
+            "strict_reduction_ratio": strict.reduction_ratio,
+            "strict_pairs_completeness": strict.pairs_completeness,
+        },
+        text="\n".join([header] + [row.format() for row in rows]),
+        data={"rows": rows},
+    )
+
+
+def _check_blocking_comparison(measurement: Measurement) -> None:
+    rows = measurement.data["rows"]
+    by_name = {row.method: row for row in rows}
+    assert all(row.reduction_ratio >= 0.0 for row in rows)
+    assert by_name["rule-based (strict)"].reduction_ratio > 0.7
+    assert by_name["rule-based (paper)"].pairs_completeness > 0.9
+
+
+register(
+    BenchmarkSpec(
+        name="blocking-comparison",
+        description="A3: rule-based reduction vs classic blocking baselines",
+        tier="standard",
+        workload="small-catalog",
+        measure=measure_blocking_comparison,
+        budgets=(WALL,),
+        checks=(_check_blocking_comparison,),
+        report_name="blocking_comparison",
+    )
+)
+
+
+def measure_index_learner(
+    catalog,
+    support_threshold=SUPPORT,
+    sweep_thresholds=(0.0005, 0.001, 0.002, 0.005, 0.01),
+    rounds=3,
+) -> Measurement:
+    """I1: the shared inverted feature index vs the scan passes."""
+    from repro.core import LearnerConfig, RuleLearner
+    from repro.datagen.catalog import PART_NUMBER
+
+    training_set = catalog.to_training_set()
+    config = LearnerConfig(properties=(PART_NUMBER,), support_threshold=support_threshold)
+    learner = RuleLearner(config)
+
+    scan_seconds, scan_rules = _best_of(
+        lambda: learner.learn_scan(training_set), rounds=rounds
+    )
+    build_seconds, index = _best_of(
+        lambda: learner.build_index(training_set), rounds=rounds
+    )
+    passes_seconds, index_rules = _best_of(
+        lambda: learner.learn(training_set, index=index), rounds=rounds
+    )
+    assert index_rules.rules == scan_rules.rules  # equivalence is non-negotiable
+
+    def sweep_scan():
+        return [
+            RuleLearner(
+                LearnerConfig(properties=(PART_NUMBER,), support_threshold=th)
+            ).learn_scan(training_set)
+            for th in sweep_thresholds
+        ]
+
+    def sweep_indexed():
+        shared = learner.build_index(training_set)
+        return [
+            RuleLearner(
+                LearnerConfig(properties=(PART_NUMBER,), support_threshold=th)
+            ).learn(training_set, index=shared)
+            for th in sweep_thresholds
+        ]
+
+    stats = index.stats()
+    passes_speedup = scan_seconds / passes_seconds if passes_seconds else float("inf")
+    data = {
+        "total_links": index.rows,
+        "rules": len(index_rules),
+        "scan_learn_seconds": scan_seconds,
+        "index_build_seconds": build_seconds,
+        "index_passes_seconds": passes_seconds,
+        "passes_speedup_vs_scan": passes_speedup,
+        "posting_features": stats.features,
+        "posting_entries": stats.postings,
+        "mean_posting_length": stats.mean_posting_length,
+        "byte_identical_rules": True,
+    }
+    metrics = {
+        "scan_learn_seconds": scan_seconds,
+        "index_build_seconds": build_seconds,
+        "index_passes_seconds": passes_seconds,
+        "passes_speedup": passes_speedup,
+        "posting_entries": stats.postings,
+        "rules": len(index_rules),
+    }
+    lines = [
+        "I1 shared inverted feature index vs scan-based Algorithm 1",
+        f"|TS| = {index.rows}, rules = {len(index_rules)}, "
+        f"postings = {stats.postings} over {stats.features} features "
+        f"(mean {stats.mean_posting_length:.1f})",
+        f"scan learn           {scan_seconds * 1000:8.1f} ms",
+        f"index build (pass 0) {build_seconds * 1000:8.1f} ms",
+        f"frequency passes     {passes_seconds * 1000:8.1f} ms   "
+        f"-> x{passes_speedup:.1f} vs scan learn",
+    ]
+
+    if sweep_thresholds:
+        sweep_scan_seconds, sweep_scan_rules = _best_of(sweep_scan, rounds=1)
+        sweep_index_seconds, sweep_index_rules = _best_of(sweep_indexed, rounds=1)
+        for scan_set, index_set in zip(sweep_scan_rules, sweep_index_rules):
+            assert index_set.rules == scan_set.rules
+        sweep_speedup = (
+            sweep_scan_seconds / sweep_index_seconds
+            if sweep_index_seconds
+            else float("inf")
+        )
+        data.update(
+            sweep_thresholds=list(sweep_thresholds),
+            sweep_scan_seconds=sweep_scan_seconds,
+            sweep_indexed_seconds=sweep_index_seconds,
+            sweep_speedup_vs_scan=sweep_speedup,
+        )
+        metrics["sweep_speedup"] = sweep_speedup
+        lines.append(
+            f"{len(sweep_thresholds)}-threshold sweep    "
+            f"scan {sweep_scan_seconds * 1000:8.1f} ms / "
+            f"indexed {sweep_index_seconds * 1000:8.1f} ms   "
+            f"-> x{sweep_speedup:.1f}"
+        )
+
+    return Measurement(metrics=metrics, text="\n".join(lines), data=data)
+
+
+def _check_index_learner(measurement: Measurement) -> None:
+    # generous floors — typical is ~10x and ~6x
+    assert measurement.metrics["passes_speedup"] > 1.5
+    if "sweep_speedup" in measurement.metrics:
+        assert measurement.metrics["sweep_speedup"] > 1.0
+
+
+register(
+    BenchmarkSpec(
+        name="index-learner",
+        description="I1: inverted feature index vs scan frequency passes",
+        tier="standard",
+        workload="thales-catalog",
+        measure=measure_index_learner,
+        budgets=(WALL, MetricBudget("passes_speedup", "higher", 0.5)),
+        checks=(_check_index_learner,),
+        report_name="index",
+    )
+)
+
+
+def measure_classifier_probe(catalog, support_threshold=SUPPORT, rounds=3) -> Measurement:
+    """I2: batch prediction through the rule probe table vs per-rule scan."""
+    from repro.core import LearnerConfig, RuleClassifier, RuleLearner
+    from repro.datagen.catalog import PART_NUMBER
+    from repro.experiments.throughput import provider_batch
+
+    training_set = catalog.to_training_set()
+    config = LearnerConfig(properties=(PART_NUMBER,), support_threshold=support_threshold)
+    rules = RuleLearner(config).learn(training_set)
+    graph, truth = provider_batch(catalog, 500, seed=99)
+    items = [external for external, _ in truth]
+    classifier = RuleClassifier(rules)
+
+    scan_seconds, scanned = _best_of(
+        lambda: {item: classifier.predict(item, graph) for item in items}, rounds=rounds
+    )
+    probe_seconds, probed = _best_of(
+        lambda: classifier.predict_many(items, graph), rounds=rounds
+    )
+    assert probed == scanned
+    speedup = scan_seconds / probe_seconds if probe_seconds else float("inf")
+    data = {
+        "items": len(items),
+        "rules": len(rules),
+        "scan_seconds": scan_seconds,
+        "probe_seconds": probe_seconds,
+        "speedup": speedup,
+        "identical_predictions": True,
+    }
+    text = "\n".join(
+        [
+            "I2 classifier: rule probe table vs per-rule scan",
+            f"{len(items)} items x {len(rules)} rules",
+            f"scan  {scan_seconds * 1000:8.1f} ms",
+            f"probe {probe_seconds * 1000:8.1f} ms   -> x{speedup:.1f}",
+        ]
+    )
+    return Measurement(
+        metrics={
+            "items": len(items),
+            "rules": len(rules),
+            "scan_seconds": scan_seconds,
+            "probe_seconds": probe_seconds,
+            "speedup": speedup,
+        },
+        text=text,
+        data=data,
+    )
+
+
+register(
+    BenchmarkSpec(
+        name="classifier-probe",
+        description="I2: predict_many probe table vs per-item rule scan",
+        tier="standard",
+        workload="thales-catalog",
+        measure=measure_classifier_probe,
+        budgets=(WALL,),
+        report_name="classifier_index",
+    )
+)
+
+
+def measure_linking_throughput(catalog, sizes=(200, 400, 800)) -> Measurement:
+    """A5: provider batches through the engine, serial baseline."""
+    from repro.experiments.throughput import THROUGHPUT_HEADER, run_linking_throughput
+
+    rows = run_linking_throughput(catalog, sizes=sizes)
+    last = rows[-1]
+    return Measurement(
+        metrics={
+            "pairs_per_second": last.pairs_per_second,
+            "cache_hit_rate": last.cache_hit_rate,
+            "compared": last.compared,
+            "f1": last.f1,
+        },
+        text="\n".join([THROUGHPUT_HEADER] + [row.format() for row in rows]),
+        data={"rows": rows},
+    )
+
+
+def _check_linking_throughput(measurement: Measurement) -> None:
+    for row in measurement.data["rows"]:
+        assert row.pairs_per_second > 0
+        assert 0.0 <= row.cache_hit_rate <= 1.0
+        assert row.chunk_count >= 1
+
+
+register(
+    BenchmarkSpec(
+        name="linking-throughput",
+        description="A5: engine linking throughput on growing provider batches",
+        tier="standard",
+        workload="small-catalog",
+        measure=measure_linking_throughput,
+        budgets=(WALL, MetricBudget("pairs_per_second", "higher", 0.65)),
+        checks=(_check_linking_throughput,),
+        report_name="linking_throughput",
+    )
+)
+
+
+def measure_parallel_identity(gazetteer, executors=("thread", "process")) -> Measurement:
+    """Chunked parallel execution must be byte-identical to serial."""
+    from repro.engine import JobConfig, LinkingJob
+    from repro.experiments.throughput import toponym_linking_setup
+    from repro.rdf import serialize_ntriples
+
+    blocking, comparator, matcher, external, local, truth = toponym_linking_setup(
+        gazetteer=gazetteer
+    )
+    serial = LinkingJob(blocking, comparator, matcher, JobConfig(executor="serial")).run(
+        external, local
+    )
+    serial_bytes = serialize_ntriples(serial.sameas_graph()).encode()
+    metrics = {
+        "serial_seconds": serial.stats.elapsed_seconds,
+        "pairs_compared": serial.stats.pairs_compared,
+    }
+    lines = [
+        "E1 executor identity: parallel chunked vs serial (toponym domain)",
+        f"serial   {serial.stats.elapsed_seconds:8.3f}s "
+        f"{serial.stats.pairs_per_second:>11,.0f} pairs/s",
+    ]
+    for executor in executors:
+        parallel = LinkingJob(
+            blocking,
+            comparator,
+            matcher,
+            JobConfig(executor=executor, workers=2, chunk_size=64),
+        ).run(external, local)
+        assert parallel.stats.executor == executor, "silent serial fallback"
+        assert parallel.stats.fallback_reason is None
+        assert parallel.match_pairs == serial.match_pairs
+        parallel_bytes = serialize_ntriples(parallel.sameas_graph()).encode()
+        assert parallel_bytes == serial_bytes, f"{executor} diverged from serial"
+        metrics[f"{executor}_seconds"] = parallel.stats.elapsed_seconds
+        lines.append(
+            f"{executor:<8} {parallel.stats.elapsed_seconds:8.3f}s "
+            f"{parallel.stats.pairs_per_second:>11,.0f} pairs/s   byte-identical"
+        )
+    assert serial.matching_quality(truth).precision > 0.8
+    return Measurement(metrics=metrics, text="\n".join(lines))
+
+
+register(
+    BenchmarkSpec(
+        name="parallel-identity",
+        description="thread/process executors byte-identical to serial",
+        tier="standard",
+        workload="gazetteer-linking",
+        measure=measure_parallel_identity,
+        budgets=(WALL,),
+        report_name="parallel_identity",
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# full tier — multi-catalog sweeps and the scenario matrix
+# ----------------------------------------------------------------------
+def measure_learning_scalability(
+    _workload, sizes=(1000, 2500, 5000, 10265), base_config=None
+) -> Measurement:
+    """A4: learning / classification wall time as |TS| grows."""
+    from repro.experiments.sweeps import run_scalability
+
+    rows = run_scalability(sizes=sizes, base_config=base_config)
+    header = (
+        "A4 scalability: learning / classification time vs |TS|\n"
+        f"{'|TS|':<8}{'learn(s)':<10}{'classify(s)':<12}{'#rules':<8}"
+    )
+    small, large = rows[0], rows[-1]
+    growth = (
+        large.learn_seconds / small.learn_seconds
+        if small.learn_seconds > 0.001
+        else 0.0
+    )
+    return Measurement(
+        metrics={
+            "sizes": len(rows),
+            "largest_learn_seconds": large.learn_seconds,
+            "largest_classify_seconds": large.classify_seconds,
+            "learn_growth_factor": growth,
+        },
+        text="\n".join([header] + [row.format() for row in rows]),
+        data={"rows": rows},
+    )
+
+
+def _check_learning_scalability(measurement: Measurement) -> None:
+    # 10x links must cost well under 100x learn time (generous bound)
+    growth = measurement.metrics["learn_growth_factor"]
+    assert growth == 0.0 or growth < 60
+
+
+register(
+    BenchmarkSpec(
+        name="learning-scalability",
+        description="A4: learn/classify cost versus training-set size",
+        tier="full",
+        workload="null",
+        measure=measure_learning_scalability,
+        budgets=(WALL,),
+        checks=(_check_learning_scalability,),
+        report_name="scalability",
+    )
+)
+
+
+def measure_scenarios(_workload) -> Measurement:
+    """S1: the whole scenario matrix, batch vs streaming."""
+    from repro.scenarios import run_all, scenario_names
+
+    reports = run_all()
+    assert len(reports) == len(scenario_names()) >= 8
+    for report in reports:
+        assert report.streaming_identical, report.name
+        assert not report.envelope_violations, (report.name, report.envelope_violations)
+
+    rows: List[dict] = []
+    lines = [
+        "S1 scenario matrix: batch vs streaming engine",
+        f"{'scenario':<28}{'|S_E|':>6}{'|S_L|':>7}{'pairs':>8}{'F1':>7}"
+        f"{'PC':>7}{'RR':>7}{'batch':>9}{'stream':>9}{'overhead':>9}",
+    ]
+    for report in reports:
+        overhead = (
+            report.streaming_seconds / report.batch_seconds - 1.0
+            if report.batch_seconds
+            else 0.0
+        )
+        rows.append(
+            {
+                "scenario": report.name,
+                "domain": report.domain,
+                "tags": list(report.tags),
+                "external_records": report.external_records,
+                "local_records": report.local_records,
+                "compared": report.compared,
+                "matches": report.matches,
+                "rules": report.rules,
+                "precision": report.precision,
+                "recall": report.recall,
+                "f1": report.f1,
+                "pairs_completeness": report.pairs_completeness,
+                "reduction_ratio": report.reduction_ratio,
+                "batch_seconds": report.batch_seconds,
+                "streaming_seconds": report.streaming_seconds,
+                "streaming_deltas": report.streaming_deltas,
+                "streaming_overhead": overhead,
+                "streaming_identical": report.streaming_identical,
+                "match_digest": report.match_digest,
+            }
+        )
+        lines.append(
+            f"{report.name:<28}{report.external_records:>6}{report.local_records:>7}"
+            f"{report.compared:>8}{report.f1:>7.3f}"
+            f"{report.pairs_completeness:>7.3f}{report.reduction_ratio:>7.3f}"
+            f"{report.batch_seconds:>8.2f}s{report.streaming_seconds:>8.2f}s"
+            f"{overhead:>8.1%}"
+        )
+    lines.append(
+        f"{len(reports)} scenarios, all streaming legs byte-identical to batch"
+    )
+    mean_overhead = sum(row["streaming_overhead"] for row in rows) / len(rows)
+    return Measurement(
+        metrics={
+            "scenarios": len(reports),
+            "batch_seconds_total": sum(r.batch_seconds for r in reports),
+            "streaming_seconds_total": sum(r.streaming_seconds for r in reports),
+            "mean_streaming_overhead": mean_overhead,
+            "min_f1": min(r.f1 for r in reports),
+        },
+        text="\n".join(lines),
+        data=rows,
+    )
+
+
+register(
+    BenchmarkSpec(
+        name="scenarios",
+        description="S1: every registered scenario, batch vs streaming",
+        tier="full",
+        workload="null",
+        measure=measure_scenarios,
+        budgets=(WALL,),
+    )
+)

@@ -1,0 +1,57 @@
+"""The benchmark registry: named specs, listable and runnable.
+
+Specs register at import of :mod:`repro.bench.library` (the package
+``__init__`` does this), so ``benchmark_names()`` is complete as soon
+as ``repro.bench`` is imported. The registry is append-only within a
+process; re-registering a name is an error — two measurements answering
+to one name would make the perf trajectory ambiguous.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from repro.bench.spec import BenchmarkSpec, tier_includes
+
+_REGISTRY: Dict[str, BenchmarkSpec] = {}
+
+
+class UnknownBenchmarkError(KeyError):
+    """Raised when a benchmark name is not registered."""
+
+    def __init__(self, name: str) -> None:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        super().__init__(f"unknown benchmark {name!r}; registered: {known}")
+        self.name = name
+
+
+def register(spec: BenchmarkSpec) -> BenchmarkSpec:
+    """Add *spec* to the registry; returns it (decorator-friendly)."""
+    if spec.name in _REGISTRY:
+        raise ValueError(f"benchmark {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_benchmark(name: str) -> BenchmarkSpec:
+    """The registered spec for *name*."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownBenchmarkError(name) from None
+
+
+def benchmark_names(tier: str | None = None) -> List[str]:
+    """Registered names in registration order, optionally tier-filtered.
+
+    ``tier`` selects cumulatively: ``standard`` includes every ``smoke``
+    spec, ``full`` includes everything.
+    """
+    if tier is None:
+        return list(_REGISTRY)
+    return [name for name, spec in _REGISTRY.items() if tier_includes(tier, spec.tier)]
+
+
+def all_benchmarks() -> Iterator[BenchmarkSpec]:
+    """Iterate over registered specs in registration order."""
+    yield from _REGISTRY.values()

@@ -1,0 +1,200 @@
+"""Benchmark execution: build the workload, measure, record, check.
+
+:func:`run_benchmark` executes one spec; :func:`run_benchmarks` executes
+a tier (or an explicit name list) and writes, per spec,
+
+* the legacy ``benchmarks/results/<report>.{txt,json}`` twins (same
+  files the pre-subsystem scripts produced, so existing trajectories
+  stay comparable), and
+* the standardized ``benchmarks/results/trajectory/BENCH_<name>.json``
+  record the comparator gates on.
+
+``wall_seconds`` is always measured here, around the ``measure`` call
+only — workload construction is memoized setup cost. Specs add their
+own metrics (throughput, speedups, cache hit rates...); engine-backed
+specs should extract them with :func:`engine_metrics` so key names stay
+uniform across the trajectory.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.bench.io import write_report, write_result
+from repro.bench.registry import benchmark_names, get_benchmark
+from repro.bench.spec import BenchmarkResult, BenchmarkSpec, Measurement
+from repro.bench.workloads import build_workload
+from repro.engine.stats import EngineStats
+
+
+class BenchmarkCheckError(AssertionError):
+    """A post-measurement shape check failed."""
+
+    def __init__(self, benchmark: str, message: str) -> None:
+        super().__init__(f"benchmark {benchmark!r} check failed: {message}")
+        self.benchmark = benchmark
+
+
+def git_sha(cwd: Optional[Path] = None) -> Optional[str]:
+    """The current commit sha, or ``None`` outside a git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=cwd,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip() or None
+
+
+def environment_fingerprint() -> Dict[str, Any]:
+    """Where and with what a result was measured.
+
+    Lands in every trajectory record so "this point is slower" can be
+    answered with "different machine / interpreter / commit" before
+    anyone blames the code.
+    """
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+        "git_sha": git_sha(),
+    }
+
+
+def engine_metrics(stats: EngineStats, prefix: str = "") -> Dict[str, float]:
+    """Flatten an :class:`EngineStats` into standard trajectory metrics."""
+    return {
+        f"{prefix}pairs_compared": stats.pairs_compared,
+        f"{prefix}pairs_per_second": stats.pairs_per_second,
+        f"{prefix}engine_seconds": stats.elapsed_seconds,
+        f"{prefix}cache_hits": stats.cache_hits,
+        f"{prefix}cache_misses": stats.cache_misses,
+        f"{prefix}cache_hit_rate": stats.cache_hit_rate,
+        f"{prefix}chunk_count": stats.chunk_count,
+        f"{prefix}index_build_seconds": stats.index_build_seconds,
+        f"{prefix}index_probe_seconds": stats.index_probe_seconds,
+        f"{prefix}index_features": stats.index_features,
+        f"{prefix}index_postings": stats.index_postings,
+    }
+
+
+@dataclass
+class BenchmarkRun:
+    """One executed spec: the schema record plus the rich measurement."""
+
+    spec: BenchmarkSpec
+    result: BenchmarkResult
+    measurement: Measurement
+    trajectory_file: Optional[Path] = None
+
+
+def run_benchmark(
+    spec: BenchmarkSpec, fresh_workload: bool = False, run_checks: bool = True
+) -> BenchmarkRun:
+    """Execute one spec: workload (unmeasured), measure, checks."""
+    workload = build_workload(spec.workload, fresh=fresh_workload)
+    started = time.perf_counter()
+    try:
+        measurement = spec.measure(workload)
+    except AssertionError as exc:
+        # inline equivalence/identity assertions inside measure code get
+        # the same clean reporting as declared checks
+        raise BenchmarkCheckError(spec.name, str(exc) or repr(exc)) from exc
+    wall = time.perf_counter() - started
+    metrics = {"wall_seconds": wall, **measurement.metrics}
+    if run_checks:
+        for check in spec.checks:
+            try:
+                check(measurement)
+            except AssertionError as exc:
+                raise BenchmarkCheckError(spec.name, str(exc) or repr(exc)) from exc
+    result = BenchmarkResult(
+        benchmark=spec.name,
+        tier=spec.tier,
+        metrics=metrics,
+        environment=environment_fingerprint(),
+    )
+    return BenchmarkRun(spec=spec, result=result, measurement=measurement)
+
+
+def resolve_specs(
+    names: Optional[Sequence[str]] = None, tier: Optional[str] = None
+) -> List[BenchmarkSpec]:
+    """The specs an invocation selects: explicit names, or a tier."""
+    if names:
+        return [get_benchmark(name) for name in names]
+    return [get_benchmark(name) for name in benchmark_names(tier or "full")]
+
+
+def run_benchmarks(
+    names: Optional[Sequence[str]] = None,
+    tier: Optional[str] = None,
+    results_dir: Optional[Path] = None,
+    run_checks: bool = True,
+) -> List[BenchmarkRun]:
+    """Run a selection of benchmarks, writing results as we go.
+
+    When *results_dir* is given, every run writes its legacy report
+    twins there and its trajectory record under
+    ``<results_dir>/trajectory/``; with ``None`` nothing touches disk
+    (tests, exploratory runs).
+    """
+    from repro.bench.io import trajectory_dir
+
+    runs: List[BenchmarkRun] = []
+    for spec in resolve_specs(names, tier):
+        run = run_benchmark(spec, run_checks=run_checks)
+        if results_dir is not None:
+            if run.measurement.text:
+                write_report(
+                    Path(results_dir),
+                    spec.legacy_report,
+                    run.measurement.text,
+                    run.measurement.data,
+                )
+            run.trajectory_file = write_result(
+                trajectory_dir(Path(results_dir)), run.result
+            )
+        runs.append(run)
+    return runs
+
+
+def run_shim(*names: str) -> int:
+    """Entry point for the thin ``benchmarks/bench_*.py`` scripts.
+
+    Runs the named specs with the default results directory resolved
+    relative to the script's repo layout (``benchmarks/results``) and
+    prints each report — the same behavior the standalone scripts had,
+    now one line each.
+    """
+    from repro.bench.io import DEFAULT_RESULTS_DIR
+
+    if Path("benchmarks").is_dir():
+        target = DEFAULT_RESULTS_DIR
+    else:
+        # invoked from elsewhere: resolve the checkout from this file
+        # (src/repro/bench/runner.py -> repo root -> benchmarks/results)
+        target = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+    runs = run_benchmarks(names=list(names), results_dir=target)
+    for run in runs:
+        if run.measurement.text:
+            print(run.measurement.text)
+            print()
+        print(f"[{run.spec.name}] wall {run.result.metrics['wall_seconds']:.2f}s "
+              f"-> {run.trajectory_file}")
+    return 0

@@ -1,0 +1,243 @@
+"""Benchmark specifications and the standardized result schema.
+
+A *benchmark* is a named, seeded, reproducible measurement: a workload
+(built by a factory from :mod:`repro.bench.workloads`), a ``measure``
+callable that runs the hot path and extracts flat numeric metrics, an
+optional set of shape ``checks`` (the reproduction claims the old
+``bench_*.py`` scripts asserted inline), and the **metric budgets** the
+comparator gates on.
+
+Every run produces one :class:`BenchmarkResult` in a versioned schema —
+metrics plus an environment fingerprint — serialized to
+``benchmarks/results/trajectory/BENCH_<name>.json``. Checked-in
+baselines use the same schema, so the comparator
+(:mod:`repro.bench.compare`) diffs like against like.
+
+The design deliberately mirrors :mod:`repro.scenarios.spec`: thin frozen
+spec objects, a library module that registers the concrete instances,
+and a runner that owns execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+#: Benchmark tiers, cheapest first. A spec's tier is the *cheapest* tier
+#: that includes it: ``--tier smoke`` runs only smoke specs, ``--tier
+#: standard`` runs smoke + standard, ``--tier full`` runs everything.
+TIERS = ("smoke", "standard", "full")
+
+#: Version of the on-disk result schema. Bump when the payload shape
+#: changes incompatibly; the loader rejects mismatched files loudly
+#: rather than mis-diffing old trajectories.
+SCHEMA_VERSION = 1
+
+#: Budget directions: which way a metric is allowed to drift.
+DIRECTIONS = ("lower", "higher")
+
+MetricValue = float
+Metrics = Dict[str, MetricValue]
+
+
+def tier_rank(tier: str) -> int:
+    """Position of *tier* in :data:`TIERS` (raises on unknown tiers)."""
+    try:
+        return TIERS.index(tier)
+    except ValueError:
+        raise ValueError(f"tier must be one of {TIERS}, got {tier!r}") from None
+
+
+def tier_includes(requested: str, spec_tier: str) -> bool:
+    """Whether a run at *requested* tier executes a *spec_tier* spec."""
+    return tier_rank(spec_tier) <= tier_rank(requested)
+
+
+@dataclass(frozen=True, slots=True)
+class MetricBudget:
+    """A per-metric tolerance envelope for the regression comparator.
+
+    ``direction`` says which way is *better*: ``lower`` for wall times,
+    ``higher`` for throughput and speedups. ``rel_tolerance`` is the
+    allowed relative drift in the *bad* direction — a ``lower`` metric
+    with tolerance 0.75 may grow to ``baseline * 1.75`` before the
+    comparator calls it a regression; a ``higher`` metric with tolerance
+    0.5 may shrink to ``baseline * 0.5``.
+
+    Tolerances on wall-clock metrics are deliberately generous (CI
+    runners and laptops differ), but must stay below 1.0 so a genuine
+    2x slowdown always trips the gate (the acceptance self-test in
+    ``tests/bench/test_selftest.py`` pins exactly that).
+    """
+
+    metric: str
+    direction: str = "lower"
+    rel_tolerance: float = 0.75
+
+    def __post_init__(self) -> None:
+        if not self.metric:
+            raise ValueError("budget metric name must be non-empty")
+        if self.direction not in DIRECTIONS:
+            raise ValueError(
+                f"direction must be one of {DIRECTIONS}, got {self.direction!r}"
+            )
+        if self.rel_tolerance < 0:
+            raise ValueError(
+                f"rel_tolerance must be >= 0, got {self.rel_tolerance}"
+            )
+
+    def allowed_bound(self, baseline: float) -> float:
+        """The worst value of the metric that still passes."""
+        if self.direction == "lower":
+            return baseline * (1.0 + self.rel_tolerance)
+        return baseline * (1.0 - self.rel_tolerance)
+
+    def is_regression(self, baseline: float, current: float) -> bool:
+        """Whether *current* breaches the envelope around *baseline*."""
+        bound = self.allowed_bound(baseline)
+        if self.direction == "lower":
+            return current > bound
+        return current < bound
+
+    def is_improvement(self, baseline: float, current: float) -> bool:
+        """Whether *current* beats *baseline* (any margin)."""
+        if self.direction == "lower":
+            return current < baseline
+        return current > baseline
+
+
+@dataclass(slots=True)
+class Measurement:
+    """What one ``measure`` callable produced.
+
+    ``metrics`` must be a flat ``name -> number`` mapping (this is what
+    lands in the trajectory schema and what budgets gate on);
+    ``text``/``data`` feed the legacy per-benchmark report twins under
+    ``benchmarks/results/`` so the pre-subsystem result files keep their
+    shape.
+    """
+
+    metrics: Metrics
+    text: str = ""
+    data: Any = None
+
+    def __post_init__(self) -> None:
+        for key, value in self.metrics.items():
+            if not isinstance(key, str) or not key:
+                raise ValueError(f"metric names must be non-empty strings, got {key!r}")
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ValueError(
+                    f"metric {key!r} must be numeric, got {type(value).__name__}"
+                )
+
+
+#: Runs the benchmark on a built workload and extracts metrics.
+MeasureFn = Callable[[Any], Measurement]
+
+#: A post-measurement shape check; raises AssertionError on violation.
+CheckFn = Callable[[Measurement], None]
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """A named, tiered, reproducible benchmark.
+
+    * ``name`` — registry key (kebab-case);
+    * ``tier`` — cheapest tier that includes the spec (see :data:`TIERS`);
+    * ``workload`` — name of a seeded factory in
+      :mod:`repro.bench.workloads` (built once per process, shared
+      across specs — generation is setup cost, not measured work);
+    * ``measure`` — runs the hot path, returns a :class:`Measurement`;
+    * ``budgets`` — tolerance envelopes the comparator gates on;
+    * ``checks`` — reproduction-shape assertions run after measuring;
+    * ``report_name`` — legacy ``benchmarks/results/<report_name>.{txt,json}``
+      twin to keep writing (defaults to the spec name with underscores).
+    """
+
+    name: str
+    description: str
+    tier: str
+    workload: str
+    measure: MeasureFn
+    budgets: Tuple[MetricBudget, ...] = ()
+    checks: Tuple[CheckFn, ...] = ()
+    report_name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("benchmark name must be non-empty")
+        tier_rank(self.tier)  # validates
+        if not self.workload:
+            raise ValueError(f"benchmark {self.name!r} needs a workload name")
+
+    @property
+    def legacy_report(self) -> str:
+        """The stem of the legacy txt/json twin under ``results/``."""
+        return self.report_name or self.name.replace("-", "_")
+
+
+@dataclass(frozen=True)
+class BenchmarkResult:
+    """One standardized run record — the unit of the perf trajectory."""
+
+    benchmark: str
+    tier: str
+    metrics: Metrics
+    environment: Dict[str, Any] = field(default_factory=dict)
+    schema_version: int = SCHEMA_VERSION
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The JSON document written to ``BENCH_<name>.json``."""
+        return {
+            "schema_version": self.schema_version,
+            "benchmark": self.benchmark,
+            "tier": self.tier,
+            "metrics": dict(sorted(self.metrics.items())),
+            "environment": dict(sorted(self.environment.items())),
+        }
+
+
+class SchemaError(ValueError):
+    """A result payload that does not match the trajectory schema."""
+
+
+def result_from_payload(payload: Mapping[str, Any]) -> BenchmarkResult:
+    """Parse and validate one trajectory/baseline JSON document."""
+    if not isinstance(payload, Mapping):
+        raise SchemaError(f"result payload must be an object, got {type(payload).__name__}")
+    missing = [
+        key
+        for key in ("schema_version", "benchmark", "tier", "metrics", "environment")
+        if key not in payload
+    ]
+    if missing:
+        raise SchemaError(f"result payload missing keys: {', '.join(missing)}")
+    version = payload["schema_version"]
+    if version != SCHEMA_VERSION:
+        raise SchemaError(
+            f"unsupported schema_version {version!r} (expected {SCHEMA_VERSION})"
+        )
+    name = payload["benchmark"]
+    if not isinstance(name, str) or not name:
+        raise SchemaError("benchmark name must be a non-empty string")
+    tier = payload["tier"]
+    if tier not in TIERS:
+        raise SchemaError(f"tier must be one of {TIERS}, got {tier!r}")
+    metrics = payload["metrics"]
+    if not isinstance(metrics, Mapping):
+        raise SchemaError("metrics must be an object")
+    parsed: Metrics = {}
+    for key, value in metrics.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise SchemaError(f"metric {key!r} must be numeric, got {value!r}")
+        parsed[str(key)] = value
+    environment = payload["environment"]
+    if not isinstance(environment, Mapping):
+        raise SchemaError("environment must be an object")
+    return BenchmarkResult(
+        benchmark=name,
+        tier=tier,
+        metrics=parsed,
+        environment=dict(environment),
+        schema_version=version,
+    )

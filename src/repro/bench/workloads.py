@@ -1,0 +1,90 @@
+"""Seeded workload factories shared across benchmark specs.
+
+Workload generation is setup cost, not measured work (the same rule the
+old session-scoped pytest fixtures enforced), so factories are memoized
+per process: ten specs over the paper-scale catalog build it once.
+Every factory is fully seeded — two processes build byte-identical
+workloads — which is what makes trajectory points comparable across
+runs and machines.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+_FACTORIES: Dict[str, Callable[[], Any]] = {}
+_BUILT: Dict[str, Any] = {}
+
+
+def workload_factory(name: str):
+    """Decorator: register a workload factory under *name*."""
+
+    def decorate(factory: Callable[[], Any]) -> Callable[[], Any]:
+        if name in _FACTORIES:
+            raise ValueError(f"workload {name!r} is already registered")
+        _FACTORIES[name] = factory
+        return factory
+
+    return decorate
+
+
+def workload_names() -> List[str]:
+    """Registered workload names, in registration order."""
+    return list(_FACTORIES)
+
+
+def build_workload(name: str, fresh: bool = False) -> Any:
+    """The (memoized) workload for *name*; ``fresh`` forces a rebuild."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        known = ", ".join(sorted(_FACTORIES)) or "<none>"
+        raise KeyError(f"unknown workload {name!r}; registered: {known}") from None
+    if fresh:
+        return factory()
+    if name not in _BUILT:
+        _BUILT[name] = factory()
+    return _BUILT[name]
+
+
+def clear_workload_cache() -> None:
+    """Drop memoized workloads (tests; long-lived processes)."""
+    _BUILT.clear()
+
+
+@workload_factory("tiny-catalog")
+def _tiny_catalog():
+    from repro.datagen import CatalogConfig, ElectronicCatalogGenerator
+
+    return ElectronicCatalogGenerator(CatalogConfig.tiny()).generate()
+
+
+@workload_factory("small-catalog")
+def _small_catalog():
+    from repro.datagen import CatalogConfig, ElectronicCatalogGenerator
+
+    return ElectronicCatalogGenerator(CatalogConfig.small()).generate()
+
+
+@workload_factory("thales-catalog")
+def _thales_catalog():
+    """The paper-scale catalog (566 classes, |TS| = 10 265)."""
+    from repro.datagen import CatalogConfig, ElectronicCatalogGenerator
+
+    return ElectronicCatalogGenerator(CatalogConfig.thales_like()).generate()
+
+
+@workload_factory("gazetteer")
+def _gazetteer():
+    """The toponym second domain at its default (paper-claim) scale."""
+    from repro.datagen.toponyms import ToponymConfig, generate_gazetteer
+
+    return generate_gazetteer(ToponymConfig())
+
+
+@workload_factory("gazetteer-linking")
+def _gazetteer_linking():
+    """A smaller toponym gazetteer sized for engine-identity checks."""
+    from repro.datagen.toponyms import ToponymConfig, generate_gazetteer
+
+    return generate_gazetteer(ToponymConfig(n_links=400, catalog_size=1200))

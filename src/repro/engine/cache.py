@@ -126,6 +126,7 @@ class CachedRecordComparator(RecordComparator):
         super().__init__(inner.comparators)
         lock = threading.Lock() if thread_safe else None
         self._inner = inner
+        self._thread_safe = thread_safe
         self._similarities = LRUCache(cache_size, lock=lock)
         self._normalized = LRUCache(cache_size, lock=lock)
 
@@ -133,6 +134,19 @@ class CachedRecordComparator(RecordComparator):
     def inner(self) -> RecordComparator:
         """The wrapped, uncached comparator."""
         return self._inner
+
+    @property
+    def thread_safe(self) -> bool:
+        """Whether the caches synchronize ``get``/``put`` with a lock.
+
+        A long-lived comparator shared across jobs and deltas (see
+        :class:`~repro.engine.job.LinkingJob` and
+        :class:`~repro.engine.streaming.StreamingLinkingJob`) may only
+        serve a thread pool when this is true; unsynchronized instances
+        are reused on the serial path and replaced with a fresh
+        thread-safe cache by the thread executor.
+        """
+        return self._thread_safe
 
     @property
     def cache_capacity(self) -> int:

@@ -133,10 +133,13 @@ class _ChunkRunner:
         decider: Decider,
         cache_size: int,
         thread_safe: bool = False,
+        shared_cache: Optional[CachedRecordComparator] = None,
     ) -> None:
         self._external = external
         self._local = local
-        self.comparator = CachedRecordComparator(
+        # a caller-provided warm cache survives across runs and deltas;
+        # without one the runner builds its own, cold
+        self.comparator = shared_cache or CachedRecordComparator(
             comparator, cache_size, thread_safe=thread_safe
         )
         self._decider = decider
@@ -296,10 +299,16 @@ class LinkingJob:
     ) -> None:
         self._config = config or JobConfig()
         self._cache_size = self._config.cache_size
+        self._shared_cache: Optional[CachedRecordComparator] = None
         if isinstance(comparator, CachedRecordComparator):
-            # honor the caller's cache configuration: workers build their
-            # own per-process caches at the same capacity
+            # honor the caller's cache configuration — and keep the
+            # instance: the serial and thread paths reuse it directly,
+            # so memoized similarities survive across runs (streaming
+            # deltas, repeated jobs against one catalog). The process
+            # executor still ships the inner comparator and workers
+            # build their own per-process caches at the same capacity.
             self._cache_size = comparator.cache_capacity
+            self._shared_cache = comparator
             comparator = comparator.inner
         self._blocking = blocking
         self._comparator = comparator
@@ -406,6 +415,11 @@ class LinkingJob:
             # per-worker caches: totals are the summed per-chunk deltas
             return fold.cache_hits, fold.cache_misses
 
+        shared = self._shared_cache
+        if shared is not None and executor == "thread" and not shared.thread_safe:
+            # an unsynchronized warm cache cannot serve a thread pool;
+            # fall back to a fresh per-job thread-safe cache
+            shared = None
         runner = _ChunkRunner(
             external,
             local,
@@ -413,15 +427,23 @@ class LinkingJob:
             self._decider,
             self._cache_size,
             thread_safe=executor == "thread",
+            shared_cache=shared,
         )
+        # the comparator may be warm from earlier runs: report this
+        # run's lookups, not lifetime totals
+        hits_before = runner.comparator.cache_hits
+        misses_before = runner.comparator.cache_misses
         if executor == "thread":
             with ThreadPoolExecutor(max_workers=workers) as pool:
                 _pump(pool, runner.run_chunk, chunks, handle, workers)
         else:
             for chunk in chunks:
                 handle(runner.run_chunk(chunk))
-        # shared cache: exact totals live on the runner's comparator
-        return runner.comparator.cache_hits, runner.comparator.cache_misses
+        # shared cache: exact per-run deltas live on the runner's comparator
+        return (
+            runner.comparator.cache_hits - hits_before,
+            runner.comparator.cache_misses - misses_before,
+        )
 
 
 def _pump(

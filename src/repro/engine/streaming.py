@@ -8,7 +8,12 @@ runs that workload on top of the batch substrate:
 * **record deltas** (:meth:`StreamingLinkingJob.ingest`) are linked
   against the local store as they arrive, each delta executed as one
   chunked batch job, so every executor strategy, the similarity cache
-  and the engine stats work unchanged;
+  and the engine stats work unchanged — and on the serial and thread
+  paths the stream owns **one** :class:`CachedRecordComparator` shared
+  by every delta, so a value pair memoized in delta 0 is never
+  recomputed by delta N (the process executor keeps per-worker caches
+  instead: a warm parent cache cannot be shared with forked workers
+  cheaply);
 * **training deltas** (:meth:`StreamingLinkingJob.ingest_links`) grow an
   :class:`~repro.core.incremental.IncrementalRuleLearner`; the next
   record delta is blocked with rules re-emitted from the learner's
@@ -41,6 +46,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 from repro.core.incremental import IncrementalRuleLearner
 from repro.core.rules import RuleSet
 from repro.core.training import SameAsLink
+from repro.engine.cache import CachedRecordComparator
 from repro.engine.job import Decider, JobConfig, LinkingJob, Pair, update_best_match
 from repro.engine.stats import EngineStats
 from repro.linking.blocking import BlockingMethod, CanopyBlocking, SortedNeighbourhood
@@ -88,6 +94,10 @@ class StreamingLinkingJob:
 
     * **fixed blocking** — pass ``blocking``; every delta reuses it (and
       through it the shared, version-invalidated local key index);
+
+    ``shared_cache=False`` opts out of the stream-owned similarity
+    cache, reverting to cold per-delta caches — the reference leg the
+    ``smoke-streaming-cache`` benchmark measures against;
     * **learner-driven blocking** — pass ``learner`` and
       ``blocking_factory``; training deltas grow the learner and the
       factory re-materializes the blocking from the re-emitted rules
@@ -109,6 +119,7 @@ class StreamingLinkingJob:
         blocking: BlockingMethod | None = None,
         blocking_factory: BlockingFactory | None = None,
         learner: IncrementalRuleLearner | None = None,
+        shared_cache: bool = True,
     ) -> None:
         if blocking is None and (blocking_factory is None or learner is None):
             raise ValueError(
@@ -127,9 +138,26 @@ class StreamingLinkingJob:
                 "delta ingestion would diverge from a batch run"
             )
         self._local = local
+        self._config = config or JobConfig()
+        resolved = self._config.resolved_executor()
+        if (
+            shared_cache
+            and not isinstance(comparator, CachedRecordComparator)
+            and resolved in ("serial", "thread")
+            and self._config.cache_size > 0
+        ):
+            # one warm similarity cache for the whole stream: per-delta
+            # jobs reuse it (LinkingJob keeps caller-provided cached
+            # comparators), so repeated value pairs across deltas are
+            # memoized once. Memoization never changes a similarity, so
+            # the batch byte-identity contract is unaffected.
+            comparator = CachedRecordComparator(
+                comparator,
+                self._config.cache_size,
+                thread_safe=resolved == "thread",
+            )
         self._comparator = comparator
         self._decider = decider
-        self._config = config or JobConfig()
         self._blocking = blocking
         self._blocking_factory = blocking_factory
         self._learner = learner

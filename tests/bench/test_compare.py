@@ -1,0 +1,129 @@
+"""The tolerance comparator: envelopes, missing baselines, reports."""
+
+import pytest
+
+from repro.bench import (
+    BenchmarkResult,
+    BenchmarkSpec,
+    ComparisonReport,
+    Measurement,
+    MetricBudget,
+    compare_result,
+)
+from repro.bench.compare import (
+    BENCH_MISSING_BASELINE,
+    BENCH_MISSING_RESULT,
+    BENCH_OK,
+    BENCH_REGRESSION,
+    METRIC_IMPROVED,
+    METRIC_MISSING,
+    METRIC_OK,
+    METRIC_REGRESSION,
+)
+
+
+def _spec(budgets):
+    return BenchmarkSpec(
+        name="unit",
+        description="comparator unit spec",
+        tier="smoke",
+        workload="null",
+        measure=lambda workload: Measurement(metrics={}),
+        budgets=tuple(budgets),
+    )
+
+
+def _result(metrics):
+    return BenchmarkResult(
+        benchmark="unit", tier="smoke", metrics=metrics, environment={}
+    )
+
+
+WALL = MetricBudget("wall_seconds", "lower", rel_tolerance=0.75)
+SPEEDUP = MetricBudget("speedup", "higher", rel_tolerance=0.5)
+
+
+class TestEnvelopes:
+    def test_within_envelope_passes(self):
+        comparison = compare_result(
+            _spec([WALL]), _result({"wall_seconds": 1.5}), _result({"wall_seconds": 1.0})
+        )
+        assert comparison.status == BENCH_OK
+        assert comparison.metrics[0].status == METRIC_OK
+        assert comparison.metrics[0].ratio == pytest.approx(1.5)
+
+    def test_out_of_envelope_fails_lower_direction(self):
+        comparison = compare_result(
+            _spec([WALL]), _result({"wall_seconds": 2.0}), _result({"wall_seconds": 1.0})
+        )
+        assert comparison.status == BENCH_REGRESSION
+        assert comparison.metrics[0].status == METRIC_REGRESSION
+        assert comparison.regressions
+
+    def test_out_of_envelope_fails_higher_direction(self):
+        comparison = compare_result(
+            _spec([SPEEDUP]), _result({"speedup": 0.9}), _result({"speedup": 2.0})
+        )
+        assert comparison.status == BENCH_REGRESSION
+
+    def test_improvement_reported(self):
+        comparison = compare_result(
+            _spec([WALL]), _result({"wall_seconds": 0.5}), _result({"wall_seconds": 1.0})
+        )
+        assert comparison.status == BENCH_OK
+        assert comparison.metrics[0].status == METRIC_IMPROVED
+
+    def test_metric_missing_from_baseline_is_regression(self):
+        comparison = compare_result(
+            _spec([WALL]), _result({"wall_seconds": 1.0}), _result({})
+        )
+        assert comparison.status == BENCH_REGRESSION
+        assert comparison.metrics[0].status == METRIC_MISSING
+
+    def test_metric_missing_from_current_is_regression(self):
+        comparison = compare_result(
+            _spec([WALL]), _result({}), _result({"wall_seconds": 1.0})
+        )
+        assert comparison.status == BENCH_REGRESSION
+
+    def test_ungated_metrics_ignored(self):
+        comparison = compare_result(
+            _spec([WALL]),
+            _result({"wall_seconds": 1.0, "rules": 10}),
+            _result({"wall_seconds": 1.0, "rules": 99999}),
+        )
+        assert comparison.status == BENCH_OK
+
+
+class TestMissingFiles:
+    def test_missing_baseline_is_not_a_regression(self):
+        comparison = compare_result(_spec([WALL]), _result({"wall_seconds": 1.0}), None)
+        assert comparison.status == BENCH_MISSING_BASELINE
+        report = ComparisonReport([comparison])
+        assert report.ok()
+        assert not report.ok(fail_on_missing=True)
+
+    def test_missing_result_is_not_a_regression(self):
+        comparison = compare_result(_spec([WALL]), None, _result({"wall_seconds": 1.0}))
+        assert comparison.status == BENCH_MISSING_RESULT
+        report = ComparisonReport([comparison])
+        assert report.ok()
+        assert not report.ok(fail_on_missing=True)
+
+
+class TestReport:
+    def test_report_aggregation_and_format(self):
+        ok = compare_result(
+            _spec([WALL]), _result({"wall_seconds": 1.0}), _result({"wall_seconds": 1.0})
+        )
+        bad = compare_result(
+            _spec([WALL]), _result({"wall_seconds": 9.0}), _result({"wall_seconds": 1.0})
+        )
+        missing = compare_result(_spec([WALL]), _result({"wall_seconds": 1.0}), None)
+        report = ComparisonReport([ok, bad, missing])
+        assert not report.ok()
+        assert [c.benchmark for c in report.regressed] == ["unit"]
+        text = report.format()
+        assert "1 regressed" in text
+        assert "1 without baseline" in text
+        assert "required <=" in text

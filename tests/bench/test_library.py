@@ -1,0 +1,135 @@
+"""Library measure functions driven on tiny workloads.
+
+The registered specs point these functions at paper-scale workloads;
+here each one runs on the tiny presets so the extraction logic (metric
+keys, report text, inline equivalence assertions) is exercised in
+tier-1 without paying tier-2 generation costs. Shape *checks* are
+calibrated to paper scale and are not asserted here — the benchmark
+runner applies them on real runs.
+"""
+
+import pytest
+
+from repro.bench import library
+from repro.datagen import CatalogConfig, ElectronicCatalogGenerator
+from repro.datagen.toponyms import ToponymConfig, generate_gazetteer
+
+
+@pytest.fixture(scope="module")
+def tiny_catalog():
+    return ElectronicCatalogGenerator(CatalogConfig.tiny()).generate()
+
+
+@pytest.fixture(scope="module")
+def tiny_gazetteer():
+    return generate_gazetteer(ToponymConfig(n_links=150, catalog_size=400))
+
+
+def test_smoke_learner_metrics(tiny_catalog):
+    m = library.measure_smoke_learner(tiny_catalog, rounds=1)
+    assert m.metrics["rules"] > 0
+    assert m.metrics["learn_seconds"] > 0
+    assert "rule learner" in m.text
+
+
+def test_smoke_linking_metrics(tiny_catalog):
+    m = library.measure_smoke_linking(tiny_catalog, sizes=(50,))
+    assert m.metrics["pairs_compared"] > 0
+    assert m.metrics["pairs_per_second"] > 0
+    assert 0.0 <= m.metrics["cache_hit_rate"] <= 1.0
+    assert 0.0 <= m.metrics["f1"] <= 1.0
+
+
+def test_streaming_cache_reuse_identical_and_faster_cachewise(tiny_catalog):
+    m = library.measure_streaming_cache_reuse(
+        tiny_catalog, rounds=1, pool_size=80, n_deltas=3, delta_size=40
+    )
+    # the inline assertion already guarantees identical matches; the
+    # hit rate must strictly improve even at tiny scale
+    assert m.metrics["shared_hit_rate"] > m.metrics["cold_hit_rate"]
+    assert m.metrics["speedup"] > 0
+
+
+def test_smoke_index_passes_equivalence(tiny_catalog):
+    m = library.measure_smoke_index_passes(tiny_catalog, rounds=1)
+    assert m.metrics["passes_speedup"] > 0
+    assert m.metrics["rules"] > 0
+
+
+def test_table1_measurement(tiny_catalog):
+    m = library.measure_table1(tiny_catalog)
+    assert m.metrics["rules"] > 0
+    assert "Table 1" in m.text
+    assert m.data is not None
+
+
+def test_intext_stats_measurement(tiny_catalog):
+    m = library.measure_intext_stats(tiny_catalog)
+    assert m.metrics["distinct_segments"] > 0
+    assert "statistic" in m.text
+
+
+def test_support_sweep_measurement(tiny_catalog):
+    m = library.measure_support_sweep(tiny_catalog, thresholds=(0.005, 0.02))
+    assert m.metrics["thresholds"] == 2
+    assert m.metrics["max_rules"] >= m.metrics["min_rules"]
+
+
+def test_segmentation_measurement(tiny_catalog):
+    m = library.measure_segmentation(tiny_catalog)
+    assert m.metrics["strategies"] >= 3
+    assert "segmentation" in m.text
+
+
+def test_ordering_measurement(tiny_catalog):
+    m = library.measure_ordering(tiny_catalog)
+    assert m.metrics["strategies"] >= 2
+
+
+def test_generalization_measurement(tiny_catalog):
+    m = library.measure_generalization(tiny_catalog)
+    assert m.metrics["extended_recall"] >= m.metrics["base_recall"] - 1e-9
+
+
+def test_generality_measurement(tiny_gazetteer):
+    m = library.measure_generality(tiny_gazetteer)
+    assert m.metrics["rules"] > 0
+
+
+def test_blocking_comparison_measurement(tiny_catalog):
+    m = library.measure_blocking_comparison(tiny_catalog, n_test_items=40)
+    assert m.metrics["methods"] >= 3
+    assert 0.0 <= m.metrics["strict_pairs_completeness"] <= 1.0
+
+
+def test_index_learner_measurement_asserts_equivalence(tiny_catalog):
+    m = library.measure_index_learner(
+        tiny_catalog, rounds=1, sweep_thresholds=(0.002, 0.01)
+    )
+    assert m.data["byte_identical_rules"] is True
+    assert m.metrics["passes_speedup"] > 0
+
+
+def test_classifier_probe_measurement(tiny_catalog):
+    m = library.measure_classifier_probe(tiny_catalog, rounds=1)
+    assert m.data["identical_predictions"] is True
+    assert m.metrics["items"] > 0
+
+
+def test_linking_throughput_measurement(tiny_catalog):
+    m = library.measure_linking_throughput(tiny_catalog, sizes=(50,))
+    assert m.metrics["pairs_per_second"] > 0
+
+
+def test_parallel_identity_thread_leg(tiny_gazetteer):
+    m = library.measure_parallel_identity(tiny_gazetteer, executors=("thread",))
+    assert "byte-identical" in m.text
+    assert m.metrics["thread_seconds"] > 0
+
+
+def test_learning_scalability_measurement():
+    m = library.measure_learning_scalability(
+        None, sizes=(100, 200), base_config=CatalogConfig.tiny()
+    )
+    assert m.metrics["sizes"] == 2
+    assert m.metrics["largest_learn_seconds"] >= 0

@@ -1,0 +1,87 @@
+"""Registry behavior and registry-wide invariants of the library."""
+
+import pytest
+
+from repro.bench import (
+    Measurement,
+    BenchmarkSpec,
+    UnknownBenchmarkError,
+    all_benchmarks,
+    benchmark_names,
+    get_benchmark,
+    register,
+)
+from repro.bench.workloads import build_workload, workload_names
+
+
+class TestLookup:
+    def test_known_name(self):
+        spec = get_benchmark("smoke-learner")
+        assert spec.tier == "smoke"
+
+    def test_unknown_name_lists_registered(self):
+        with pytest.raises(UnknownBenchmarkError) as excinfo:
+            get_benchmark("bogus")
+        message = excinfo.value.args[0]
+        assert "bogus" in message
+        assert "smoke-learner" in message
+
+    def test_duplicate_registration_rejected(self):
+        existing = get_benchmark("smoke-learner")
+        with pytest.raises(ValueError, match="already registered"):
+            register(existing)
+
+    def test_new_registration_roundtrips(self):
+        spec = BenchmarkSpec(
+            name="test-only-registered",
+            description="registered by the test suite",
+            tier="full",
+            workload="null",
+            measure=lambda workload: Measurement(metrics={}),
+        )
+        try:
+            assert register(spec) is spec
+            assert get_benchmark(spec.name) is spec
+        finally:
+            # keep the process-global registry clean for other tests
+            from repro.bench import registry
+
+            registry._REGISTRY.pop(spec.name, None)
+
+
+class TestTierSelection:
+    def test_tiers_are_cumulative_subsets(self):
+        smoke = set(benchmark_names("smoke"))
+        standard = set(benchmark_names("standard"))
+        full = set(benchmark_names("full"))
+        assert smoke < standard < full
+        assert full == set(benchmark_names())
+
+    def test_smoke_tier_nonempty(self):
+        assert len(benchmark_names("smoke")) >= 3
+
+
+class TestLibraryInvariants:
+    def test_legacy_report_names_unique(self):
+        reports = [spec.legacy_report for spec in all_benchmarks()]
+        assert len(reports) == len(set(reports))
+
+    def test_every_workload_is_registered(self):
+        known = set(workload_names())
+        for spec in all_benchmarks():
+            assert spec.workload in known, spec.name
+
+    def test_unknown_workload_errors_cleanly(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            build_workload("bogus-workload")
+
+    def test_workload_memoized_and_fresh(self):
+        first = build_workload("tiny-catalog")
+        assert build_workload("tiny-catalog") is first
+        assert build_workload("tiny-catalog", fresh=True) is not first
+
+    def test_every_budget_direction_valid(self):
+        for spec in all_benchmarks():
+            for budget in spec.budgets:
+                assert budget.direction in ("lower", "higher")
+                assert budget.rel_tolerance >= 0

@@ -1,0 +1,66 @@
+"""Runner behavior: wall timing, check failures, the script shim."""
+
+import pytest
+
+from repro.bench import (
+    BenchmarkCheckError,
+    BenchmarkSpec,
+    Measurement,
+    run_benchmark,
+    run_benchmarks,
+    run_shim,
+)
+
+
+def _spec(**overrides):
+    kwargs = dict(
+        name="runner-unit",
+        description="runner unit spec",
+        tier="smoke",
+        workload="null",
+        measure=lambda workload: Measurement(
+            metrics={"value": 1.0}, text="runner unit report"
+        ),
+    )
+    kwargs.update(overrides)
+    return BenchmarkSpec(**kwargs)
+
+
+class TestRunBenchmark:
+    def test_wall_seconds_always_present(self):
+        run = run_benchmark(_spec())
+        assert run.result.metrics["wall_seconds"] >= 0
+        assert run.result.metrics["value"] == 1.0
+        assert run.result.benchmark == "runner-unit"
+        assert run.result.environment["python"]
+
+    def test_failing_check_raises_named_error(self):
+        def boom(measurement):
+            raise AssertionError("shape drifted")
+
+        spec = _spec(checks=(boom,))
+        with pytest.raises(BenchmarkCheckError, match="runner-unit.*shape drifted"):
+            run_benchmark(spec)
+
+    def test_checks_can_be_skipped(self):
+        def boom(measurement):
+            raise AssertionError("shape drifted")
+
+        run = run_benchmark(_spec(checks=(boom,)), run_checks=False)
+        assert run.result.metrics["value"] == 1.0
+
+    def test_run_without_results_dir_touches_no_disk(self):
+        runs = run_benchmarks(names=["smoke-learner"], results_dir=None)
+        assert runs[0].trajectory_file is None
+
+
+class TestRunShim:
+    def test_shim_runs_against_cwd_benchmarks_dir(self, tmp_path, monkeypatch, capsys):
+        (tmp_path / "benchmarks").mkdir()
+        monkeypatch.chdir(tmp_path)
+        assert run_shim("smoke-learner") == 0
+        out = capsys.readouterr().out
+        assert "smoke-learner" in out
+        results = tmp_path / "benchmarks" / "results"
+        assert (results / "smoke_learner.txt").exists()
+        assert (results / "trajectory" / "BENCH_smoke-learner.json").exists()

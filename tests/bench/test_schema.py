@@ -1,0 +1,108 @@
+"""The trajectory result schema: round-trips, validation, file I/O."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    SCHEMA_VERSION,
+    BenchmarkResult,
+    SchemaError,
+    environment_fingerprint,
+    read_result,
+    result_from_payload,
+    trajectory_path,
+    write_report,
+    write_result,
+)
+
+
+def _result(**overrides):
+    kwargs = dict(
+        benchmark="smoke-learner",
+        tier="smoke",
+        metrics={"wall_seconds": 0.5, "rules": 131},
+        environment=environment_fingerprint(),
+    )
+    kwargs.update(overrides)
+    return BenchmarkResult(**kwargs)
+
+
+class TestRoundTrip:
+    def test_payload_round_trip(self):
+        original = _result()
+        restored = result_from_payload(original.to_payload())
+        assert restored == original
+
+    def test_json_round_trip_through_disk(self, tmp_path):
+        original = _result()
+        path = write_result(tmp_path, original)
+        assert path == trajectory_path(tmp_path, "smoke-learner")
+        assert path.name == "BENCH_smoke-learner.json"
+        assert read_result(tmp_path, "smoke-learner") == original
+
+    def test_environment_fingerprint_keys(self):
+        env = environment_fingerprint()
+        assert set(env) >= {"python", "cpu_count", "git_sha", "platform"}
+        assert env["cpu_count"] >= 1
+
+    def test_schema_version_in_payload(self):
+        assert _result().to_payload()["schema_version"] == SCHEMA_VERSION
+
+
+class TestValidation:
+    def test_missing_keys_rejected(self):
+        payload = _result().to_payload()
+        del payload["metrics"]
+        with pytest.raises(SchemaError, match="missing keys: metrics"):
+            result_from_payload(payload)
+
+    def test_wrong_schema_version_rejected(self):
+        payload = _result().to_payload()
+        payload["schema_version"] = 999
+        with pytest.raises(SchemaError, match="schema_version"):
+            result_from_payload(payload)
+
+    def test_non_numeric_metric_rejected(self):
+        payload = _result().to_payload()
+        payload["metrics"]["rules"] = "many"
+        with pytest.raises(SchemaError, match="must be numeric"):
+            result_from_payload(payload)
+
+    def test_bool_metric_rejected(self):
+        payload = _result().to_payload()
+        payload["metrics"]["ok"] = True
+        with pytest.raises(SchemaError, match="must be numeric"):
+            result_from_payload(payload)
+
+    def test_bad_tier_rejected(self):
+        payload = _result().to_payload()
+        payload["tier"] = "nightly"
+        with pytest.raises(SchemaError, match="tier"):
+            result_from_payload(payload)
+
+    def test_non_object_rejected(self):
+        with pytest.raises(SchemaError):
+            result_from_payload(["not", "an", "object"])
+
+    def test_missing_file_reads_as_none(self, tmp_path):
+        assert read_result(tmp_path, "absent") is None
+
+    def test_corrupt_file_fails_loudly(self, tmp_path):
+        trajectory_path(tmp_path, "broken").write_text("{not json")
+        with pytest.raises(SchemaError, match="not valid JSON"):
+            read_result(tmp_path, "broken")
+
+
+class TestLegacyReportWriter:
+    def test_writes_both_twins(self, tmp_path):
+        write_report(tmp_path, "demo", "a table", data={"rows": [1, 2]})
+        assert (tmp_path / "demo.txt").read_text() == "a table\n"
+        assert json.loads((tmp_path / "demo.json").read_text()) == {"rows": [1, 2]}
+
+    def test_json_twin_even_without_data(self, tmp_path):
+        # the drift this helper exists to end: no more txt-only results
+        write_report(tmp_path, "demo", "only text")
+        assert json.loads((tmp_path / "demo.json").read_text()) == {
+            "report": "only text"
+        }

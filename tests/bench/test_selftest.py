@@ -1,0 +1,138 @@
+"""The acceptance self-test of the perf gate, end to end through the CLI.
+
+Proves the pipeline the CI ``perf-smoke`` job relies on:
+
+1. ``repro bench run --tier smoke`` writes a schema-valid
+   ``BENCH_<name>.json`` for **every** registered smoke benchmark;
+2. an unmodified re-run compares clean against the baselines recorded
+   from the same measurements (exit 0 with ``--fail-on-regression``);
+3. an artificially injected 2x slowdown makes
+   ``repro bench compare --fail-on-regression`` exit non-zero.
+
+One **real** smoke run produces both the result and the baseline
+records (``--update-baselines`` writes the identical documents to both
+directories), so the pass/fail assertions are deterministic: they
+exercise the full runner → schema → comparator → exit-code path without
+betting the unit suite on wall-clock noise between two timed runs.
+Noise absorption is what the tolerance envelopes are for, and that is
+CI's job (`perf-smoke`), not tier-1's.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import benchmark_names, read_result
+from repro.bench.io import trajectory_dir, trajectory_path
+from repro.cli import main
+
+SMOKE = benchmark_names("smoke")
+
+
+@pytest.fixture(scope="module")
+def gate(tmp_path_factory):
+    """One real smoke run, recorded as both results and baselines."""
+    root = tmp_path_factory.mktemp("bench-gate")
+    results = root / "results"
+    baselines = root / "baselines"
+    code = main(
+        [
+            "bench",
+            "run",
+            "--tier",
+            "smoke",
+            "--results-dir",
+            str(results),
+            "--update-baselines",
+            "--baseline-dir",
+            str(baselines),
+        ]
+    )
+    assert code == 0
+    return results, baselines
+
+
+def _compare(results, baselines, *extra):
+    return main(
+        [
+            "bench",
+            "compare",
+            "--tier",
+            "smoke",
+            "--results-dir",
+            str(results),
+            "--baseline-dir",
+            str(baselines),
+            *extra,
+        ]
+    )
+
+
+def test_smoke_run_writes_schema_valid_trajectory(gate):
+    results, _ = gate
+    assert SMOKE, "smoke tier must not be empty"
+    for name in SMOKE:
+        record = read_result(trajectory_dir(results), name)
+        assert record is not None, f"missing trajectory record for {name}"
+        assert record.benchmark == name
+        assert record.tier == "smoke"
+        assert record.metrics["wall_seconds"] > 0
+        assert record.environment["cpu_count"] >= 1
+
+
+def test_unmodified_rerun_passes_the_gate(gate, capsys):
+    results, baselines = gate
+    assert _compare(results, baselines, "--fail-on-regression") == 0
+    out = capsys.readouterr().out
+    assert "0 regressed" in out
+
+
+def _doctored_copy(results, tmp_path, factor):
+    """Results with every wall-clock second multiplied by *factor*."""
+    doctored = tmp_path / f"slow-x{factor}"
+    slow_dir = trajectory_dir(doctored)
+    slow_dir.mkdir(parents=True)
+    for name in SMOKE:
+        payload = json.loads(trajectory_path(trajectory_dir(results), name).read_text())
+        payload["metrics"] = {
+            key: value * factor if key.endswith("seconds") else value
+            for key, value in payload["metrics"].items()
+        }
+        trajectory_path(slow_dir, name).write_text(json.dumps(payload))
+    return doctored
+
+
+def test_injected_2x_slowdown_fails_the_gate(gate, tmp_path, capsys):
+    results, baselines = gate
+    doctored = _doctored_copy(results, tmp_path, factor=2)
+    assert _compare(doctored, baselines, "--fail-on-regression") == 1
+    out = capsys.readouterr().out
+    assert "regression" in out
+    # without the flag the report still prints but the exit code is 0
+    assert _compare(doctored, baselines) == 0
+
+
+def test_mild_noise_stays_inside_the_envelope(gate, tmp_path):
+    """1.5x on wall metrics — heavy but honest jitter — must pass, so
+    the gate discriminates noise from the 2x acceptance case."""
+    results, baselines = gate
+    doctored = _doctored_copy(results, tmp_path, factor=1.5)
+    assert _compare(doctored, baselines, "--fail-on-regression") == 0
+
+
+def test_missing_result_only_fails_when_asked(gate):
+    results, baselines = gate
+    incomplete = results.parent / "incomplete"
+    slow_dir = trajectory_dir(incomplete)
+    slow_dir.mkdir(parents=True)
+    first = SMOKE[0]
+    # the one present record is a byte-identical copy of its baseline,
+    # so only the three absent benchmarks can affect the verdict
+    trajectory_path(slow_dir, first).write_text(
+        trajectory_path(trajectory_dir(results), first).read_text()
+    )
+    assert _compare(incomplete, baselines, "--fail-on-regression") == 0
+    assert (
+        _compare(incomplete, baselines, "--fail-on-regression", "--fail-on-missing")
+        == 1
+    )

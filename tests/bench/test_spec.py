@@ -1,0 +1,114 @@
+"""Spec-layer units: budgets, measurements, tiers, spec validation."""
+
+import pytest
+
+from repro.bench import (
+    TIERS,
+    BenchmarkSpec,
+    Measurement,
+    MetricBudget,
+    tier_includes,
+)
+from repro.bench.spec import tier_rank
+
+
+class TestTiers:
+    def test_order(self):
+        assert TIERS == ("smoke", "standard", "full")
+
+    def test_rank_monotone(self):
+        assert tier_rank("smoke") < tier_rank("standard") < tier_rank("full")
+
+    def test_unknown_tier(self):
+        with pytest.raises(ValueError, match="tier must be one of"):
+            tier_rank("nightly")
+
+    def test_inclusion_is_cumulative(self):
+        assert tier_includes("smoke", "smoke")
+        assert not tier_includes("smoke", "standard")
+        assert tier_includes("standard", "smoke")
+        assert tier_includes("full", "smoke")
+        assert tier_includes("full", "full")
+
+
+class TestMetricBudget:
+    def test_lower_direction_envelope(self):
+        budget = MetricBudget("wall_seconds", "lower", rel_tolerance=0.75)
+        assert budget.allowed_bound(1.0) == pytest.approx(1.75)
+        assert not budget.is_regression(1.0, 1.74)
+        assert budget.is_regression(1.0, 2.0)  # the acceptance 2x case
+        assert budget.is_improvement(1.0, 0.9)
+        assert not budget.is_improvement(1.0, 1.1)
+
+    def test_higher_direction_envelope(self):
+        budget = MetricBudget("speedup", "higher", rel_tolerance=0.5)
+        assert budget.allowed_bound(2.0) == pytest.approx(1.0)
+        assert not budget.is_regression(2.0, 1.01)
+        assert budget.is_regression(2.0, 0.99)
+        assert budget.is_improvement(2.0, 2.5)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"metric": ""},
+            {"metric": "x", "direction": "sideways"},
+            {"metric": "x", "rel_tolerance": -0.1},
+        ],
+    )
+    def test_invalid_budgets_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            MetricBudget(**kwargs)
+
+
+class TestMeasurement:
+    def test_accepts_flat_numeric_metrics(self):
+        m = Measurement(metrics={"a": 1, "b": 2.5}, text="ok")
+        assert m.metrics["b"] == 2.5
+
+    def test_rejects_non_numeric_metric(self):
+        with pytest.raises(ValueError, match="must be numeric"):
+            Measurement(metrics={"a": "fast"})
+
+    def test_rejects_bool_metric(self):
+        # bools are ints in python; as metrics they make tolerance
+        # envelopes meaningless, so they are rejected explicitly
+        with pytest.raises(ValueError, match="must be numeric"):
+            Measurement(metrics={"identical": True})
+
+    def test_rejects_empty_metric_name(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            Measurement(metrics={"": 1.0})
+
+
+class TestBenchmarkSpec:
+    def _spec(self, **overrides):
+        kwargs = dict(
+            name="x",
+            description="d",
+            tier="smoke",
+            workload="small-catalog",
+            measure=lambda workload: Measurement(metrics={}),
+        )
+        kwargs.update(overrides)
+        return BenchmarkSpec(**kwargs)
+
+    def test_valid(self):
+        assert self._spec().legacy_report == "x"
+
+    def test_legacy_report_defaults_to_underscored_name(self):
+        assert self._spec(name="a-b-c").legacy_report == "a_b_c"
+
+    def test_explicit_report_name_wins(self):
+        assert self._spec(report_name="index").legacy_report == "index"
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            self._spec(name="")
+
+    def test_rejects_unknown_tier(self):
+        with pytest.raises(ValueError):
+            self._spec(tier="nightly")
+
+    def test_rejects_missing_workload(self):
+        with pytest.raises(ValueError):
+            self._spec(workload="")
