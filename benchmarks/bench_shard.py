@@ -1,0 +1,17 @@
+"""Benchmark: shard executor byte-identity vs the serial path.
+
+Thin shim: the measurement logic lives in ``repro.bench.library``
+(run ``repro bench list`` for the registry, ``repro bench run`` for
+tiers and baselines). Executing this file runs just this experiment and
+writes the legacy report twins plus the trajectory record.
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.bench import run_shim  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(run_shim("smoke-shard"))

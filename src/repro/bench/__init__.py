@@ -21,8 +21,11 @@ from repro.bench.compare import (
 from repro.bench.io import (
     DEFAULT_BASELINE_DIR,
     DEFAULT_RESULTS_DIR,
+    TRAJECTORY_LIMIT,
+    append_result,
     jsonable,
     read_result,
+    read_trajectory,
     trajectory_dir,
     trajectory_path,
     write_report,
@@ -74,8 +77,10 @@ __all__ = [
     "SCHEMA_VERSION",
     "SchemaError",
     "TIERS",
+    "TRAJECTORY_LIMIT",
     "UnknownBenchmarkError",
     "all_benchmarks",
+    "append_result",
     "benchmark_names",
     "build_workload",
     "clear_workload_cache",
@@ -86,6 +91,7 @@ __all__ = [
     "get_benchmark",
     "jsonable",
     "read_result",
+    "read_trajectory",
     "register",
     "result_from_payload",
     "run_benchmark",

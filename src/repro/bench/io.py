@@ -8,20 +8,32 @@ Two kinds of artifacts, one writer each:
   hand-rolled these writers and some drifted into emitting txt only;
   :func:`write_report` always writes both.
 * **trajectory records** — ``benchmarks/results/trajectory/BENCH_<name>.json``,
-  one standardized :class:`~repro.bench.spec.BenchmarkResult` per
-  benchmark per run. Baselines under ``benchmarks/baselines/`` use the
-  identical schema and the identical writer, so a baseline update is
-  literally a file copy.
+  a JSON **array** of standardized
+  :class:`~repro.bench.spec.BenchmarkResult` payloads, oldest first.
+  Every run *appends* exactly one record (:func:`append_result`); that
+  is what makes the file a trajectory. The subsystem's first release
+  overwrote the file with the latest record instead, so the history —
+  the whole point of the trajectory — was silently discarded on every
+  run; the reader still accepts that legacy single-object form and
+  :func:`append_result` upgrades it in place. Baselines under
+  ``benchmarks/baselines/`` are a single record in the identical
+  per-record schema, so a baseline update is a copy of the latest
+  trajectory entry.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import os
 from pathlib import Path
-from typing import Any, Optional
+from typing import Any, List, Optional
 
 from repro.bench.spec import BenchmarkResult, SchemaError, result_from_payload
+
+#: Trajectory files keep at most this many records (oldest dropped) so
+#: a long-lived checkout cannot grow one without bound.
+TRAJECTORY_LIMIT = 1000
 
 #: Default locations, relative to the invoking directory (the repo root
 #: in CI and the documented workflows); every CLI entry point takes
@@ -81,7 +93,11 @@ def trajectory_path(directory: Path, benchmark: str) -> Path:
 
 
 def write_result(directory: Path, result: BenchmarkResult) -> Path:
-    """Serialize one trajectory/baseline record; returns the path."""
+    """Serialize one single-record (baseline) file; returns the path.
+
+    Baselines are a *pinned point*, not a history — use
+    :func:`append_result` for trajectory files.
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     path = trajectory_path(directory, result.benchmark)
@@ -89,17 +105,74 @@ def write_result(directory: Path, result: BenchmarkResult) -> Path:
     return path
 
 
-def read_result(directory: Path, benchmark: str) -> Optional[BenchmarkResult]:
-    """Load and validate a record; ``None`` when the file is absent.
+def _load_payloads(path: Path) -> List[Any]:
+    """The record payloads of a trajectory/baseline file, oldest first.
 
-    A present-but-invalid file raises :class:`SchemaError` — a corrupt
-    baseline must fail loudly, not read as "no baseline".
+    Accepts the array form and the legacy single-object form (the
+    pre-append era wrote one overwritten record per file). Anything
+    else is a :class:`SchemaError`.
     """
-    path = trajectory_path(directory, benchmark)
     if not path.exists():
-        return None
+        return []
     try:
         payload = json.loads(path.read_text())
     except json.JSONDecodeError as exc:
         raise SchemaError(f"{path}: not valid JSON ({exc})") from exc
-    return result_from_payload(payload)
+    if isinstance(payload, list):
+        return payload
+    if isinstance(payload, dict):
+        return [payload]
+    raise SchemaError(
+        f"{path}: trajectory must be a JSON array of records (or one "
+        f"legacy record object), got {type(payload).__name__}"
+    )
+
+
+def append_result(
+    directory: Path, result: BenchmarkResult, limit: int = TRAJECTORY_LIMIT
+) -> Path:
+    """Append one run record to the benchmark's trajectory; returns the path.
+
+    The file stays a valid, schema-checked JSON array after every
+    append (a legacy single-object file is upgraded in place); at most
+    *limit* records are kept, oldest dropped first. The rewrite goes
+    through a same-directory temp file and an atomic ``os.replace`` —
+    a run killed mid-write must never truncate the accumulated
+    history it exists to preserve.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = trajectory_path(directory, result.benchmark)
+    records = _load_payloads(path)
+    records.append(result.to_payload())
+    if limit and len(records) > limit:
+        records = records[-limit:]
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(records, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+    return path
+
+
+def read_trajectory(directory: Path, benchmark: str) -> List[BenchmarkResult]:
+    """Every record of a benchmark's trajectory, oldest first.
+
+    Empty when the file is absent; a present-but-invalid file or record
+    raises :class:`SchemaError` — a corrupt trajectory must fail
+    loudly, not read as "no history".
+    """
+    path = trajectory_path(Path(directory), benchmark)
+    return [result_from_payload(payload) for payload in _load_payloads(path)]
+
+
+def read_result(directory: Path, benchmark: str) -> Optional[BenchmarkResult]:
+    """The latest record of a trajectory (or a baseline's single record).
+
+    ``None`` when the file is absent or the trajectory is empty. A
+    present-but-invalid file raises :class:`SchemaError` — a corrupt
+    baseline must fail loudly, not read as "no baseline".
+    """
+    path = trajectory_path(Path(directory), benchmark)
+    payloads = _load_payloads(path)
+    if not payloads:
+        return None
+    return result_from_payload(payloads[-1])

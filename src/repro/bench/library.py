@@ -1,6 +1,6 @@
 """The benchmark library: every registered spec.
 
-Four **smoke** benchmarks run on the small presets in seconds — they are
+Five **smoke** benchmarks run on the small presets in seconds — they are
 the CI perf gate (``repro bench run --tier smoke``). The **standard**
 tier absorbs the paper-scale measurements the old standalone
 ``bench_*.py`` scripts made (those scripts are now one-line shims onto
@@ -211,6 +211,89 @@ def measure_streaming_cache_reuse(catalog, rounds=3, **delta_kwargs) -> Measurem
     return Measurement(metrics=metrics, text=text)
 
 
+def measure_shard_executor(catalog, size=400, seed=4242, workers=2) -> Measurement:
+    """The shard executor vs the serial path: byte-identity plus timing.
+
+    One provider batch is linked twice — serially and with the
+    block-parallel ``shard`` executor — and the outcomes must be
+    byte-identical (same matches, same possible band, same candidate
+    pairs in the same order, same serialized sameAs graph). The wall
+    times land in the trajectory so shard overhead/speedup is tracked
+    per machine; identity, not speed, is the gate (a 1-CPU CI runner
+    pays pool bringup for no parallelism).
+    """
+    from repro.bench.runner import engine_metrics
+    from repro.datagen.catalog import MANUFACTURER, PART_NUMBER
+    from repro.engine import JobConfig, LinkingJob
+    from repro.experiments.throughput import provider_batch
+    from repro.linking import (
+        FieldComparator,
+        RecordComparator,
+        RecordStore,
+        StandardBlocking,
+        ThresholdMatcher,
+    )
+    from repro.rdf import serialize_ntriples
+
+    field_map = {"pn": PART_NUMBER, "maker": MANUFACTURER}
+    local = RecordStore.from_graph(catalog.local_graph, field_map)
+    graph, _ = provider_batch(catalog, size, seed=seed)
+    external = RecordStore.from_graph(graph, field_map)
+    comparator = RecordComparator(
+        [FieldComparator("pn", weight=2.0), FieldComparator("maker")]
+    )
+    matcher = ThresholdMatcher(match_threshold=0.9)
+
+    def run(executor):
+        blocking = StandardBlocking.on_field_prefix("pn", length=4)
+        config = JobConfig(executor=executor, chunk_size=512, workers=workers)
+        return LinkingJob(blocking, comparator, matcher, config).run(external, local)
+
+    serial = run("serial")
+    shard = run("shard")
+    # metric-backed, like `identical` below: a pool that cannot start
+    # degrades the run to serial, whose output is trivially identical —
+    # the gate must see that the run actually sharded, asserts or not
+    sharded = (
+        shard.stats.executor == "shard"
+        and shard.stats.fallback_reason is None
+        and shard.stats.shard_count == workers
+    )
+    identical = (
+        shard.matches == serial.matches
+        and shard.possible == serial.possible
+        and shard.candidate_pairs == serial.candidate_pairs
+        and shard.compared == serial.compared
+        and serialize_ntriples(shard.sameas_graph())
+        == serialize_ntriples(serial.sameas_graph())
+    )
+    metrics = engine_metrics(shard.stats, prefix="shard_")
+    metrics.update(
+        serial_seconds=serial.stats.elapsed_seconds,
+        shard_seconds=shard.stats.elapsed_seconds,
+        shard_workers=workers,
+        pairs_compared=serial.stats.pairs_compared,
+        matches=len(serial.matches),
+        # the metrics carry the real verdicts so the registered budgets
+        # and checks gate them even when asserts are compiled out (-O)
+        sharded=1.0 if sharded else 0.0,
+        identical=1.0 if identical else 0.0,
+    )
+    assert sharded, f"shard run silently degraded: {shard.stats.format()}"
+    assert identical, "shard executor diverged from the serial path"
+    text = "\n".join(
+        [
+            "smoke: shard executor byte-identity vs serial (standard blocking)",
+            f"|S_E|={len(external)}, |S_L|={len(local)}, "
+            f"{serial.compared} pairs, {len(serial.matches)} matches",
+            f"serial {serial.stats.elapsed_seconds * 1000:8.1f} ms",
+            f"shard  {shard.stats.elapsed_seconds * 1000:8.1f} ms   "
+            f"({workers} shards, byte-identical)",
+        ]
+    )
+    return Measurement(metrics=metrics, text=text)
+
+
 def measure_smoke_index_passes(catalog, support_threshold=SUPPORT, rounds=3) -> Measurement:
     """Index-backed frequency passes vs the scan learn (I1 at smoke
     scale) — the same measurement as ``measure_index_learner``, minus
@@ -269,6 +352,35 @@ register(
                 "shared cache did not raise the hit rate",
             ),
         ),
+    )
+)
+
+register(
+    BenchmarkSpec(
+        name="smoke-shard",
+        description="shard executor byte-identical to serial, timing tracked",
+        tier="smoke",
+        workload="small-catalog",
+        measure=measure_shard_executor,
+        budgets=(
+            WALL,
+            MetricBudget("serial_seconds", "lower", WALL_TOLERANCE),
+            MetricBudget("shard_seconds", "lower", WALL_TOLERANCE),
+            # both verdicts are binary: any drop below 1.0 regresses
+            MetricBudget("sharded", "higher", 0.0),
+            MetricBudget("identical", "higher", 0.0),
+        ),
+        checks=(
+            lambda m: _assert(
+                m.metrics["sharded"] == 1.0,
+                "shard run silently degraded (fallback or wrong executor)",
+            ),
+            lambda m: _assert(
+                m.metrics["identical"] == 1.0,
+                "shard executor output diverged from serial",
+            ),
+        ),
+        report_name="smoke_shard",
     )
 )
 

@@ -6,8 +6,9 @@ a tier (or an explicit name list) and writes, per spec,
 * the legacy ``benchmarks/results/<report>.{txt,json}`` twins (same
   files the pre-subsystem scripts produced, so existing trajectories
   stay comparable), and
-* the standardized ``benchmarks/results/trajectory/BENCH_<name>.json``
-  record the comparator gates on.
+* one standardized record **appended** to the
+  ``benchmarks/results/trajectory/BENCH_<name>.json`` trajectory (the
+  comparator gates on the latest entry; the history is the point).
 
 ``wall_seconds`` is always measured here, around the ``measure`` call
 only — workload construction is memoized setup cost. Specs add their
@@ -27,7 +28,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.bench.io import write_report, write_result
+from repro.bench.io import append_result, write_report
 from repro.bench.registry import benchmark_names, get_benchmark
 from repro.bench.spec import BenchmarkResult, BenchmarkSpec, Measurement
 from repro.bench.workloads import build_workload
@@ -66,12 +67,17 @@ def environment_fingerprint() -> Dict[str, Any]:
     answered with "different machine / interpreter / commit" before
     anyone blames the code.
     """
+    from repro.engine import available_cpu_count
+
     return {
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "platform": platform.platform(),
         "machine": platform.machine(),
         "cpu_count": os.cpu_count() or 1,
+        # what the process may actually use (cgroup/affinity aware) —
+        # the number worker pools are sized from
+        "cpus_available": available_cpu_count(),
         "git_sha": git_sha(),
     }
 
@@ -167,7 +173,7 @@ def run_benchmarks(
                     run.measurement.text,
                     run.measurement.data,
                 )
-            run.trajectory_file = write_result(
+            run.trajectory_file = append_result(
                 trajectory_dir(Path(results_dir)), run.result
             )
         runs.append(run)

@@ -10,7 +10,8 @@ export/import utility:
 * ``generalization`` — the future-work subsumption experiment (X1);
 * ``generality`` — the second-domain (toponym) experiment (X2);
 * ``link`` — run an end-to-end batch linking job through the engine
-  (chunked, cached, optionally parallel) and report throughput;
+  (chunked, cached, optionally parallel — including the block-parallel
+  ``shard`` executor) and report throughput;
 * ``throughput`` — the engine throughput experiment (A5);
 * ``scenarios`` — list or run the scenario workload matrix (batch +
   streaming legs with the byte-identity check and metric envelopes);
@@ -180,7 +181,9 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         "--executor",
         choices=EXECUTORS,
         default="auto",
-        help="execution strategy (default: auto = process when CPUs allow)",
+        help="execution strategy (default: auto = process when CPUs allow; "
+        "shard = workers generate their own key-space shards' candidates "
+        "in-worker, degrading to process when the blocking cannot shard)",
     )
     parser.add_argument(
         "--workers", type=_positive_int, default=None, help="worker count"
@@ -365,7 +368,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         benchmark_names,
         compare_benchmarks,
         get_benchmark,
+        read_trajectory,
         run_benchmarks,
+        trajectory_dir,
         write_result,
     )
 
@@ -428,6 +433,37 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             for run in runs:
                 path = write_result(baseline_dir, run.result)
                 print(f"baseline updated: {path}", file=sys.stderr)
+        return 0
+
+    if args.action == "trajectory":
+        # the guard behind the CI perf-smoke job: a bench run that
+        # leaves the trajectory empty is a bug, not a quiet no-op
+        try:
+            names = [
+                get_benchmark(name).name for name in args.benchmarks or ()
+            ] or benchmark_names(args.tier)
+        except UnknownBenchmarkError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        records_dir = trajectory_dir(results_dir)
+        empty = []
+        rows = []
+        for name in names:
+            records = read_trajectory(records_dir, name)
+            rows.append({"benchmark": name, "records": len(records)})
+            if not records:
+                empty.append(name)
+        if args.json:
+            print(json.dumps(rows, indent=2, sort_keys=True))
+        else:
+            for row in rows:
+                print(f"{row['benchmark']:<24} {row['records']:>4} record(s)")
+        if empty:
+            print(
+                "error: empty trajectory for: " + ", ".join(empty),
+                file=sys.stderr,
+            )
+            return 1
         return 0
 
     # compare
@@ -562,12 +598,14 @@ def build_parser() -> argparse.ArgumentParser:
     scenarios.set_defaults(handler=_cmd_scenarios)
 
     bench = sub.add_parser(
-        "bench", help="benchmark orchestration (list / run / compare)"
+        "bench", help="benchmark orchestration (list / run / compare / trajectory)"
     )
     bench.add_argument(
         "action",
-        choices=("list", "run", "compare"),
-        help="list the registry, run benchmarks, or diff against baselines",
+        choices=("list", "run", "compare", "trajectory"),
+        help="list the registry, run benchmarks, diff against baselines, "
+        "or audit the trajectory (exit 1 when any selected benchmark "
+        "has no recorded run)",
     )
     bench.add_argument(
         "--tier",

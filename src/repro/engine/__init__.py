@@ -13,11 +13,16 @@ a streaming, chunked, optionally parallel batch job:
   common, so the cache pays for itself quickly;
 * chunks fan out over a thread or process pool with a serial fallback,
   and every executor produces identical matches in identical order;
+* the ``shard`` executor goes one level deeper: a :class:`ShardPlan`
+  partitions the blocking method's key space and each process worker
+  generates its own shards' candidates in-worker (fork-inherited
+  stores, zero pair pickling), byte-identical to serial via the
+  shard-ordered fold and ordinal merge;
 * each run reports :class:`EngineStats` (pairs/sec, cache hit rate,
-  chunk count) on ``LinkingResult.stats``.
+  chunk/shard counts) on ``LinkingResult.stats``.
 
-``LinkingPipeline`` is now a thin serial facade over this engine;
-future scaling work (sharding, async backends) plugs in here.
+``LinkingPipeline`` is now a thin facade over this engine; future
+scaling work (async backends, distributed shards) plugs in here.
 
 :class:`StreamingLinkingJob` is the second execution mode: record
 deltas ingested as they arrive (each delta one chunked batch job over
@@ -31,7 +36,8 @@ from repro.engine.cache import (
     CachedRecordComparator,
     LRUCache,
 )
-from repro.engine.job import EXECUTORS, JobConfig, LinkingJob
+from repro.engine.job import EXECUTORS, JobConfig, LinkingJob, available_cpu_count
+from repro.engine.shard import ShardOutcome, ShardPlan, stable_key_hash
 from repro.engine.stats import EngineProgress, EngineStats
 from repro.engine.streaming import StreamingDelta, StreamingLinkingJob
 
@@ -44,6 +50,10 @@ __all__ = [
     "LinkingJob",
     "EngineProgress",
     "EngineStats",
+    "ShardOutcome",
+    "ShardPlan",
     "StreamingDelta",
     "StreamingLinkingJob",
+    "available_cpu_count",
+    "stable_key_hash",
 ]

@@ -17,6 +17,19 @@ bringup and transport failures (an unpicklable payload, a sandbox that
 forbids subprocesses) fall back to serial execution and record why in
 :class:`~repro.engine.stats.EngineStats`; errors raised by comparator or
 matcher code propagate unchanged.
+
+The ``shard`` executor inverts the decomposition: instead of the parent
+generating every candidate pair and pickling chunks to workers, a
+:class:`~repro.engine.shard.ShardPlan` partitions the blocking method's
+*key space* and each process worker generates the candidates of its own
+shards in-worker (stores inherited via fork — zero pair pickling; only
+compact :data:`DecisionWire` results cross the process boundary). The
+parent folds shard outcomes in deterministic shard order and merges the
+ordinal-tagged groups back into external-store order, so the result is
+byte-identical to the serial path. Blocking methods without a per-key
+block decomposition (see
+:meth:`~repro.linking.blocking.BlockingMethod.supports_sharding`)
+degrade to the ``process`` executor with the reason recorded.
 """
 
 from __future__ import annotations
@@ -30,6 +43,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Protocol, Tuple
 
 from repro.engine.cache import DEFAULT_CACHE_SIZE, CachedRecordComparator
+from repro.engine.shard import ShardOutcome, ShardPlan, merge_shard_groups
 from repro.engine.stats import EngineProgress, EngineStats
 from repro.linking.blocking import BlockingMethod
 from repro.linking.comparators import ComparisonVector, RecordComparator
@@ -45,7 +59,26 @@ Pair = Tuple[Term, Term]
 #: keep the process executor's result pickles small.
 DecisionWire = Tuple[Term, Term, Dict[str, float], float, str, float]
 
-EXECUTORS = ("serial", "thread", "process", "auto")
+EXECUTORS = ("serial", "thread", "process", "shard", "auto")
+
+
+def available_cpu_count() -> int:
+    """CPUs actually available to this process.
+
+    ``os.cpu_count()`` reports the machine, not the process: in
+    cgroup- or affinity-limited environments (CI containers, ``taskset``
+    launches) it overcounts, and a worker pool sized from it thrashes.
+    Prefer the scheduler affinity mask where the platform exposes it.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            affinity = getaffinity(0)
+        except OSError:  # pragma: no cover - platform quirk
+            affinity = None
+        if affinity:
+            return len(affinity)
+    return os.cpu_count() or 1
 
 #: Pool-bringup and transport failures that trigger the serial fallback.
 #: Deliberately narrow: errors raised by comparator/matcher/progress code
@@ -65,10 +98,13 @@ class Decider(Protocol):
 class JobConfig:
     """Execution knobs of a :class:`LinkingJob`.
 
-    * ``chunk_size`` — candidate pairs per work unit;
-    * ``executor`` — ``serial``, ``thread``, ``process`` or ``auto``
-      (process when more than one CPU is available);
-    * ``workers`` — worker count (default: CPU count); 1 runs serially;
+    * ``chunk_size`` — candidate pairs per work unit (chunk executors);
+    * ``executor`` — ``serial``, ``thread``, ``process``, ``shard``
+      (block-parallel: workers generate their own shards' candidates
+      in-worker) or ``auto`` (process when more than one CPU is
+      available);
+    * ``workers`` — worker count (default: the CPUs *available* to the
+      process, affinity/cgroup aware); 1 runs serially;
     * ``cache_size`` — LRU capacity of the similarity cache per worker
       (0 disables memoization);
     * ``best_match_only`` — keep only the top-scoring match per external
@@ -97,10 +133,10 @@ class JobConfig:
             raise ValueError(f"cache size must be >= 0, got {self.cache_size}")
 
     def resolved_workers(self) -> int:
-        """The worker count to use (CPU count when unset)."""
+        """The worker count to use (available CPUs when unset)."""
         if self.workers is not None:
             return self.workers
-        return max(1, os.cpu_count() or 1)
+        return max(1, available_cpu_count())
 
     def resolved_executor(self) -> str:
         """The concrete strategy (``auto`` resolved, 1 worker = serial)."""
@@ -199,6 +235,85 @@ def _run_process_chunk(pairs: List[Pair]) -> _ChunkOutcome:
     return _WORKER_RUNNER.run_chunk(pairs)
 
 
+# Per-process shard-executor state, set once by the pool initializer:
+# (blocking, external, local, cached comparator, decider, plan). As with
+# chunk workers, fork inheritance makes this free on Linux.
+_SHARD_STATE: Optional[tuple] = None
+
+
+def _init_shard_worker(
+    blocking: BlockingMethod,
+    external: RecordStore,
+    local: RecordStore,
+    comparator: RecordComparator,
+    decider: Decider,
+    cache_size: int,
+    plan: ShardPlan,
+) -> None:
+    global _SHARD_STATE
+    cache = CachedRecordComparator(comparator, cache_size)
+    _SHARD_STATE = (blocking, external, local, cache, decider, plan)
+
+
+def _run_shard_worker(shard: int) -> ShardOutcome:
+    """Generate, compare and decide one shard's candidates in-worker.
+
+    Pairs are drawn lazily from the blocking method's per-key block
+    iteration — the candidate stream never exists in the parent — and
+    grouped per external record (tagged with the record's store
+    ordinal) so the parent can merge shard outcomes back into serial
+    comparison order.
+    """
+    if _SHARD_STATE is None:
+        raise RuntimeError("shard worker used before initialization")
+    blocking, external, local, cache, decider, plan = _SHARD_STATE
+    hits_before, misses_before = cache.cache_hits, cache.cache_misses
+    groups: List[tuple] = []
+    match_ext_ids: List[Term] = []
+    compared = 0
+    current = -1
+    locals_of: List[Term] = []
+    wires: List[DecisionWire] = []
+    for ordinal, ext_id, local_id in blocking.shard_candidate_pairs(
+        external, local, plan, shard
+    ):
+        left = external.get(ext_id)
+        right = local.get(local_id)
+        if left is None or right is None:
+            continue
+        if ordinal != current:
+            if locals_of:
+                groups.append((current, locals_of, wires))
+            current, locals_of, wires = ordinal, [], []
+        vector = cache.compare(left, right)
+        decision = decider.decide(vector)
+        locals_of.append(local_id)
+        compared += 1
+        if decision.status is not MatchStatus.NON_MATCH:
+            wires.append(
+                (
+                    ext_id,
+                    local_id,
+                    dict(vector.similarities),
+                    vector.aggregate,
+                    decision.status.value,
+                    decision.score,
+                )
+            )
+            if decision.status is MatchStatus.MATCH:
+                match_ext_ids.append(ext_id)
+    if locals_of:
+        groups.append((current, locals_of, wires))
+    return ShardOutcome(
+        shard=shard,
+        groups=groups,
+        compared=compared,
+        match_ext_ids=match_ext_ids,
+        cache_hits=cache.cache_hits - hits_before,
+        cache_misses=cache.cache_misses - misses_before,
+    )
+
+
 def _chunked(pairs: Iterator[Pair], size: int) -> Iterator[List[Pair]]:
     """Drain an iterator of pairs into lists of at most *size*."""
     chunk: List[Pair] = []
@@ -213,7 +328,15 @@ def _chunked(pairs: Iterator[Pair], size: int) -> Iterator[List[Pair]]:
 
 def update_best_match(best: Dict[Term, MatchDecision], decision: MatchDecision) -> None:
     """One step of the Unique Name Assumption fold: keep the top-scoring
-    match per external record, first-seen winning score ties.
+    match per external record, score ties broken by the lexicographically
+    smallest local id.
+
+    The tie-break is deliberately a function of the decision *set*, not
+    of arrival order — "first seen wins" was only executor-invariant
+    because every fold happened to be chunk-ordered, and the shard
+    executor's block-ordered generation would have broken it. With the
+    explicit ``(score desc, local id asc)`` ordering, any fold order
+    over the same decisions selects the same winner.
 
     Shared by the batch fold and the streaming replay
     (:meth:`~repro.engine.streaming.StreamingLinkingJob.result`) — the
@@ -224,14 +347,19 @@ def update_best_match(best: Dict[Term, MatchDecision], decision: MatchDecision) 
     incumbent = best.get(ext_id)
     if incumbent is None or decision.score > incumbent.score:
         best[ext_id] = decision
+    elif decision.score == incumbent.score and str(decision.vector.right.id) < str(
+        incumbent.vector.right.id
+    ):
+        best[ext_id] = decision
 
 
 class _FoldState:
-    """Folds chunk outcomes — in chunk order — into result lists.
+    """Folds chunk (or merged shard) outcomes — in order — into results.
 
     Replicates the serial pipeline's matching semantics exactly: under
-    ``best_match_only`` the first-seen decision wins score ties, and the
-    final match order is first-occurrence order of the external ids.
+    ``best_match_only`` score ties break on the smallest local id (see
+    :func:`update_best_match`), and the final match order is
+    first-occurrence order of the external ids.
     """
 
     def __init__(
@@ -254,7 +382,11 @@ class _FoldState:
         self.candidate_pairs.extend(outcome.pairs)
         self.cache_hits += outcome.cache_hits
         self.cache_misses += outcome.cache_misses
-        for ext_id, local_id, similarities, aggregate, status, score in outcome.decisions:
+        self.fold_decisions(outcome.decisions)
+        self.chunks_done += 1
+
+    def fold_decisions(self, decisions: List[DecisionWire]) -> None:
+        for ext_id, local_id, similarities, aggregate, status, score in decisions:
             vector = ComparisonVector(
                 left=self._external.get(ext_id),
                 right=self._local.get(local_id),
@@ -271,7 +403,6 @@ class _FoldState:
                     self.matches.append(decision)
             else:
                 self.possible.append(decision)
-        self.chunks_done += 1
 
     def match_count(self) -> int:
         return len(self._best) if self._best_only else len(self.matches)
@@ -319,6 +450,12 @@ class LinkingJob:
         """The execution configuration."""
         return self._config
 
+    def _supports_sharding(self) -> bool:
+        """Whether the blocking method offers per-key block iteration
+        (getattr: duck-typed blocking doubles need not subclass)."""
+        supports = getattr(self._blocking, "supports_sharding", None)
+        return bool(callable(supports) and supports())
+
     def run(self, external: RecordStore, local: RecordStore) -> LinkingResult:
         """Execute the job and return the result with engine stats."""
         config = self._config
@@ -326,6 +463,14 @@ class LinkingJob:
         executor = config.resolved_executor()
         workers = 1 if executor == "serial" else config.resolved_workers()
         fallback_reason: str | None = None
+        if executor == "shard" and not self._supports_sharding():
+            # no per-key block decomposition: the chunked process
+            # executor is the closest strategy that still parallelizes
+            fallback_reason = (
+                f"shard: {type(self._blocking).__name__} has no per-key "
+                "block decomposition; ran process"
+            )
+            executor = "process"
         fold = _FoldState(external, local, config.best_match_only)
         try:
             hits, misses = self._attempt(executor, workers, external, local, fold, started)
@@ -345,9 +490,14 @@ class LinkingJob:
         elapsed = time.perf_counter() - started
         # index-backed blocking methods report their shared index after
         # the candidate stream has been drained (getattr: duck-typed
-        # blocking doubles in tests need not subclass BlockingMethod)
+        # blocking doubles in tests need not subclass BlockingMethod).
+        # Shard runs probe the index in the workers, so the parent-side
+        # report would be stale (a previous run's) or empty — skip it
+        # rather than misattribute.
         stats_fn = getattr(self._blocking, "index_stats", None)
-        index_stats = stats_fn() if callable(stats_fn) else None
+        index_stats = (
+            stats_fn() if callable(stats_fn) and executor != "shard" else None
+        )
         stats = EngineStats(
             executor=executor,
             workers=workers,
@@ -357,6 +507,7 @@ class LinkingJob:
             elapsed_seconds=elapsed,
             cache_hits=hits,
             cache_misses=misses,
+            shard_count=workers if executor == "shard" else 0,
             fallback_reason=fallback_reason,
             index_build_seconds=index_stats.build_seconds if index_stats else 0.0,
             index_probe_seconds=index_stats.probe_seconds if index_stats else 0.0,
@@ -395,6 +546,9 @@ class LinkingJob:
                         elapsed_seconds=time.perf_counter() - started,
                     )
                 )
+
+        if executor == "shard":
+            return self._attempt_shard(workers, external, local, fold, started)
 
         chunks = _chunked(
             self._blocking.candidate_pairs(external, local), self._config.chunk_size
@@ -444,6 +598,76 @@ class LinkingJob:
             runner.comparator.cache_hits - hits_before,
             runner.comparator.cache_misses - misses_before,
         )
+
+    def _attempt_shard(
+        self,
+        workers: int,
+        external: RecordStore,
+        local: RecordStore,
+        fold: _FoldState,
+        started: float,
+    ) -> Tuple[int, int]:
+        """Block-parallel execution: one shard of the key space per worker.
+
+        The plan is built in the parent (which also warms any shared
+        block index *before* the fork, so workers inherit it); workers
+        generate, compare and decide their own shards' candidates; the
+        parent consumes outcomes in deterministic shard order and then
+        folds the ordinal-merged groups, reconstructing the serial
+        comparison order exactly.
+        """
+        config = self._config
+        on_progress = config.on_progress
+        plan = ShardPlan.build(
+            workers, self._blocking.shard_block_sizes(external, local)
+        )
+        ext_ids = list(external.ids())
+        outcomes: List[ShardOutcome] = []
+        compared_so_far = 0
+        matched_ext: set = set()
+        match_wires = 0
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_shard_worker,
+            initargs=(
+                self._blocking,
+                external,
+                local,
+                self._comparator,
+                self._decider,
+                self._cache_size,
+                plan,
+            ),
+        ) as pool:
+            futures = [pool.submit(_run_shard_worker, s) for s in range(plan.shards)]
+            for future in futures:  # deterministic shard order
+                outcome = future.result()
+                outcomes.append(outcome)
+                fold.chunks_done += 1  # one "chunk" per shard
+                fold.cache_hits += outcome.cache_hits
+                fold.cache_misses += outcome.cache_misses
+                compared_so_far += outcome.compared
+                if on_progress is not None:
+                    if config.best_match_only:
+                        matched_ext.update(outcome.match_ext_ids)
+                        matches = len(matched_ext)
+                    else:
+                        match_wires += len(outcome.match_ext_ids)
+                        matches = match_wires
+                    on_progress(
+                        EngineProgress(
+                            chunks_done=fold.chunks_done,
+                            pairs_compared=compared_so_far,
+                            matches=matches,
+                            elapsed_seconds=time.perf_counter() - started,
+                        )
+                    )
+        for ordinal, local_ids, wires in merge_shard_groups(outcomes):
+            ext_id = ext_ids[ordinal]
+            fold.compared += len(local_ids)
+            fold.candidate_pairs.extend((ext_id, local_id) for local_id in local_ids)
+            fold.fold_decisions(wires)
+        return fold.cache_hits, fold.cache_misses
 
 
 def _pump(

@@ -45,8 +45,12 @@ class EngineStats:
 
     ``executor`` is the strategy that actually executed the job — after
     a parallel failure it reads ``serial`` and ``fallback_reason`` says
-    why. Cache counters are summed across workers for the process
-    executor.
+    why (a ``shard`` request on a blocking method without a per-key
+    block decomposition reads ``process`` with the degradation noted
+    there). Cache counters are summed across workers for the process
+    and shard executors. ``shard_count`` is the number of key-space
+    shards a ``shard`` run planned (0 otherwise); for shard runs
+    ``chunk_count`` counts completed shards.
 
     The ``index_*`` fields report the blocking method's shared inverted
     index (see :mod:`repro.index`) when one was used: build/probe wall
@@ -61,6 +65,7 @@ class EngineStats:
     elapsed_seconds: float
     cache_hits: int = 0
     cache_misses: int = 0
+    shard_count: int = 0
     fallback_reason: str | None = None
     index_build_seconds: float = 0.0
     index_probe_seconds: float = 0.0
@@ -82,8 +87,9 @@ class EngineStats:
 
     def format(self) -> str:
         """One-paragraph human-readable report."""
+        shards = f" shards={self.shard_count}" if self.shard_count else ""
         lines = [
-            f"executor={self.executor} workers={self.workers} "
+            f"executor={self.executor} workers={self.workers}{shards} "
             f"chunks={self.chunk_count} (size {self.chunk_size})",
             f"compared {self.pairs_compared} pairs in "
             f"{self.elapsed_seconds:.2f}s -> "
@@ -104,5 +110,5 @@ class EngineStats:
                 f"probe {self.index_probe_seconds * 1000:.1f}ms"
             )
         if self.fallback_reason:
-            lines.append(f"fell back to serial: {self.fallback_reason}")
+            lines.append(f"fallback: {self.fallback_reason}")
         return "\n".join(lines)

@@ -29,11 +29,14 @@ ingesting the external records in any delta split and then calling
 :meth:`result` yields **byte-identical** matches — same decisions, same
 order, same scores — as one from-scratch batch run over the union.
 Per-delta jobs run with ``best_match_only`` off and :meth:`result`
-replays the batch fold's best-match selection (first MATCH wins score
-ties, first-occurrence order) over the concatenated decision stream,
-which is exactly what the batch fold sees. The scenario harness
-(:mod:`repro.scenarios`) asserts this identity for every registered
-scenario.
+replays the batch fold's best-match selection (top score wins, ties
+broken by smallest local id, first-occurrence order) over the
+concatenated decision stream, which is exactly what the batch fold
+sees. The scenario harness (:mod:`repro.scenarios`) asserts this
+identity for every registered scenario. Every executor — including
+``shard``, which runs each delta as a block-parallel job — upholds the
+same contract because per-delta jobs are plain
+:class:`~repro.engine.job.LinkingJob` runs.
 """
 
 from __future__ import annotations
@@ -330,6 +333,7 @@ class StreamingLinkingJob:
             elapsed_seconds=sum(s.elapsed_seconds for s in per_delta),
             cache_hits=sum(s.cache_hits for s in per_delta),
             cache_misses=sum(s.cache_misses for s in per_delta),
+            shard_count=first.shard_count,
             fallback_reason=fallback,
             # accumulated at ingest time: one build per blocking
             # instance, not one per delta (deltas re-report the shared

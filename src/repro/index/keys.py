@@ -76,6 +76,13 @@ class RecordKeyIndex:
         """The record id at *ordinal* (store order at build time)."""
         return self._ids[ordinal]
 
+    def key_sizes(self) -> Dict[str, int]:
+        """Posting length per key — the block-size stats the engine's
+        :class:`~repro.engine.shard.ShardPlan` balances shards with."""
+        return {
+            str(key): len(posting) for key, _, posting in self._index.features()
+        }
+
     def __contains__(self, key: str) -> bool:
         return key in self._index
 

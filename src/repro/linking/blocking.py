@@ -24,17 +24,43 @@ built once per (store, key derivation) and reused across runs — and
 Every method keeps a scan-based reference path behind ``use_index=False``
 and the index equivalence tests assert both emit identical candidate
 pair sequences.
+
+Methods whose blocks *partition* the pair space additionally support
+the engine's ``shard`` executor through the per-key block iteration API
+(:meth:`BlockingMethod.supports_sharding`,
+:meth:`~BlockingMethod.shard_block_sizes`,
+:meth:`~BlockingMethod.shard_candidate_pairs`): a process worker draws
+only the candidate pairs whose block key its
+:class:`~repro.engine.shard.ShardPlan` shard owns, lazily, in-worker.
+Standard blocking shards on its blocking key (block sizes read off the
+shared key index inform the plan's balance); the full index and
+rule-based blocking shard on the external record id (each external
+record is its own block). Q-gram blocking cannot shard — one pair can
+live under several sub-list keys, so keys do not partition the pair
+space — and the window/canopy methods depend on the whole external
+source at once; the engine degrades those to the ``process`` executor.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import functools
 import itertools
 import math
 import time
 from abc import ABC, abstractmethod
 from collections import defaultdict
-from typing import Callable, Dict, Iterable, Iterator, List, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.core.classifier import RuleClassifier
 from repro.core.subspace import LinkingSubspace
@@ -46,8 +72,16 @@ from repro.rdf.terms import Term
 from repro.text.normalize import normalize_value
 from repro.text.similarity import qgram_cosine_similarity
 
+if TYPE_CHECKING:  # pragma: no cover - typing only (engine imports us)
+    from repro.engine.shard import ShardPlan
+
 #: A candidate pair: (external record id, local record id).
 CandidatePair = Tuple[Term, Term]
+
+#: A sharded candidate pair: (external record ordinal in store order,
+#: external record id, local record id). The ordinal lets the engine
+#: merge shard outcomes back into the serial comparison order.
+ShardedPair = Tuple[int, Term, Term]
 
 
 class BlockingMethod(ABC):
@@ -72,6 +106,53 @@ class BlockingMethod(ABC):
         """
         return None
 
+    # ------------------------------------------------------------------
+    # per-key block iteration (the shard executor's contract)
+    # ------------------------------------------------------------------
+    def supports_sharding(self) -> bool:
+        """Whether this method's blocks partition the candidate space.
+
+        True only when every candidate pair lives inside exactly one
+        block *and* all of one external record's pairs share a single
+        block key — the two invariants that let
+        :meth:`shard_candidate_pairs` split work by key without
+        duplicating or reordering pairs. Methods that cannot honor them
+        return False and the engine degrades ``shard`` to ``process``.
+        """
+        return False
+
+    def shard_block_sizes(
+        self, external: RecordStore, local: RecordStore
+    ) -> Dict[str, int]:
+        """Per-block-key size stats for :class:`ShardPlan` balance.
+
+        May be empty (the plan then balances by stable hash alone);
+        must be cheap — standard blocking reads posting lengths off the
+        shared record key index rather than re-deriving keys.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support sharded candidate generation"
+        )
+
+    def shard_candidate_pairs(
+        self,
+        external: RecordStore,
+        local: RecordStore,
+        plan: "ShardPlan",
+        shard: int,
+    ) -> Iterator[ShardedPair]:
+        """Candidate pairs whose block key *plan* assigns to *shard*.
+
+        Pairs are yielded in external-store order, each tagged with the
+        external record's store ordinal, and for any one external
+        record in exactly the order :meth:`candidate_pairs` would have
+        emitted them — the engine's ordinal merge then reconstructs the
+        serial comparison order exactly.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support sharded candidate generation"
+        )
+
 
 class FullIndex(BlockingMethod):
     """No blocking at all: the naive cartesian product ``|S_E| x |S_L|``."""
@@ -86,6 +167,44 @@ class FullIndex(BlockingMethod):
     def pair_count(self, external: RecordStore, local: RecordStore) -> int:
         """``|S_E| x |S_L|`` directly — no iterator to materialize."""
         return len(external) * len(local)
+
+    def supports_sharding(self) -> bool:
+        return True
+
+    def shard_block_sizes(
+        self, external: RecordStore, local: RecordStore
+    ) -> Dict[str, int]:
+        """Empty: every external record's block is uniformly ``|S_L|``,
+        so stable hashing alone already balances the plan."""
+        return {}
+
+    def shard_candidate_pairs(
+        self,
+        external: RecordStore,
+        local: RecordStore,
+        plan: "ShardPlan",
+        shard: int,
+    ) -> Iterator[ShardedPair]:
+        # each external record is its own block, keyed by its id
+        local_ids = list(local.ids())
+        for ordinal, ext in enumerate(external.ids()):
+            if plan.shard_of(str(ext)) != shard:
+                continue
+            for loc in local_ids:
+                yield ordinal, ext, loc
+
+
+def _prefix_key(field_name: str, length: int, record: Record) -> str:
+    """Module-level so ``on_field_prefix`` keys pickle (see there)."""
+    return normalize_value(record.value(field_name))[:length]
+
+
+def _transform_key(
+    field_name: str, transform: Callable[[str], str], record: Record
+) -> str:
+    """Module-level so ``on_field_transform`` keys pickle with their
+    transform (see there)."""
+    return transform(record.value(field_name))
 
 
 class StandardBlocking(BlockingMethod):
@@ -118,10 +237,15 @@ class StandardBlocking(BlockingMethod):
     def on_field_prefix(
         cls, field_name: str, length: int = 5, use_index: bool = True
     ) -> "StandardBlocking":
-        """The paper's example: same first *length* characters of a field."""
-        def key(record: Record) -> str:
-            return normalize_value(record.value(field_name))[:length]
+        """The paper's example: same first *length* characters of a field.
 
+        The key is a partial over a module-level function — picklable,
+        so the blocking instance survives spawn/forkserver worker
+        bringup (the shard executor ships it through pool initargs; a
+        closure would break sharding everywhere fork isn't the start
+        method).
+        """
+        key = functools.partial(_prefix_key, field_name, length)
         return cls(key, use_index=use_index, signature=f"prefix:{field_name}:{length}")
 
     @classmethod
@@ -132,11 +256,10 @@ class StandardBlocking(BlockingMethod):
 
         Arbitrary transforms carry no stable cache signature, so the
         index is rebuilt per run (sharing would risk signature
-        collisions between distinct callables).
+        collisions between distinct callables). Picklability — and with
+        it shard support on spawn platforms — follows the transform's.
         """
-        def key(record: Record) -> str:
-            return transform(record.value(field_name))
-
+        key = functools.partial(_transform_key, field_name, transform)
         return cls(key, signature=None)
 
     def _keys_for(self, record: Record) -> Iterator[str]:
@@ -147,6 +270,58 @@ class StandardBlocking(BlockingMethod):
     def index_stats(self) -> IndexStats | None:
         return self._last_index_stats
 
+    def supports_sharding(self) -> bool:
+        """Key blocking partitions pairs: one key per external record,
+        every pair inside exactly one block."""
+        return True
+
+    def _local_blocks(self, local: RecordStore) -> Callable[[str], Iterable[Term]]:
+        """Block lookup (key -> local ids in store order), shared-index
+        backed when a cache signature allows it."""
+        if self._use_index and self._signature is not None:
+            index = shared_record_index(local, self._signature, self._keys_for)
+            return index.candidates
+        blocks: Dict[str, List[Term]] = defaultdict(list)
+        for record in local:
+            key = self._key(record)
+            if key:
+                blocks[key].append(record.id)
+        return lambda key: blocks.get(key, ())
+
+    def shard_block_sizes(
+        self, external: RecordStore, local: RecordStore
+    ) -> Dict[str, int]:
+        """Local-side block sizes, read off the shared key index.
+
+        Building (or reusing) the index here also warms the per-store
+        cache *before* the engine forks its shard workers, so every
+        worker inherits the postings instead of rebuilding them.
+        """
+        if self._use_index and self._signature is not None:
+            index = shared_record_index(local, self._signature, self._keys_for)
+            return index.key_sizes()
+        sizes: Dict[str, int] = {}
+        for record in local:
+            key = self._key(record)
+            if key:
+                sizes[key] = sizes.get(key, 0) + 1
+        return sizes
+
+    def shard_candidate_pairs(
+        self,
+        external: RecordStore,
+        local: RecordStore,
+        plan: "ShardPlan",
+        shard: int,
+    ) -> Iterator[ShardedPair]:
+        lookup = self._local_blocks(local)
+        for ordinal, record in enumerate(external):
+            key = self._key(record)
+            if not key or plan.shard_of(key) != shard:
+                continue
+            for local_id in lookup(key):
+                yield ordinal, record.id, local_id
+
     def candidate_pairs(
         self, external: RecordStore, local: RecordStore
     ) -> Iterator[CandidatePair]:
@@ -154,16 +329,12 @@ class StandardBlocking(BlockingMethod):
             yield from self._candidate_pairs_indexed(external, local)
             return
         self._last_index_stats = None
-        blocks: Dict[str, List[Term]] = defaultdict(list)
-        for record in local:
-            key = self._key(record)
-            if key:
-                blocks[key].append(record.id)
+        lookup = self._local_blocks(local)
         for record in external:
             key = self._key(record)
             if not key:
                 continue
-            for local_id in blocks.get(key, ()):
+            for local_id in lookup(key):
                 yield record.id, local_id
 
     def _candidate_pairs_indexed(
@@ -418,6 +589,67 @@ class RuleBasedBlocking(BlockingMethod):
     def index_stats(self) -> IndexStats | None:
         return self._last_index_stats
 
+    def supports_sharding(self) -> bool:
+        """Each external record is its own block (its predicted-class
+        candidate set), so blocks partition the pair space; predictions
+        are per-item, so a worker classifying only its own externals
+        predicts exactly what a whole-batch run would."""
+        return True
+
+    def shard_block_sizes(
+        self, external: RecordStore, local: RecordStore
+    ) -> Dict[str, int]:
+        """Empty: block sizes would cost a classification pass in the
+        parent, which is exactly the work sharding moves in-worker —
+        stable hashing of the external ids balances well enough."""
+        return {}
+
+    def shard_candidate_pairs(
+        self,
+        external: RecordStore,
+        local: RecordStore,
+        plan: "ShardPlan",
+        shard: int,
+    ) -> Iterator[ShardedPair]:
+        mine = [
+            (ordinal, ext_id)
+            for ordinal, ext_id in enumerate(external.ids())
+            if plan.shard_of(str(ext_id)) == shard
+        ]
+        items = [ext_id for _, ext_id in mine]
+        if self._use_index:
+            self._classifier.build_probe_table()
+            predictions = self._classifier.predict_many(items, self._graph)
+        else:
+            predictions = {
+                item: self._classifier.predict(item, self._graph) for item in items
+            }
+        subspace = LinkingSubspace.from_predictions(predictions, self._ontology)
+        local_order = list(local.ids())
+        local_ids = set(local_order)
+        for ordinal, ext_id in mine:
+            for local_id in self._candidates_of(
+                ext_id, subspace, local_order, local_ids
+            ):
+                yield ordinal, ext_id, local_id
+
+    def _candidates_of(
+        self,
+        ext_id: Term,
+        subspace: LinkingSubspace,
+        local_order: List[Term],
+        local_ids: Set[Term],
+    ) -> Iterator[Term]:
+        """One external record's candidates, in the deterministic
+        emission order shared by the serial and sharded paths."""
+        candidates = subspace.candidates_for(ext_id)
+        if not candidates and self._fallback_full:
+            yield from local_order
+            return
+        matching = [c for c in candidates if c in local_ids]
+        matching.sort(key=str)
+        yield from matching
+
     def candidate_pairs(
         self, external: RecordStore, local: RecordStore
     ) -> Iterator[CandidatePair]:
@@ -441,12 +673,7 @@ class RuleBasedBlocking(BlockingMethod):
         local_order = list(local.ids())
         local_ids = set(local_order)
         for ext_id in external.ids():
-            candidates = subspace.candidates_for(ext_id)
-            if not candidates and self._fallback_full:
-                for local_id in local_order:
-                    yield ext_id, local_id
-                continue
-            matching = [c for c in candidates if c in local_ids]
-            matching.sort(key=str)
-            for candidate in matching:
+            for candidate in self._candidates_of(
+                ext_id, subspace, local_order, local_ids
+            ):
                 yield ext_id, candidate

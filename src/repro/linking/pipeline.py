@@ -27,6 +27,7 @@ from repro.rdf.terms import Term
 from repro.rdf.triples import Triple
 
 if TYPE_CHECKING:  # engine imports this module; keep the cycle lazy
+    from repro.engine.job import JobConfig
     from repro.engine.stats import EngineStats
 
 Pair = Tuple[Term, Term]
@@ -95,10 +96,12 @@ class LinkingResult:
 class LinkingPipeline:
     """Compose blocking, comparison and matching into one run.
 
-    A thin serial facade over :class:`repro.engine.LinkingJob` — the
-    chunked batch engine that also offers parallel executors and
-    similarity caching. Use the job directly for throughput control;
-    use the pipeline when you just want the result.
+    A thin facade over :class:`repro.engine.LinkingJob` — the chunked
+    batch engine that also offers parallel executors (including the
+    block-parallel ``shard`` mode) and similarity caching. Use the job
+    directly for throughput control; use the pipeline when you just
+    want the result, optionally with an engine ``config``. The result
+    is executor-independent, so the facade defaults to serial.
 
     >>> pipeline = LinkingPipeline(blocking, comparator, matcher)
     >>> result = pipeline.run(external_store, local_store)
@@ -112,24 +115,31 @@ class LinkingPipeline:
         comparator: RecordComparator,
         matcher: _Decider,
         best_match_only: bool = True,
+        config: "JobConfig | None" = None,
     ) -> None:
         """``best_match_only`` keeps, per external record, only the top-
         scoring confirmed match — the Unique Name Assumption of the
         paper's integration setting (each provider product corresponds to
-        at most one catalog product)."""
+        at most one catalog product). ``config`` overrides the engine
+        configuration (its ``best_match_only`` is replaced by the
+        pipeline's)."""
         self._blocking = blocking
         self._comparator = comparator
         self._matcher = matcher
         self._best_only = best_match_only
+        self._config = config
 
     def run(self, external: RecordStore, local: RecordStore) -> LinkingResult:
         """Execute the pipeline over the two stores."""
+        import dataclasses
+
         from repro.engine.job import JobConfig, LinkingJob
 
-        job = LinkingJob(
-            self._blocking,
-            self._comparator,
-            self._matcher,
-            JobConfig(executor="serial", best_match_only=self._best_only),
-        )
+        if self._config is not None:
+            config = dataclasses.replace(
+                self._config, best_match_only=self._best_only
+            )
+        else:
+            config = JobConfig(executor="serial", best_match_only=self._best_only)
+        job = LinkingJob(self._blocking, self._comparator, self._matcher, config)
         return job.run(external, local)

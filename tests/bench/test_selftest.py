@@ -88,17 +88,19 @@ def test_unmodified_rerun_passes_the_gate(gate, capsys):
 
 
 def _doctored_copy(results, tmp_path, factor):
-    """Results with every wall-clock second multiplied by *factor*."""
+    """Results whose *latest* trajectory record has every wall-clock
+    second multiplied by *factor* (trajectories are record arrays and
+    the comparator gates on the last entry)."""
     doctored = tmp_path / f"slow-x{factor}"
     slow_dir = trajectory_dir(doctored)
     slow_dir.mkdir(parents=True)
     for name in SMOKE:
-        payload = json.loads(trajectory_path(trajectory_dir(results), name).read_text())
-        payload["metrics"] = {
+        records = json.loads(trajectory_path(trajectory_dir(results), name).read_text())
+        records[-1]["metrics"] = {
             key: value * factor if key.endswith("seconds") else value
-            for key, value in payload["metrics"].items()
+            for key, value in records[-1]["metrics"].items()
         }
-        trajectory_path(slow_dir, name).write_text(json.dumps(payload))
+        trajectory_path(slow_dir, name).write_text(json.dumps(records))
     return doctored
 
 
@@ -127,7 +129,7 @@ def test_missing_result_only_fails_when_asked(gate):
     slow_dir.mkdir(parents=True)
     first = SMOKE[0]
     # the one present record is a byte-identical copy of its baseline,
-    # so only the three absent benchmarks can affect the verdict
+    # so only the absent benchmarks can affect the verdict
     trajectory_path(slow_dir, first).write_text(
         trajectory_path(trajectory_dir(results), first).read_text()
     )

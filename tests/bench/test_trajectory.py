@@ -1,0 +1,136 @@
+"""Regression tests for the trajectory write path.
+
+The bench subsystem's first release *overwrote*
+``trajectory/BENCH_<name>.json`` with the latest record on every run,
+so the trajectory — the accumulated history the subsystem exists to
+keep — was always empty of its past. These tests pin the fixed
+contract: every run appends exactly one schema-valid record, legacy
+single-object files are upgraded in place, and the readers expose both
+the history and the latest point.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BenchmarkResult,
+    SchemaError,
+    append_result,
+    read_result,
+    read_trajectory,
+    result_from_payload,
+    run_benchmarks,
+    trajectory_path,
+    write_result,
+)
+
+
+def _result(benchmark="trajectory-unit", **metrics):
+    return BenchmarkResult(
+        benchmark=benchmark,
+        tier="smoke",
+        metrics={"wall_seconds": 0.5, **metrics},
+        environment={"python": "3.12.0"},
+    )
+
+
+class TestAppendResult:
+    def test_first_append_creates_a_one_record_array(self, tmp_path):
+        path = append_result(tmp_path, _result())
+        payload = json.loads(path.read_text())
+        assert isinstance(payload, list)
+        assert len(payload) == 1
+        # every element must be a schema-valid record
+        assert result_from_payload(payload[0]).benchmark == "trajectory-unit"
+
+    def test_each_run_appends_exactly_one_record(self, tmp_path):
+        append_result(tmp_path, _result(value=1.0))
+        append_result(tmp_path, _result(value=2.0))
+        append_result(tmp_path, _result(value=3.0))
+        records = read_trajectory(tmp_path, "trajectory-unit")
+        assert [r.metrics["value"] for r in records] == [1.0, 2.0, 3.0]
+
+    def test_legacy_single_object_file_is_upgraded_in_place(self, tmp_path):
+        # the pre-append era: one overwritten record object per file
+        write_result(tmp_path, _result(value=1.0))
+        assert isinstance(
+            json.loads(trajectory_path(tmp_path, "trajectory-unit").read_text()), dict
+        )
+        append_result(tmp_path, _result(value=2.0))
+        records = read_trajectory(tmp_path, "trajectory-unit")
+        assert [r.metrics["value"] for r in records] == [1.0, 2.0]
+
+    def test_limit_drops_oldest_records(self, tmp_path):
+        for value in (1.0, 2.0, 3.0):
+            append_result(tmp_path, _result(value=value), limit=2)
+        records = read_trajectory(tmp_path, "trajectory-unit")
+        assert [r.metrics["value"] for r in records] == [2.0, 3.0]
+
+
+class TestReaders:
+    def test_read_result_returns_the_latest_record(self, tmp_path):
+        append_result(tmp_path, _result(value=1.0))
+        append_result(tmp_path, _result(value=2.0))
+        latest = read_result(tmp_path, "trajectory-unit")
+        assert latest is not None and latest.metrics["value"] == 2.0
+
+    def test_missing_and_empty_trajectories_read_as_none(self, tmp_path):
+        assert read_trajectory(tmp_path, "absent") == []
+        assert read_result(tmp_path, "absent") is None
+        trajectory_path(tmp_path, "empty").parent.mkdir(parents=True, exist_ok=True)
+        trajectory_path(tmp_path, "empty").write_text("[]\n")
+        assert read_result(tmp_path, "empty") is None
+
+    def test_non_array_non_object_file_fails_loudly(self, tmp_path):
+        path = trajectory_path(tmp_path, "corrupt")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text('"just a string"\n')
+        with pytest.raises(SchemaError, match="JSON array"):
+            read_trajectory(tmp_path, "corrupt")
+
+    def test_invalid_record_inside_the_array_fails_loudly(self, tmp_path):
+        path = trajectory_path(tmp_path, "bad-record")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps([{"benchmark": "bad-record"}]) + "\n")
+        with pytest.raises(SchemaError, match="missing keys"):
+            read_trajectory(tmp_path, "bad-record")
+
+
+class TestTrajectoryCli:
+    def test_empty_trajectory_fails_and_recorded_runs_pass(self, tmp_path, capsys):
+        from repro.cli import main
+
+        args = ["bench", "trajectory", "--bench", "smoke-learner",
+                "--results-dir", str(tmp_path)]
+        assert main(args) == 1
+        assert "empty trajectory" in capsys.readouterr().err
+        run_benchmarks(names=["smoke-learner"], results_dir=tmp_path)
+        assert main(args) == 0
+
+    def test_unknown_benchmark_name_is_an_error_not_an_empty_trajectory(
+        self, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        code = main(
+            ["bench", "trajectory", "--bench", "smoke-linknig",
+             "--results-dir", str(tmp_path)]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "smoke-linknig" in err
+        assert "empty trajectory" not in err
+
+
+class TestRunnerIntegration:
+    def test_a_bench_run_appends_exactly_one_schema_valid_record(self, tmp_path):
+        """The end-to-end regression: ``repro bench run`` must grow the
+        trajectory by one validated record per run, never overwrite it."""
+        for expected in (1, 2):
+            runs = run_benchmarks(names=["smoke-learner"], results_dir=tmp_path)
+            assert runs[0].trajectory_file is not None
+            records = read_trajectory(tmp_path / "trajectory", "smoke-learner")
+            assert len(records) == expected
+            assert all(r.benchmark == "smoke-learner" for r in records)
+            assert all(r.metrics["wall_seconds"] >= 0 for r in records)

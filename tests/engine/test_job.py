@@ -29,7 +29,8 @@ def naive_link(blocking, comparator, decider, external, local, best_match_only=T
 
     LinkingPipeline itself now delegates to LinkingJob, so equivalence
     tests need a matching implementation that does NOT share code with
-    the engine.
+    the engine. Best-match ties break on the smallest local id, the
+    engine's explicit executor-invariant rule.
     """
     matches, possible, candidates = [], [], []
     best, compared = {}, 0
@@ -44,7 +45,14 @@ def naive_link(blocking, comparator, decider, external, local, best_match_only=T
         if decision.status is MatchStatus.MATCH:
             if best_match_only:
                 incumbent = best.get(ext_id)
-                if incumbent is None or decision.score > incumbent.score:
+                if (
+                    incumbent is None
+                    or decision.score > incumbent.score
+                    or (
+                        decision.score == incumbent.score
+                        and str(local_id) < str(incumbent.vector.right.id)
+                    )
+                ):
                     best[ext_id] = decision
             else:
                 matches.append(decision)
@@ -284,6 +292,73 @@ class TestFallback:
         stats = job.run(external, local).stats
         assert stats.executor == "serial"
         assert stats.fallback_reason is None
+
+    def test_bringup_pickling_error_falls_back_with_reason(
+        self, comparator, stores, serial_result, monkeypatch
+    ):
+        """A transport failure before any chunk completed is a pool
+        problem, not a user bug: rerun serially, record why."""
+        import pickle
+
+        def explode(*args, **kwargs):
+            raise pickle.PicklingError("decider cannot cross the boundary")
+
+        monkeypatch.setattr(job_module, "ProcessPoolExecutor", explode)
+        result = LinkingJob(
+            FullIndex(),
+            comparator,
+            ThresholdMatcher(0.95),
+            JobConfig(executor="process", workers=2),
+        ).run(external=stores[0], local=stores[1])
+        assert result.stats.executor == "serial"
+        assert "PicklingError" in result.stats.fallback_reason
+        assert "cannot cross the boundary" in result.stats.fallback_reason
+        assert result.matches == serial_result.matches
+
+    def test_oserror_after_first_chunk_propagates(self, comparator, stores):
+        """An OSError once chunks are completing is more likely a bug in
+        comparator/progress code than pool bringup: it must propagate,
+        not silently redo finished work serially."""
+        calls = []
+
+        def progress_with_io_bug(progress):
+            calls.append(progress)
+            raise OSError("disk full while logging progress")
+
+        job = LinkingJob(
+            FullIndex(),
+            comparator,
+            ThresholdMatcher(0.95),
+            JobConfig(
+                executor="process",
+                workers=2,
+                chunk_size=2,
+                on_progress=progress_with_io_bug,
+            ),
+        )
+        with pytest.raises(OSError, match="disk full"):
+            job.run(external=stores[0], local=stores[1])
+        # the job died on the first folded chunk instead of rerunning
+        assert len(calls) == 1
+
+    def test_oserror_after_first_chunk_propagates_on_shard_executor(
+        self, comparator, stores
+    ):
+        calls = []
+
+        def progress_with_io_bug(progress):
+            calls.append(progress)
+            raise OSError("disk full while logging progress")
+
+        job = LinkingJob(
+            FullIndex(),
+            comparator,
+            ThresholdMatcher(0.95),
+            JobConfig(executor="shard", workers=2, on_progress=progress_with_io_bug),
+        )
+        with pytest.raises(OSError, match="disk full"):
+            job.run(external=stores[0], local=stores[1])
+        assert len(calls) == 1
 
 
 class TestConfigValidation:

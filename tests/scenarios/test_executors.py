@@ -1,0 +1,49 @@
+"""Executor invariance over the scenario matrix.
+
+The engine's contract: serial, thread, process and shard executors
+produce byte-identical ``LinkingResult``s. The engine unit tests pin
+this on synthetic workloads; here it is pinned on real registered
+scenarios — including a rule-driven one, whose blocking shards on the
+external id — by comparing full deterministic snapshots (which embed
+the match digest) against the serial leg.
+"""
+
+import pytest
+
+from repro.engine import JobConfig
+from repro.scenarios import run_scenario
+
+#: One key-blocked and one rule-blocked scenario keep the matrix
+#: representative without paying four executors times ten workloads.
+SCENARIOS = ("electronics-tiny-prefix", "electronics-deep-rules")
+
+EXECUTORS = ("thread", "process", "shard")
+
+
+def _config(executor):
+    return JobConfig(executor=executor, workers=2, chunk_size=128)
+
+
+@pytest.fixture(scope="module")
+def serial_reports():
+    return {
+        name: run_scenario(name, job_config=_config("serial"), streaming=False)
+        for name in SCENARIOS
+    }
+
+
+@pytest.mark.parametrize("name", SCENARIOS)
+@pytest.mark.parametrize("executor", EXECUTORS)
+def test_executors_are_byte_identical_on_scenarios(name, executor, serial_reports):
+    report = run_scenario(name, job_config=_config(executor), streaming=False)
+    serial = serial_reports[name]
+    assert report.match_digest == serial.match_digest
+    assert report.snapshot() == serial.snapshot()
+
+
+@pytest.mark.parametrize("name", SCENARIOS)
+def test_shard_streaming_leg_matches_batch(name):
+    """The streaming identity check holds under the shard executor too
+    (the runner asserts batch == streamed inside the report)."""
+    report = run_scenario(name, job_config=_config("shard"))
+    assert report.streaming_identical
