@@ -294,6 +294,144 @@ def measure_shard_executor(catalog, size=400, seed=4242, workers=2) -> Measureme
     return Measurement(metrics=metrics, text=text)
 
 
+def _redundant_feed(catalog, pool_size=400, n_tx=20, tx_size=200, seed=7):
+    """A multi-column provider feed re-sent across transmissions.
+
+    Each transmission re-sends a sample of the same provider file under
+    fresh transmission ids — the redundancy pattern the batched scorer's
+    profile memo is built for. Records carry the two graph-backed
+    columns plus two derived ones (series code, vendor grade), the
+    multi-attribute shape real provider files have: pairwise scoring
+    pays per-field normalization and cache probes on every pair, while
+    the batched path collapses repeated records to one profile.
+    """
+    from repro.datagen.catalog import MANUFACTURER, PART_NUMBER
+    from repro.experiments.throughput import provider_batch
+    from repro.linking import RecordStore
+    from repro.linking.records import Record
+    from repro.rdf.terms import IRI
+
+    def enrich(record):
+        pn = record.values("pn")[0] if record.values("pn") else ""
+        maker = record.values("maker")[0] if record.values("maker") else ""
+        fields = dict(record.fields)
+        fields["series"] = (pn[:4],)
+        fields["grade"] = (maker[:4],)
+        return Record(id=record.id, fields=fields)
+
+    field_map = {"pn": PART_NUMBER, "maker": MANUFACTURER}
+    local = RecordStore(
+        [enrich(record) for record in RecordStore.from_graph(catalog.local_graph, field_map)]
+    )
+    graph, _ = provider_batch(catalog, pool_size, seed=4242)
+    pool = [enrich(record) for record in RecordStore.from_graph(graph, field_map)]
+    rng = random.Random(seed)
+    records = []
+    for index in range(n_tx):
+        for record in rng.sample(pool, min(tx_size, len(pool))):
+            records.append(
+                Record(id=IRI(f"{record.id}/tx{index}"), fields=record.fields)
+            )
+    return RecordStore(records), local
+
+
+def measure_batched_scoring(catalog, rounds=5, **feed_kwargs) -> Measurement:
+    """Batched columnar scoring vs the pairwise path: identity + speedup.
+
+    The same redundant provider feed is linked twice — with the default
+    pairwise scorer and with ``scoring="batched"`` — and the outcomes
+    must be byte-identical (same matches, same possible band, same
+    candidate pairs in the same order, same serialized sameAs graph).
+    The speedup is gated loosely (machines differ; the differential
+    test harness, not this benchmark, is the correctness gate) but the
+    trajectory tracks the real ratio per machine.
+    """
+    from repro.bench.runner import engine_metrics
+    from repro.engine import JobConfig, LinkingJob
+    from repro.linking import (
+        FieldComparator,
+        RecordComparator,
+        StandardBlocking,
+        ThresholdMatcher,
+    )
+    from repro.rdf import serialize_ntriples
+
+    external, local = _redundant_feed(catalog, **feed_kwargs)
+    comparator = RecordComparator(
+        [
+            FieldComparator("pn", weight=2.0),
+            FieldComparator("maker"),
+            FieldComparator("series"),
+            FieldComparator("grade"),
+        ]
+    )
+    matcher = ThresholdMatcher(match_threshold=0.9)
+    # one blocking method for every round of both legs: the key index is
+    # version-cached, so neither leg's ratio is diluted by index builds
+    blocking = StandardBlocking.on_field_prefix("pn", length=4)
+
+    def run(scoring):
+        config = JobConfig(executor="serial", chunk_size=512, scoring=scoring)
+        return LinkingJob(blocking, comparator, matcher, config).run(external, local)
+
+    pairwise_seconds, pairwise = _best_of(lambda: run("pairwise"), rounds=rounds)
+    batched_seconds, batched = _best_of(lambda: run("batched"), rounds=rounds)
+    stats = batched.stats
+    # metric-backed verdicts, like smoke-shard: the gate must see that
+    # the run actually scored batched (no silent pairwise degradation)
+    ran_batched = (
+        stats.scoring == "batched"
+        and stats.fallback_reason is None
+        and stats.batch_profiles > 0
+        and stats.batch_pair_misses > 0
+        # batched runs never consult the similarity cache — its counters
+        # reporting activity would mean the run silently went pairwise
+        and stats.cache_hits == 0
+        and stats.cache_misses == 0
+    )
+    identical = (
+        batched.matches == pairwise.matches
+        and batched.possible == pairwise.possible
+        and batched.candidate_pairs == pairwise.candidate_pairs
+        and batched.compared == pairwise.compared
+        and serialize_ntriples(batched.sameas_graph())
+        == serialize_ntriples(pairwise.sameas_graph())
+    )
+    # throughput from the best-of walls over the identical pair count —
+    # a single run's EngineStats snapshot is too noisy to gate on
+    pairwise_pps = pairwise.compared / pairwise_seconds if pairwise_seconds else 0.0
+    batched_pps = batched.compared / batched_seconds if batched_seconds else 0.0
+    pps_speedup = pairwise_seconds / batched_seconds if batched_seconds else float("inf")
+    metrics = engine_metrics(stats, prefix="batched_")
+    metrics.update(
+        pairwise_seconds=pairwise_seconds,
+        batched_seconds=batched_seconds,
+        pairwise_pairs_per_second=pairwise_pps,
+        batched_pairs_per_second=batched_pps,
+        pps_speedup=pps_speedup,
+        batch_reuse_rate=stats.batch_reuse_rate,
+        matches=len(pairwise.matches),
+        ran_batched=1.0 if ran_batched else 0.0,
+        identical=1.0 if identical else 0.0,
+    )
+    assert ran_batched, f"batched run silently degraded: {stats.format()}"
+    assert identical, "batched scoring diverged from the pairwise path"
+    text = "\n".join(
+        [
+            "smoke: batched columnar scoring byte-identity + speedup vs pairwise",
+            f"|S_E|={len(external)}, |S_L|={len(local)}, "
+            f"{pairwise.compared} pairs, {len(pairwise.matches)} matches",
+            f"pairwise {pairwise_seconds * 1000:8.1f} ms   "
+            f"{pairwise_pps:>10,.0f} pairs/s",
+            f"batched  {batched_seconds * 1000:8.1f} ms   "
+            f"{batched_pps:>10,.0f} pairs/s   "
+            f"({stats.batch_profiles} profiles, reuse {stats.batch_reuse_rate:.1%})",
+            f"-> x{pps_speedup:.2f} pairs/s, byte-identical",
+        ]
+    )
+    return Measurement(metrics=metrics, text=text)
+
+
 def measure_smoke_index_passes(catalog, support_threshold=SUPPORT, rounds=3) -> Measurement:
     """Index-backed frequency passes vs the scan learn (I1 at smoke
     scale) — the same measurement as ``measure_index_learner``, minus
@@ -381,6 +519,42 @@ register(
             ),
         ),
         report_name="smoke_shard",
+    )
+)
+
+register(
+    BenchmarkSpec(
+        name="smoke-batched-scoring",
+        description="batched columnar scoring byte-identical to pairwise, speedup tracked",
+        tier="smoke",
+        workload="small-catalog",
+        measure=measure_batched_scoring,
+        budgets=(
+            WALL,
+            MetricBudget("batched_seconds", "lower", WALL_TOLERANCE),
+            MetricBudget("batched_pairs_per_second", "higher", 0.65),
+            # the ratio is machine-robust but still noisy on loaded CI
+            # runners — the floor trips on a real regression, not jitter
+            MetricBudget("pps_speedup", "higher", 0.5),
+            # binary verdicts: any drop below 1.0 regresses
+            MetricBudget("ran_batched", "higher", 0.0),
+            MetricBudget("identical", "higher", 0.0),
+        ),
+        checks=(
+            lambda m: _assert(
+                m.metrics["ran_batched"] == 1.0,
+                "batched run silently degraded to pairwise scoring",
+            ),
+            lambda m: _assert(
+                m.metrics["identical"] == 1.0,
+                "batched scoring output diverged from pairwise",
+            ),
+            lambda m: _assert(
+                m.metrics["pps_speedup"] > 1.5,
+                f"batched scoring not faster: x{m.metrics['pps_speedup']:.2f}",
+            ),
+        ),
+        report_name="smoke_batched_scoring",
     )
 )
 

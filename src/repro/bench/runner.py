@@ -92,6 +92,9 @@ def engine_metrics(stats: EngineStats, prefix: str = "") -> Dict[str, float]:
         f"{prefix}cache_misses": stats.cache_misses,
         f"{prefix}cache_hit_rate": stats.cache_hit_rate,
         f"{prefix}chunk_count": stats.chunk_count,
+        f"{prefix}batch_profiles": stats.batch_profiles,
+        f"{prefix}batch_pair_hits": stats.batch_pair_hits,
+        f"{prefix}batch_pair_misses": stats.batch_pair_misses,
         f"{prefix}index_build_seconds": stats.index_build_seconds,
         f"{prefix}index_probe_seconds": stats.index_probe_seconds,
         f"{prefix}index_features": stats.index_features,

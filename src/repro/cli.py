@@ -156,6 +156,7 @@ def _job_config(args: argparse.Namespace):
         executor=args.executor,
         workers=args.workers,
         cache_size=args.cache_size,
+        scoring=args.scoring,
         on_progress=on_progress,
     )
 
@@ -175,7 +176,7 @@ def _non_negative_int(text: str) -> int:
 
 
 def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
-    from repro.engine import DEFAULT_CACHE_SIZE, EXECUTORS
+    from repro.engine import DEFAULT_CACHE_SIZE, EXECUTORS, SCORING
 
     parser.add_argument(
         "--executor",
@@ -201,6 +202,13 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         help="similarity-cache capacity per worker (0 disables)",
     )
     parser.add_argument(
+        "--scoring",
+        choices=SCORING,
+        default="pairwise",
+        help="pair scoring path (batched = columnar scorer with "
+        "per-profile-pair memoization; byte-identical output)",
+    )
+    parser.add_argument(
         "--progress", action="store_true", help="print per-chunk progress to stderr"
     )
     parser.add_argument(
@@ -217,6 +225,7 @@ def _cmd_link(args: argparse.Namespace) -> int:
     from repro.engine import LinkingJob
     from repro.experiments.throughput import provider_batch
     from repro.linking import (
+        CanopyBlocking,
         FieldComparator,
         QGramBlocking,
         RecordComparator,
@@ -250,6 +259,8 @@ def _cmd_link(args: argparse.Namespace) -> int:
         blocking = SortedNeighbourhood.on_field("pn", window_size=7)
     elif args.blocking == "qgram":
         blocking = QGramBlocking("pn", q=2, threshold=0.8, use_index=args.index)
+    elif args.blocking == "canopy":
+        blocking = CanopyBlocking("pn", loose=0.5, tight=0.9)
     else:
         blocking = StandardBlocking.on_field_prefix(
             "pn", length=4, use_index=args.index
@@ -270,6 +281,13 @@ def _cmd_link(args: argparse.Namespace) -> int:
     )
     print(str(quality))
     print(result.stats.format())
+    if result.stats.fallback_reason:
+        # degradations (shard -> process, batched -> pairwise, pool
+        # failure -> serial) must be loud, not buried in the stats block
+        print(
+            f"warning: degraded execution ({result.stats.fallback_reason})",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -553,7 +571,7 @@ def build_parser() -> argparse.ArgumentParser:
     link.add_argument("--test-items", type=_positive_int, default=300)
     link.add_argument(
         "--blocking",
-        choices=("rules", "rules-strict", "prefix", "sorted", "qgram"),
+        choices=("rules", "rules-strict", "prefix", "sorted", "qgram", "canopy"),
         default="prefix",
         help="candidate generation method (default: prefix)",
     )

@@ -31,21 +31,30 @@ grown through an incremental learner — with final matches guaranteed
 byte-identical to a from-scratch batch run.
 """
 
+from repro.engine.batch import BatchScorer
 from repro.engine.cache import (
     DEFAULT_CACHE_SIZE,
     CachedRecordComparator,
     LRUCache,
 )
-from repro.engine.job import EXECUTORS, JobConfig, LinkingJob, available_cpu_count
+from repro.engine.job import (
+    EXECUTORS,
+    SCORING,
+    JobConfig,
+    LinkingJob,
+    available_cpu_count,
+)
 from repro.engine.shard import ShardOutcome, ShardPlan, stable_key_hash
 from repro.engine.stats import EngineProgress, EngineStats
 from repro.engine.streaming import StreamingDelta, StreamingLinkingJob
 
 __all__ = [
     "DEFAULT_CACHE_SIZE",
+    "BatchScorer",
     "CachedRecordComparator",
     "LRUCache",
     "EXECUTORS",
+    "SCORING",
     "JobConfig",
     "LinkingJob",
     "EngineProgress",

@@ -42,6 +42,7 @@ from concurrent.futures import BrokenExecutor, Executor, ProcessPoolExecutor, Th
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Protocol, Tuple
 
+from repro.engine.batch import BatchScorer
 from repro.engine.cache import DEFAULT_CACHE_SIZE, CachedRecordComparator
 from repro.engine.shard import ShardOutcome, ShardPlan, merge_shard_groups
 from repro.engine.stats import EngineProgress, EngineStats
@@ -60,6 +61,11 @@ Pair = Tuple[Term, Term]
 DecisionWire = Tuple[Term, Term, Dict[str, float], float, str, float]
 
 EXECUTORS = ("serial", "thread", "process", "shard", "auto")
+
+#: Scoring paths: per-pair comparator dispatch, or the columnar
+#: batched scorer (see :mod:`repro.engine.batch`) — byte-identical
+#: output, memoized per record profile pair.
+SCORING = ("pairwise", "batched")
 
 
 def available_cpu_count() -> int:
@@ -107,6 +113,10 @@ class JobConfig:
       process, affinity/cgroup aware); 1 runs serially;
     * ``cache_size`` — LRU capacity of the similarity cache per worker
       (0 disables memoization);
+    * ``scoring`` — ``pairwise`` (per-pair comparator dispatch) or
+      ``batched`` (the columnar scorer of :mod:`repro.engine.batch`:
+      interned value columns, per-profile-pair memoization —
+      byte-identical output, works under every executor);
     * ``best_match_only`` — keep only the top-scoring match per external
       record (the Unique Name Assumption);
     * ``on_progress`` — called with an :class:`EngineProgress` after
@@ -117,6 +127,7 @@ class JobConfig:
     executor: str = "serial"
     workers: Optional[int] = None
     cache_size: int = DEFAULT_CACHE_SIZE
+    scoring: str = "pairwise"
     best_match_only: bool = True
     on_progress: Optional[Callable[[EngineProgress], None]] = None
 
@@ -131,6 +142,10 @@ class JobConfig:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
         if self.cache_size < 0:
             raise ValueError(f"cache size must be >= 0, got {self.cache_size}")
+        if self.scoring not in SCORING:
+            raise ValueError(
+                f"scoring must be one of {SCORING}, got {self.scoring!r}"
+            )
 
     def resolved_workers(self) -> int:
         """The worker count to use (available CPUs when unset)."""
@@ -156,6 +171,9 @@ class _ChunkOutcome:
     decisions: List[DecisionWire]
     cache_hits: int
     cache_misses: int
+    batch_hits: int = 0
+    batch_misses: int = 0
+    batch_profiles: int = 0
 
 
 class _ChunkRunner:
@@ -170,17 +188,26 @@ class _ChunkRunner:
         cache_size: int,
         thread_safe: bool = False,
         shared_cache: Optional[CachedRecordComparator] = None,
+        scoring: str = "pairwise",
+        scorer: Optional[BatchScorer] = None,
     ) -> None:
         self._external = external
         self._local = local
         # a caller-provided warm cache survives across runs and deltas;
-        # without one the runner builds its own, cold
+        # without one the runner builds its own, cold. Batched runs
+        # keep the instance for the counter API but never consult it —
+        # its hit/miss counters stay at this run's starting values.
         self.comparator = shared_cache or CachedRecordComparator(
             comparator, cache_size, thread_safe=thread_safe
         )
+        self.scorer = scorer
+        if scoring == "batched" and self.scorer is None:
+            self.scorer = BatchScorer(comparator, decider, thread_safe=thread_safe)
         self._decider = decider
 
     def run_chunk(self, pairs: List[Pair]) -> _ChunkOutcome:
+        if self.scorer is not None:
+            return self._run_chunk_batched(pairs)
         compared: List[Pair] = []
         decisions: List[DecisionWire] = []
         cache = self.comparator
@@ -211,6 +238,24 @@ class _ChunkRunner:
             cache_misses=cache.cache_misses - misses_before,
         )
 
+    def _run_chunk_batched(self, pairs: List[Pair]) -> _ChunkOutcome:
+        scorer = self.scorer
+        hits_before, misses_before = scorer.pair_hits, scorer.pair_misses
+        profiles_before = scorer.profile_count
+        compared, decisions = scorer.score_chunk(pairs, self._external, self._local)
+        # per-chunk deltas, exact for serial and per-process workers
+        # (the thread executor overwrites fold totals with the shared
+        # scorer's run-lifetime deltas — see LinkingJob._attempt)
+        return _ChunkOutcome(
+            pairs=compared,
+            decisions=decisions,
+            cache_hits=0,
+            cache_misses=0,
+            batch_hits=scorer.pair_hits - hits_before,
+            batch_misses=scorer.pair_misses - misses_before,
+            batch_profiles=scorer.profile_count - profiles_before,
+        )
+
 
 # Per-process worker state, set once by the pool initializer. With the
 # default fork start method on Linux the stores are inherited, not
@@ -224,9 +269,12 @@ def _init_process_worker(
     comparator: RecordComparator,
     decider: Decider,
     cache_size: int,
+    scoring: str = "pairwise",
 ) -> None:
     global _WORKER_RUNNER
-    _WORKER_RUNNER = _ChunkRunner(external, local, comparator, decider, cache_size)
+    _WORKER_RUNNER = _ChunkRunner(
+        external, local, comparator, decider, cache_size, scoring=scoring
+    )
 
 
 def _run_process_chunk(pairs: List[Pair]) -> _ChunkOutcome:
@@ -249,10 +297,12 @@ def _init_shard_worker(
     decider: Decider,
     cache_size: int,
     plan: ShardPlan,
+    scoring: str = "pairwise",
 ) -> None:
     global _SHARD_STATE
     cache = CachedRecordComparator(comparator, cache_size)
-    _SHARD_STATE = (blocking, external, local, cache, decider, plan)
+    scorer = BatchScorer(comparator, decider) if scoring == "batched" else None
+    _SHARD_STATE = (blocking, external, local, cache, decider, plan, scorer)
 
 
 def _run_shard_worker(shard: int) -> ShardOutcome:
@@ -266,8 +316,37 @@ def _run_shard_worker(shard: int) -> ShardOutcome:
     """
     if _SHARD_STATE is None:
         raise RuntimeError("shard worker used before initialization")
-    blocking, external, local, cache, decider, plan = _SHARD_STATE
+    blocking, external, local, cache, decider, plan, scorer = _SHARD_STATE
     hits_before, misses_before = cache.cache_hits, cache.cache_misses
+    if scorer is not None:
+        batch_hits_before = scorer.pair_hits
+        batch_misses_before = scorer.pair_misses
+        batch_profiles_before = scorer.profile_count
+        left_profiles = scorer.columns_for(external)
+        right_profiles = scorer.columns_for(local)
+        compiled = scorer.compiled
+
+        def score(ext_id: Term, local_id: Term):
+            left_profile = left_profiles.get(ext_id)
+            right_profile = right_profiles.get(local_id)
+            if left_profile is None or right_profile is None:
+                return None
+            if compiled:
+                return scorer.decision_for(left_profile, right_profile)
+            return scorer.decision_for(
+                left_profile, right_profile, external.get(ext_id), local.get(local_id)
+            )
+    else:
+
+        def score(ext_id: Term, local_id: Term):
+            left = external.get(ext_id)
+            right = local.get(local_id)
+            if left is None or right is None:
+                return None
+            vector = cache.compare(left, right)
+            decision = decider.decide(vector)
+            return decision.status, decision.score, vector.similarities, vector.aggregate
+
     groups: List[tuple] = []
     match_ext_ids: List[Term] = []
     compared = 0
@@ -277,30 +356,28 @@ def _run_shard_worker(shard: int) -> ShardOutcome:
     for ordinal, ext_id, local_id in blocking.shard_candidate_pairs(
         external, local, plan, shard
     ):
-        left = external.get(ext_id)
-        right = local.get(local_id)
-        if left is None or right is None:
+        scored = score(ext_id, local_id)
+        if scored is None:
             continue
         if ordinal != current:
             if locals_of:
                 groups.append((current, locals_of, wires))
             current, locals_of, wires = ordinal, [], []
-        vector = cache.compare(left, right)
-        decision = decider.decide(vector)
+        status, decision_score, similarities, aggregate = scored
         locals_of.append(local_id)
         compared += 1
-        if decision.status is not MatchStatus.NON_MATCH:
+        if status is not MatchStatus.NON_MATCH:
             wires.append(
                 (
                     ext_id,
                     local_id,
-                    dict(vector.similarities),
-                    vector.aggregate,
-                    decision.status.value,
-                    decision.score,
+                    dict(similarities),
+                    aggregate,
+                    status.value,
+                    decision_score,
                 )
             )
-            if decision.status is MatchStatus.MATCH:
+            if status is MatchStatus.MATCH:
                 match_ext_ids.append(ext_id)
     if locals_of:
         groups.append((current, locals_of, wires))
@@ -311,6 +388,9 @@ def _run_shard_worker(shard: int) -> ShardOutcome:
         match_ext_ids=match_ext_ids,
         cache_hits=cache.cache_hits - hits_before,
         cache_misses=cache.cache_misses - misses_before,
+        batch_hits=scorer.pair_hits - batch_hits_before if scorer else 0,
+        batch_misses=scorer.pair_misses - batch_misses_before if scorer else 0,
+        batch_profiles=scorer.profile_count - batch_profiles_before if scorer else 0,
     )
 
 
@@ -376,12 +456,18 @@ class _FoldState:
         self.chunks_done = 0
         self.cache_hits = 0
         self.cache_misses = 0
+        self.batch_hits = 0
+        self.batch_misses = 0
+        self.batch_profiles = 0
 
     def fold(self, outcome: _ChunkOutcome) -> None:
         self.compared += len(outcome.pairs)
         self.candidate_pairs.extend(outcome.pairs)
         self.cache_hits += outcome.cache_hits
         self.cache_misses += outcome.cache_misses
+        self.batch_hits += outcome.batch_hits
+        self.batch_misses += outcome.batch_misses
+        self.batch_profiles += outcome.batch_profiles
         self.fold_decisions(outcome.decisions)
         self.chunks_done += 1
 
@@ -427,10 +513,16 @@ class LinkingJob:
         comparator: RecordComparator | CachedRecordComparator,
         decider: Decider,
         config: JobConfig | None = None,
+        batch_scorer: Optional[BatchScorer] = None,
     ) -> None:
         self._config = config or JobConfig()
         self._cache_size = self._config.cache_size
         self._shared_cache: Optional[CachedRecordComparator] = None
+        # a caller-provided warm scorer (the streaming engine owns one
+        # per stream) survives across runs, like the shared cache; the
+        # process and shard executors ignore it and build per-worker
+        # scorers after the fork
+        self._batch_scorer = batch_scorer
         if isinstance(comparator, CachedRecordComparator):
             # honor the caller's cache configuration — and keep the
             # instance: the serial and thread paths reuse it directly,
@@ -462,18 +554,30 @@ class LinkingJob:
         started = time.perf_counter()
         executor = config.resolved_executor()
         workers = 1 if executor == "serial" else config.resolved_workers()
-        fallback_reason: str | None = None
+        fallbacks: List[str] = []
         if executor == "shard" and not self._supports_sharding():
             # no per-key block decomposition: the chunked process
             # executor is the closest strategy that still parallelizes
-            fallback_reason = (
+            fallbacks.append(
                 f"shard: {type(self._blocking).__name__} has no per-key "
                 "block decomposition; ran process"
             )
             executor = "process"
+        scoring = config.scoring
+        if scoring == "batched" and not BatchScorer.supports(self._comparator):
+            # a comparator subclass with custom comparison hooks computes
+            # something the columnar arithmetic cannot replicate: degrade
+            # to the pairwise path rather than silently diverge
+            fallbacks.append(
+                f"batched: {type(self._comparator).__name__} customizes "
+                "per-pair comparison; ran pairwise"
+            )
+            scoring = "pairwise"
         fold = _FoldState(external, local, config.best_match_only)
         try:
-            hits, misses = self._attempt(executor, workers, external, local, fold, started)
+            hits, misses = self._attempt(
+                executor, workers, scoring, external, local, fold, started
+            )
         except FALLBACK_ERRORS as exc:
             # An OSError after a chunk already completed is more likely a
             # bug in comparator/progress code than pool bringup: propagate
@@ -483,10 +587,13 @@ class LinkingJob:
             )
             if executor == "serial" or mid_run_os_error:
                 raise
-            fallback_reason = f"{type(exc).__name__}: {exc}"
+            fallbacks.append(f"{type(exc).__name__}: {exc}")
             executor, workers = "serial", 1
             fold = _FoldState(external, local, config.best_match_only)
-            hits, misses = self._attempt(executor, workers, external, local, fold, started)
+            hits, misses = self._attempt(
+                executor, workers, scoring, external, local, fold, started
+            )
+        fallback_reason = "; ".join(fallbacks) if fallbacks else None
         elapsed = time.perf_counter() - started
         # index-backed blocking methods report their shared index after
         # the candidate stream has been drained (getattr: duck-typed
@@ -513,6 +620,10 @@ class LinkingJob:
             index_probe_seconds=index_stats.probe_seconds if index_stats else 0.0,
             index_features=index_stats.features if index_stats else 0,
             index_postings=index_stats.postings if index_stats else 0,
+            scoring=scoring,
+            batch_profiles=fold.batch_profiles,
+            batch_pair_hits=fold.batch_hits,
+            batch_pair_misses=fold.batch_misses,
         )
         result = LinkingResult(
             matches=fold.final_matches(),
@@ -528,6 +639,7 @@ class LinkingJob:
         self,
         executor: str,
         workers: int,
+        scoring: str,
         external: RecordStore,
         local: RecordStore,
         fold: _FoldState,
@@ -548,7 +660,7 @@ class LinkingJob:
                 )
 
         if executor == "shard":
-            return self._attempt_shard(workers, external, local, fold, started)
+            return self._attempt_shard(workers, scoring, external, local, fold, started)
 
         chunks = _chunked(
             self._blocking.candidate_pairs(external, local), self._config.chunk_size
@@ -563,6 +675,7 @@ class LinkingJob:
                     self._comparator,
                     self._decider,
                     self._cache_size,
+                    scoring,
                 ),
             ) as pool:
                 _pump(pool, _run_process_chunk, chunks, handle, workers)
@@ -574,6 +687,13 @@ class LinkingJob:
             # an unsynchronized warm cache cannot serve a thread pool;
             # fall back to a fresh per-job thread-safe cache
             shared = None
+        scorer = None
+        if scoring == "batched":
+            scorer = self._batch_scorer
+            if scorer is not None and executor == "thread" and not scorer.thread_safe:
+                # same rule as the warm cache: an unguarded shared scorer
+                # cannot serve a thread pool
+                scorer = None
         runner = _ChunkRunner(
             external,
             local,
@@ -582,17 +702,30 @@ class LinkingJob:
             self._cache_size,
             thread_safe=executor == "thread",
             shared_cache=shared,
+            scoring=scoring,
+            scorer=scorer,
         )
-        # the comparator may be warm from earlier runs: report this
-        # run's lookups, not lifetime totals
+        # the comparator (and scorer) may be warm from earlier runs:
+        # report this run's lookups, not lifetime totals
         hits_before = runner.comparator.cache_hits
         misses_before = runner.comparator.cache_misses
+        if runner.scorer is not None:
+            batch_hits_before = runner.scorer.pair_hits
+            batch_misses_before = runner.scorer.pair_misses
+            batch_profiles_before = runner.scorer.profile_count
         if executor == "thread":
             with ThreadPoolExecutor(max_workers=workers) as pool:
                 _pump(pool, runner.run_chunk, chunks, handle, workers)
         else:
             for chunk in chunks:
                 handle(runner.run_chunk(chunk))
+        if runner.scorer is not None:
+            # the scorer is shared across the pool, so per-chunk delta
+            # snapshots may interleave under threads: overwrite the fold
+            # totals with the exact run-lifetime deltas
+            fold.batch_hits = runner.scorer.pair_hits - batch_hits_before
+            fold.batch_misses = runner.scorer.pair_misses - batch_misses_before
+            fold.batch_profiles = runner.scorer.profile_count - batch_profiles_before
         # shared cache: exact per-run deltas live on the runner's comparator
         return (
             runner.comparator.cache_hits - hits_before,
@@ -602,6 +735,7 @@ class LinkingJob:
     def _attempt_shard(
         self,
         workers: int,
+        scoring: str,
         external: RecordStore,
         local: RecordStore,
         fold: _FoldState,
@@ -637,6 +771,7 @@ class LinkingJob:
                 self._decider,
                 self._cache_size,
                 plan,
+                scoring,
             ),
         ) as pool:
             futures = [pool.submit(_run_shard_worker, s) for s in range(plan.shards)]
@@ -646,6 +781,9 @@ class LinkingJob:
                 fold.chunks_done += 1  # one "chunk" per shard
                 fold.cache_hits += outcome.cache_hits
                 fold.cache_misses += outcome.cache_misses
+                fold.batch_hits += outcome.batch_hits
+                fold.batch_misses += outcome.batch_misses
+                fold.batch_profiles += outcome.batch_profiles
                 compared_so_far += outcome.compared
                 if on_progress is not None:
                     if config.best_match_only:

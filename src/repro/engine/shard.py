@@ -126,7 +126,8 @@ class ShardOutcome:
     contributed at least one compared pair, in external-store order
     (the order the worker drew them). Cache counters are the worker's
     per-shard deltas, summed by the parent like the process executor's
-    per-chunk deltas.
+    per-chunk deltas; the ``batch_*`` counters are the batched scorer's
+    deltas when the run scores in batched mode (zero otherwise).
     """
 
     shard: int
@@ -135,6 +136,9 @@ class ShardOutcome:
     match_ext_ids: List
     cache_hits: int
     cache_misses: int
+    batch_hits: int = 0
+    batch_misses: int = 0
+    batch_profiles: int = 0
 
 
 def merge_shard_groups(outcomes: List[ShardOutcome]) -> Iterator[ShardGroup]:

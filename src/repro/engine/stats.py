@@ -47,10 +47,21 @@ class EngineStats:
     a parallel failure it reads ``serial`` and ``fallback_reason`` says
     why (a ``shard`` request on a blocking method without a per-key
     block decomposition reads ``process`` with the degradation noted
-    there). Cache counters are summed across workers for the process
-    and shard executors. ``shard_count`` is the number of key-space
-    shards a ``shard`` run planned (0 otherwise); for shard runs
-    ``chunk_count`` counts completed shards.
+    there; a ``batched`` request on a comparator the columnar scorer
+    cannot replicate reads ``pairwise`` the same way). Cache counters
+    are summed across workers for the process and shard executors.
+    ``shard_count`` is the number of key-space shards a ``shard`` run
+    planned (0 otherwise); for shard runs ``chunk_count`` counts
+    completed shards.
+
+    ``scoring`` is the scoring path that actually ran. For batched runs
+    the ``batch_*`` fields report the columnar scorer's work: distinct
+    record profiles interned, profile pairs scored from scratch
+    (``batch_pair_misses``) and pairs served whole from the profile-pair
+    memo (``batch_pair_hits``) — summed across workers like the cache
+    counters. The similarity-cache counters stay untouched by batched
+    runs (the scorer never consults the pairwise cache), so a zero hit
+    rate there is honest, not a regression.
 
     The ``index_*`` fields report the blocking method's shared inverted
     index (see :mod:`repro.index`) when one was used: build/probe wall
@@ -71,6 +82,10 @@ class EngineStats:
     index_probe_seconds: float = 0.0
     index_features: int = 0
     index_postings: int = 0
+    scoring: str = "pairwise"
+    batch_profiles: int = 0
+    batch_pair_hits: int = 0
+    batch_pair_misses: int = 0
 
     @property
     def pairs_per_second(self) -> float:
@@ -85,11 +100,19 @@ class EngineStats:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
 
+    @property
+    def batch_reuse_rate(self) -> float:
+        """Pairs served whole from the profile-pair memo, over all pairs
+        scored (0.0 outside batched runs)."""
+        total = self.batch_pair_hits + self.batch_pair_misses
+        return self.batch_pair_hits / total if total else 0.0
+
     def format(self) -> str:
         """One-paragraph human-readable report."""
         shards = f" shards={self.shard_count}" if self.shard_count else ""
+        scoring = f" scoring={self.scoring}" if self.scoring != "pairwise" else ""
         lines = [
-            f"executor={self.executor} workers={self.workers}{shards} "
+            f"executor={self.executor} workers={self.workers}{shards}{scoring} "
             f"chunks={self.chunk_count} (size {self.chunk_size})",
             f"compared {self.pairs_compared} pairs in "
             f"{self.elapsed_seconds:.2f}s -> "
@@ -98,6 +121,13 @@ class EngineStats:
             f"{self.cache_misses} misses "
             f"(hit rate {self.cache_hit_rate:.1%})",
         ]
+        if self.scoring == "batched":
+            lines.append(
+                f"batched scoring: {self.batch_profiles} profiles, "
+                f"{self.batch_pair_misses} pairs scored / "
+                f"{self.batch_pair_hits} memoized "
+                f"(reuse {self.batch_reuse_rate:.1%})"
+            )
         if self.index_features or self.index_postings:
             mean_posting = (
                 self.index_postings / self.index_features if self.index_features else 0.0

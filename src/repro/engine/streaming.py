@@ -49,6 +49,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 from repro.core.incremental import IncrementalRuleLearner
 from repro.core.rules import RuleSet
 from repro.core.training import SameAsLink
+from repro.engine.batch import BatchScorer
 from repro.engine.cache import CachedRecordComparator
 from repro.engine.job import Decider, JobConfig, LinkingJob, Pair, update_best_match
 from repro.engine.stats import EngineStats
@@ -143,8 +144,10 @@ class StreamingLinkingJob:
         self._local = local
         self._config = config or JobConfig()
         resolved = self._config.resolved_executor()
+        batched = self._config.scoring == "batched"
         if (
             shared_cache
+            and not batched
             and not isinstance(comparator, CachedRecordComparator)
             and resolved in ("serial", "thread")
             and self._config.cache_size > 0
@@ -153,11 +156,29 @@ class StreamingLinkingJob:
             # jobs reuse it (LinkingJob keeps caller-provided cached
             # comparators), so repeated value pairs across deltas are
             # memoized once. Memoization never changes a similarity, so
-            # the batch byte-identity contract is unaffected.
+            # the batch byte-identity contract is unaffected. Batched
+            # streams skip the wrapper — the columnar scorer below plays
+            # the warm-cache role and the pairwise cache would only
+            # report misleading zeros.
             comparator = CachedRecordComparator(
                 comparator,
                 self._config.cache_size,
                 thread_safe=resolved == "thread",
+            )
+        self._batch_scorer = None
+        if (
+            batched
+            and shared_cache
+            and resolved in ("serial", "thread")
+            and BatchScorer.supports(comparator)
+        ):
+            # the batched analogue of the stream-owned cache: one scorer
+            # for the whole stream, so profiles interned and profile
+            # pairs scored in delta 0 are reused by every later delta
+            # (the local store's column survives across deltas, version
+            # guarded). Process/shard deltas build per-worker scorers.
+            self._batch_scorer = BatchScorer(
+                comparator, decider, thread_safe=resolved == "thread"
             )
         self._comparator = comparator
         self._decider = decider
@@ -262,6 +283,7 @@ class StreamingLinkingJob:
                 self._comparator,
                 self._decider,
                 dataclasses.replace(self._config, best_match_only=False),
+                batch_scorer=self._batch_scorer,
             )
             outcome = job.run(delta_store, self._local)
             self._matches.extend(outcome.matches)
@@ -319,6 +341,7 @@ class StreamingLinkingJob:
                 chunk_count=0,
                 pairs_compared=0,
                 elapsed_seconds=0.0,
+                scoring=self._config.scoring,
             )
         first = per_delta[0]
         fallback = next(
@@ -342,6 +365,13 @@ class StreamingLinkingJob:
             index_probe_seconds=sum(s.index_probe_seconds for s in per_delta),
             index_features=per_delta[-1].index_features,
             index_postings=per_delta[-1].index_postings,
+            scoring=first.scoring,
+            # with a stream-owned scorer the per-delta deltas sum to the
+            # stream totals; per-worker scorers (process/shard) sum the
+            # same way the cache counters do
+            batch_profiles=sum(s.batch_profiles for s in per_delta),
+            batch_pair_hits=sum(s.batch_pair_hits for s in per_delta),
+            batch_pair_misses=sum(s.batch_pair_misses for s in per_delta),
         )
 
     def result(self) -> LinkingResult:

@@ -75,6 +75,26 @@ class ThresholdMatcher:
             status = MatchStatus.NON_MATCH
         return MatchDecision(vector=vector, status=status, score=score)
 
+    def compile_batched(self):
+        """Compile the decision into a closure over scored vectors.
+
+        The batched scoring path (:class:`repro.engine.batch.BatchScorer`)
+        memoizes decisions per record profile pair; that is only sound
+        for deciders whose output depends on the scored vector alone.
+        The threshold decision reads nothing but the aggregate, so the
+        closure replicates :meth:`decide` comparison for comparison.
+        """
+        match, possible = self._match, self._possible
+
+        def decide_scored(similarities, aggregate):
+            if aggregate >= match:
+                return MatchStatus.MATCH, aggregate
+            if possible is not None and aggregate >= possible:
+                return MatchStatus.POSSIBLE, aggregate
+            return MatchStatus.NON_MATCH, aggregate
+
+        return decide_scored
+
 
 class FellegiSunterMatcher:
     """Fellegi-Sunter probabilistic matcher with supervised m/u training.
@@ -180,3 +200,42 @@ class FellegiSunterMatcher:
         else:
             status = MatchStatus.NON_MATCH
         return MatchDecision(vector=vector, status=status, score=score)
+
+    def compile_batched(self):
+        """Compile the trained decision into a closure over scored vectors.
+
+        The per-field ``log2`` likelihood ratios are constants once m/u
+        are trained, so they are computed here, once, and the closure
+        reduces to one table lookup and one add per field — summed in
+        the same field order as :meth:`weight`, so the float total is
+        bit-identical. Untrained matchers return ``None``: the batched
+        path then calls :meth:`decide` per pair, which raises exactly
+        like the pairwise path would.
+        """
+        if not self._trained:
+            return None
+        agreement = self._agreement
+        upper, lower = self._upper, self._lower
+        agree_weight = {
+            f: math.log2(self._m[f] / self._u[f]) for f in self._m
+        }
+        disagree_weight = {
+            f: math.log2((1 - self._m[f]) / (1 - self._u[f])) for f in self._m
+        }
+
+        def decide_scored(similarities, aggregate):
+            total = 0.0
+            for field_name, sim in similarities.items():
+                if sim >= agreement:
+                    total += agree_weight[field_name]
+                else:
+                    total += disagree_weight[field_name]
+            if total >= upper:
+                status = MatchStatus.MATCH
+            elif total >= lower:
+                status = MatchStatus.POSSIBLE
+            else:
+                status = MatchStatus.NON_MATCH
+            return status, total
+
+        return decide_scored

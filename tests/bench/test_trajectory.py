@@ -122,6 +122,53 @@ class TestTrajectoryCli:
         assert "smoke-linknig" in err
         assert "empty trajectory" not in err
 
+    def test_legacy_single_object_file_counts_as_one_record(
+        self, tmp_path, capsys
+    ):
+        """A pre-append-era file (one bare record object) satisfies the
+        CI guard as a one-record trajectory — the upgrade is the
+        reader's job, not the operator's."""
+        from repro.cli import main
+
+        write_result(tmp_path / "trajectory", _result(benchmark="smoke-learner"))
+        code = main(
+            ["bench", "trajectory", "--bench", "smoke-learner",
+             "--results-dir", str(tmp_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "smoke-learner" in out
+        assert "1 record(s)" in out
+
+    def test_explicit_empty_array_fails_like_a_missing_file(
+        self, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        path = trajectory_path(tmp_path / "trajectory", "smoke-learner")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("[]\n")
+        code = main(
+            ["bench", "trajectory", "--bench", "smoke-learner",
+             "--results-dir", str(tmp_path)]
+        )
+        assert code == 1
+        assert "empty trajectory for: smoke-learner" in capsys.readouterr().err
+
+    def test_json_output_reports_record_counts(self, tmp_path, capsys):
+        from repro.cli import main
+
+        directory = tmp_path / "trajectory"
+        append_result(directory, _result(benchmark="smoke-learner", value=1.0))
+        append_result(directory, _result(benchmark="smoke-learner", value=2.0))
+        code = main(
+            ["bench", "trajectory", "--bench", "smoke-learner",
+             "--results-dir", str(tmp_path), "--json"]
+        )
+        assert code == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows == [{"benchmark": "smoke-learner", "records": 2}]
+
 
 class TestRunnerIntegration:
     def test_a_bench_run_appends_exactly_one_schema_valid_record(self, tmp_path):

@@ -12,10 +12,39 @@ Expected rules:
 """
 
 import pytest
+from hypothesis import settings as hypothesis_settings
 
 from repro.core import SameAsLink, TrainingSet
+
+# CI runs the property suites under a pinned, reproducible profile
+# (HYPOTHESIS_PROFILE=ci): derandomized so a red build is re-runnable,
+# no deadline so shared-runner jitter cannot flake an example.
+hypothesis_settings.register_profile(
+    "ci", derandomize=True, deadline=None, print_blob=True
+)
 from repro.ontology import Ontology
 from repro.rdf import EX, Graph, Literal, Triple
+
+
+@pytest.fixture(scope="session")
+def scenario_report():
+    """Memoized ``name -> ScenarioReport`` runner (default pairwise legs).
+
+    Scenario runs are the expensive part (generation + two engine legs),
+    so reports are computed once per session and shared between the
+    golden-snapshot layer (``tests/scenarios``) and the batched-scoring
+    differential layer (``tests/engine``).
+    """
+    from repro.scenarios import run_scenario
+
+    cache = {}
+
+    def get(name: str):
+        if name not in cache:
+            cache[name] = run_scenario(name)
+        return cache[name]
+
+    return get
 
 
 LINK_DATA = [

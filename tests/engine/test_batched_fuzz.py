@@ -1,0 +1,186 @@
+"""Differential fuzz: batched columnar scoring vs the pairwise path.
+
+The batched scorer promises *exactly* the pairwise path's output — same
+matches, same possible band, same candidate order, same scores — for any
+record store, any comparator configuration and any decider. Hypothesis
+generates all three sides: random multi-valued, partially-populated
+record stores over a small shared vocabulary (so duplicate field
+signatures and whole-profile collisions actually occur), random
+comparator stacks (per-field similarity function, weight and
+missing-value policy), and both threshold and trained Fellegi-Sunter
+deciders. A thinner executor-matrix leg re-checks the invariant through
+the thread, process and shard pools.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import JobConfig, LinkingJob
+from repro.linking import (
+    FellegiSunterMatcher,
+    FieldComparator,
+    Record,
+    RecordComparator,
+    RecordStore,
+    StandardBlocking,
+    ThresholdMatcher,
+)
+from repro.rdf import EX
+from repro.text.similarity import (
+    jaro_winkler_similarity,
+    lcs_similarity,
+    levenshtein_similarity,
+    qgram_cosine_similarity,
+)
+
+SIMILARITIES = (
+    jaro_winkler_similarity,
+    levenshtein_similarity,
+    qgram_cosine_similarity,
+    lcs_similarity,
+)
+
+FIELDS = ("pn", "maker", "grade")
+
+#: Small vocabulary with shared prefixes: blocking groups collide, field
+#: signatures repeat, and whole-record profiles occasionally coincide.
+VOCAB = (
+    "crcw-10k", "crcw-22k", "crcw-10r", "t83-220", "t83-470",
+    "abc-999", "abc-998", "Acme Corp", "acme corp", "tantalex",
+)
+
+
+@st.composite
+def record_stores(draw, prefix, min_size=2, max_size=10):
+    records = []
+    for index in range(draw(st.integers(min_value=min_size, max_value=max_size))):
+        fields = {}
+        for field in FIELDS:
+            values = draw(
+                st.lists(st.sampled_from(VOCAB), min_size=0, max_size=2)
+            )
+            if values:
+                fields[field] = tuple(values)
+        if "pn" not in fields:  # keep every record blockable
+            fields["pn"] = (draw(st.sampled_from(VOCAB)),)
+        records.append(Record(id=EX[f"{prefix}{index}"], fields=fields))
+    return RecordStore(records)
+
+
+@st.composite
+def comparators(draw):
+    names = draw(
+        st.lists(st.sampled_from(FIELDS), min_size=1, max_size=3, unique=True)
+    )
+    return RecordComparator(
+        [
+            FieldComparator(
+                name,
+                similarity=draw(st.sampled_from(SIMILARITIES)),
+                weight=draw(st.sampled_from((0.5, 1.0, 2.0, 3.0))),
+                missing_value=draw(st.sampled_from((0.0, 0.25, 0.5))),
+            )
+            for name in names
+        ]
+    )
+
+
+@st.composite
+def deciders(draw, comparator):
+    if draw(st.booleans()):
+        match = draw(st.sampled_from((0.7, 0.8, 0.9, 0.95)))
+        possible = draw(st.sampled_from((None, 0.5, 0.6)))
+        return ThresholdMatcher(match_threshold=match, possible_threshold=possible)
+    pairs = [
+        (
+            Record(id=EX[f"tl{i}"], fields={"pn": (value,), "maker": (value,)}),
+            Record(id=EX[f"tr{i}"], fields={"pn": (value,), "maker": (value,)}),
+        )
+        for i, value in enumerate(VOCAB[:4])
+    ]
+    non = [
+        (
+            Record(id=EX[f"nl{i}"], fields={"pn": (a,), "maker": (a,)}),
+            Record(id=EX[f"nr{i}"], fields={"pn": (b,), "maker": (b,)}),
+        )
+        for i, (a, b) in enumerate(zip(VOCAB[:3], VOCAB[5:8]))
+    ]
+    return FellegiSunterMatcher(
+        comparator,
+        agreement_threshold=draw(st.sampled_from((0.8, 0.9))),
+    ).train(pairs, non)
+
+
+@st.composite
+def linking_problems(draw):
+    comparator = draw(comparators())
+    return (
+        draw(record_stores("e")),
+        draw(record_stores("l")),
+        comparator,
+        draw(deciders(comparator)),
+    )
+
+
+def run(external, local, comparator, decider, **config):
+    return LinkingJob(
+        StandardBlocking.on_field_prefix("pn", length=3),
+        comparator,
+        decider,
+        JobConfig(chunk_size=4, **config),
+    ).run(external, local)
+
+
+def assert_identical(a, b):
+    assert a.matches == b.matches
+    assert a.possible == b.possible
+    assert a.candidate_pairs == b.candidate_pairs
+    assert a.compared == b.compared
+
+
+@given(linking_problems())
+@settings(max_examples=120, deadline=None)
+def test_batched_equals_pairwise(problem):
+    external, local, comparator, decider = problem
+    pairwise = run(external, local, comparator, decider, executor="serial")
+    batched = run(
+        external, local, comparator, decider,
+        executor="serial", scoring="batched",
+    )
+    assert_identical(batched, pairwise)
+    assert batched.stats.scoring == "batched"
+    # exact score equality, not approx: same floats or the digest splits
+    for a, b in zip(batched.matches, pairwise.matches):
+        assert a.score == b.score
+        assert a.vector.similarities == b.vector.similarities
+        assert a.vector.aggregate == b.vector.aggregate
+
+
+@given(linking_problems())
+@settings(max_examples=60, deadline=None)
+def test_batched_memo_counters_account_for_every_pair(problem):
+    external, local, comparator, decider = problem
+    result = run(
+        external, local, comparator, decider,
+        executor="serial", scoring="batched",
+    )
+    stats = result.stats
+    assert stats.batch_pair_hits + stats.batch_pair_misses == result.compared
+    assert stats.batch_pair_misses <= result.compared
+    assert stats.cache_hits == 0 and stats.cache_misses == 0
+
+
+@given(linking_problems(), st.sampled_from(("thread", "process", "shard")))
+@settings(max_examples=12, deadline=None)
+def test_batched_equals_pairwise_under_pool_executors(problem, executor):
+    """Thin pooled leg: workers chunk, score and fold concurrently, yet
+    both scoring modes still agree byte-for-byte."""
+    external, local, comparator, decider = problem
+    pairwise = run(external, local, comparator, decider, executor="serial")
+    batched = run(
+        external, local, comparator, decider,
+        executor=executor, workers=2, scoring="batched",
+    )
+    assert_identical(batched, pairwise)
+    assert batched.stats.executor == executor
+    assert batched.stats.fallback_reason is None

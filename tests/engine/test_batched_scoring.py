@@ -1,0 +1,531 @@
+"""Differential harness for batched columnar scoring.
+
+The batched path (``JobConfig.scoring="batched"``) must be byte-identical
+to the pairwise path — same matches, same possible band, same candidate
+pairs in the same order — under every executor, for every decider, and
+through the streaming engine. These tests pin that contract at three
+levels: the :class:`BatchScorer` unit arithmetic, whole-job runs across
+the executor matrix, and degradation behavior when a comparator opts out
+of the columnar arithmetic.
+
+Scenario-level identity (all ten registered scenarios plus their
+streaming legs) lives in ``test_batched_scenarios.py``; randomized
+differential fuzzing in ``tests/core/test_batched_fuzz.py``.
+"""
+
+import pytest
+
+from repro.engine import (
+    BatchScorer,
+    JobConfig,
+    LinkingJob,
+    StreamingLinkingJob,
+)
+from repro.linking import (
+    FellegiSunterMatcher,
+    FieldComparator,
+    QGramBlocking,
+    Record,
+    RecordComparator,
+    RecordStore,
+    StandardBlocking,
+    ThresholdMatcher,
+)
+from repro.linking.matchers import MatchStatus
+from repro.rdf import EX
+
+
+def record(name, pn, maker="acme"):
+    pns = pn if isinstance(pn, tuple) else (pn,)
+    fields = {"pn": pns}
+    if maker is not None:
+        fields["maker"] = (maker,)
+    return Record(id=EX[name], fields=fields)
+
+
+EXTERNAL_RECORDS = [
+    record("e0", "crcw0805-10k"),
+    record("e1", "t83-220", maker="tantalex"),
+    record("e2", "abc-999"),
+    # same content as e0 under a fresh id: shares e0's profile
+    record("e3", "crcw0805-10k"),
+    # multi-valued part number: the max cross-product branch
+    record("e4", ("crcw0805-22k", "crcw0805-10k")),
+    # missing maker: the missing_value branch
+    record("e5", "abc-998", maker=None),
+]
+
+LOCAL_RECORDS = [
+    record("l0", "crcw0805-10k"),
+    record("l1", "t83-220", maker="tantalex"),
+    record("l2", "abc-999"),
+    record("l3", "crcw0805-22k"),
+    record("l4", "abc-997", maker=None),
+]
+
+
+@pytest.fixture
+def stores():
+    return RecordStore(EXTERNAL_RECORDS), RecordStore(LOCAL_RECORDS)
+
+
+@pytest.fixture
+def comparator():
+    return RecordComparator(
+        [FieldComparator("pn", weight=2.0), FieldComparator("maker", weight=1.0)]
+    )
+
+
+def make_blocking():
+    return StandardBlocking.on_field_prefix("pn", length=3)
+
+
+def trained_fs(comparator):
+    matches = [
+        (record("m1", "crcw0805-10k"), record("m2", "crcw0805-10k")),
+        (record("m3", "t83-220", maker="tantalex"), record("m4", "t83-220", maker="tantalex")),
+    ]
+    non_matches = [
+        (record("n1", "crcw0805-10k"), record("n2", "zzz-111", maker="other")),
+        (record("n3", "abc-999"), record("n4", "t83-220", maker="tantalex")),
+    ]
+    return FellegiSunterMatcher(comparator, agreement_threshold=0.9).train(
+        matches, non_matches
+    )
+
+
+def assert_identical(a, b):
+    """The repo's byte-identity notion: same decisions, same order."""
+    assert a.matches == b.matches
+    assert a.possible == b.possible
+    assert a.candidate_pairs == b.candidate_pairs
+    assert a.compared == b.compared
+
+
+class CustomComparator(RecordComparator):
+    """A subclass the columnar arithmetic must refuse to replicate."""
+
+    def _field_similarity(self, index, comparator, left, right):
+        return min(1.0, super()._field_similarity(index, comparator, left, right) + 0.05)
+
+
+class RecordingDecider:
+    """An uncompilable decider that inspects the actual records."""
+
+    def __init__(self, threshold=0.9):
+        self._inner = ThresholdMatcher(match_threshold=threshold)
+        self.seen = []
+
+    def decide(self, vector):
+        # record identity proves the per-pair path hands real records over
+        self.seen.append((vector.left.id, vector.right.id))
+        return self._inner.decide(vector)
+
+
+class TestBatchScorerUnit:
+    def test_supports_base_comparator_and_cached_wrapper(self, comparator):
+        from repro.engine import CachedRecordComparator
+
+        assert BatchScorer.supports(comparator)
+        assert BatchScorer.supports(CachedRecordComparator(comparator))
+        assert not BatchScorer.supports(CustomComparator(comparator.comparators))
+        assert not BatchScorer.supports(object())
+
+    def test_rejects_unsupported_comparator(self, comparator):
+        with pytest.raises(ValueError, match="customizes per-pair"):
+            BatchScorer(CustomComparator(comparator.comparators), ThresholdMatcher())
+
+    def test_decider_compilation(self, comparator):
+        assert BatchScorer(comparator, ThresholdMatcher()).compiled
+        untrained = FellegiSunterMatcher(comparator)
+        assert not BatchScorer(comparator, untrained).compiled
+        assert BatchScorer(comparator, trained_fs(comparator)).compiled
+        assert not BatchScorer(comparator, RecordingDecider()).compiled
+
+    @pytest.mark.parametrize(
+        "make_decider",
+        (
+            lambda c: ThresholdMatcher(match_threshold=0.9, possible_threshold=0.6),
+            lambda c: trained_fs(c),
+        ),
+        ids=("threshold", "fellegi-sunter"),
+    )
+    def test_decision_parity_over_full_cross_product(
+        self, comparator, stores, make_decider
+    ):
+        """Every pair's vector and decision equal the pairwise path exactly."""
+        external, local = stores
+        decider = make_decider(comparator)
+        scorer = BatchScorer(comparator, decider)
+        ext_profiles = scorer.columns_for(external)
+        loc_profiles = scorer.columns_for(local)
+        for left in external:
+            for right in local:
+                vector = comparator.compare(left, right)
+                expected = decider.decide(vector)
+                status, score, similarities, aggregate = scorer.decision_for(
+                    ext_profiles[left.id], loc_profiles[right.id], left, right
+                )
+                assert similarities == vector.similarities
+                assert aggregate == vector.aggregate  # exact float, not approx
+                assert status is expected.status
+                assert score == expected.score
+
+    def test_uncompiled_decider_runs_per_pair_on_real_records(
+        self, comparator, stores
+    ):
+        external, local = stores
+        decider = RecordingDecider()
+        scorer = BatchScorer(comparator, decider)
+        ext_profiles = scorer.columns_for(external)
+        loc_profiles = scorer.columns_for(local)
+        left, right = external.get(EX["e0"]), local.get(EX["l0"])
+        for _ in range(2):
+            scorer.decision_for(
+                ext_profiles[left.id], loc_profiles[right.id], left, right
+            )
+        # the vector is memoized but the decider still saw both calls
+        assert decider.seen == [(EX["e0"], EX["l0"]), (EX["e0"], EX["l0"])]
+        assert scorer.pair_misses == 1
+        assert scorer.pair_hits == 1
+
+    def test_equal_records_share_a_profile(self, comparator, stores):
+        external, _ = stores
+        scorer = BatchScorer(comparator, ThresholdMatcher())
+        profiles = scorer.columns_for(external)
+        assert profiles[EX["e0"]] == profiles[EX["e3"]]  # same content
+        assert profiles[EX["e0"]] != profiles[EX["e1"]]
+        assert scorer.profile_count == len(set(profiles.values()))
+
+    def test_pair_memo_counters(self, comparator, stores):
+        external, local = stores
+        scorer = BatchScorer(comparator, ThresholdMatcher())
+        pairs = [(e.id, l.id) for e in external for l in local]
+        scorer.score_chunk(pairs, external, local)
+        assert scorer.pair_hits + scorer.pair_misses == len(pairs)
+        # e0 and e3 share a profile, so their rows hit the same memo rows
+        assert scorer.pair_hits >= len(local)
+        assert scorer.unique_pairs == scorer.pair_misses
+        hits_before = scorer.pair_hits
+        scorer.score_chunk(pairs, external, local)  # fully warm second pass
+        assert scorer.pair_misses == scorer.unique_pairs
+        assert scorer.pair_hits == hits_before + len(pairs)
+
+    def test_score_chunk_skips_pairs_missing_from_either_store(
+        self, comparator, stores
+    ):
+        external, local = stores
+        scorer = BatchScorer(comparator, ThresholdMatcher())
+        pairs = [(EX["e0"], EX["l0"]), (EX["ghost"], EX["l0"]), (EX["e0"], EX["ghost"])]
+        compared, _ = scorer.score_chunk(pairs, external, local)
+        assert compared == [(EX["e0"], EX["l0"])]
+
+    def test_columns_invalidated_by_store_version(self, comparator, stores):
+        external, _ = stores
+        scorer = BatchScorer(comparator, ThresholdMatcher())
+        before = scorer.columns_for(external)
+        assert scorer.columns_for(external) is before  # cached by version
+        external.add(record("e6", "new-part"))
+        after = scorer.columns_for(external)
+        assert after is not before
+        assert EX["e6"] in after
+        # vocabularies are append-only: previously handed-out ids survive
+        assert all(after[rid] == pid for rid, pid in before.items())
+
+    def test_thread_safe_flag(self, comparator):
+        assert not BatchScorer(comparator, ThresholdMatcher()).thread_safe
+        assert BatchScorer(comparator, ThresholdMatcher(), thread_safe=True).thread_safe
+
+
+class TestBatchedJobIdentity:
+    @pytest.mark.parametrize("executor", ("serial", "thread", "process", "shard"))
+    def test_batched_byte_identical_to_pairwise_under_every_executor(
+        self, comparator, stores, executor
+    ):
+        external, local = stores
+        matcher = ThresholdMatcher(match_threshold=0.9, possible_threshold=0.6)
+        pairwise = LinkingJob(
+            make_blocking(), comparator, matcher, JobConfig(executor="serial")
+        ).run(external, local)
+        batched = LinkingJob(
+            make_blocking(),
+            comparator,
+            matcher,
+            JobConfig(executor=executor, workers=2, chunk_size=4, scoring="batched"),
+        ).run(external, local)
+        assert_identical(batched, pairwise)
+        stats = batched.stats
+        assert stats.executor == executor
+        assert stats.fallback_reason is None
+        assert stats.scoring == "batched"
+        assert stats.batch_profiles > 0
+        assert stats.batch_pair_misses > 0
+        # batched runs never consult the similarity cache: its counters
+        # must stay silent instead of reporting a bogus hit rate
+        assert stats.cache_hits == 0
+        assert stats.cache_misses == 0
+
+    def test_batched_with_trained_fellegi_sunter(self, comparator, stores):
+        external, local = stores
+        matcher = trained_fs(comparator)
+        pairwise = LinkingJob(
+            make_blocking(), comparator, matcher, JobConfig(executor="serial")
+        ).run(external, local)
+        batched = LinkingJob(
+            make_blocking(), comparator, matcher,
+            JobConfig(executor="serial", scoring="batched"),
+        ).run(external, local)
+        assert_identical(batched, pairwise)
+        assert batched.stats.scoring == "batched"
+
+    def test_batched_with_uncompilable_decider_still_identical(
+        self, comparator, stores
+    ):
+        external, local = stores
+        pairwise = LinkingJob(
+            make_blocking(), comparator, RecordingDecider(),
+            JobConfig(executor="serial"),
+        ).run(external, local)
+        batched = LinkingJob(
+            make_blocking(), comparator, RecordingDecider(),
+            JobConfig(executor="serial", scoring="batched"),
+        ).run(external, local)
+        assert_identical(batched, pairwise)
+        assert batched.stats.scoring == "batched"
+
+    def test_batched_with_best_match_only(self, comparator, stores):
+        external, local = stores
+        matcher = ThresholdMatcher(match_threshold=0.8)
+        pairwise = LinkingJob(
+            make_blocking(), comparator, matcher,
+            JobConfig(executor="serial", best_match_only=True),
+        ).run(external, local)
+        batched = LinkingJob(
+            make_blocking(), comparator, matcher,
+            JobConfig(executor="serial", best_match_only=True, scoring="batched"),
+        ).run(external, local)
+        assert_identical(batched, pairwise)
+
+    def test_batch_counters_survive_the_parallel_fold(self, comparator, stores):
+        """Process/shard workers report per-chunk deltas; the fold must sum
+        them to the same totals a serial run observes."""
+        external, local = stores
+        matcher = ThresholdMatcher(match_threshold=0.9)
+
+        def run(executor):
+            return LinkingJob(
+                make_blocking(), comparator, matcher,
+                JobConfig(executor=executor, workers=2, chunk_size=4, scoring="batched"),
+            ).run(external, local)
+
+        serial = run("serial")
+        process = run("process")
+        total = serial.stats.batch_pair_hits + serial.stats.batch_pair_misses
+        assert total == serial.compared
+        assert (
+            process.stats.batch_pair_hits + process.stats.batch_pair_misses
+            == process.compared
+        )
+
+
+class TestBatchedDegradation:
+    def test_unsupported_comparator_degrades_to_pairwise(self, comparator, stores):
+        external, local = stores
+        custom = CustomComparator(
+            [FieldComparator("pn", weight=2.0), FieldComparator("maker", weight=1.0)]
+        )
+        matcher = ThresholdMatcher(match_threshold=0.9)
+        pairwise = LinkingJob(
+            make_blocking(), custom, matcher, JobConfig(executor="serial")
+        ).run(external, local)
+        degraded = LinkingJob(
+            make_blocking(), custom, matcher,
+            JobConfig(executor="serial", scoring="batched"),
+        ).run(external, local)
+        # degradation preserves the custom arithmetic instead of
+        # silently diverging from it
+        assert_identical(degraded, pairwise)
+        stats = degraded.stats
+        assert stats.scoring == "pairwise"
+        assert stats.fallback_reason == (
+            "batched: CustomComparator customizes per-pair comparison; "
+            "ran pairwise"
+        )
+        assert stats.batch_profiles == 0
+        # the pairwise cache is live again in degraded mode
+        assert stats.cache_hits + stats.cache_misses > 0
+
+    def test_degradation_reason_lands_in_the_stats_format(self, comparator, stores):
+        external, local = stores
+        custom = CustomComparator([FieldComparator("pn")])
+        result = LinkingJob(
+            make_blocking(), custom, ThresholdMatcher(),
+            JobConfig(executor="serial", scoring="batched"),
+        ).run(external, local)
+        formatted = result.stats.format()
+        assert "fallback:" in formatted
+        assert "batched: CustomComparator" in formatted
+
+    def test_shard_and_batched_degradations_compose(self, stores):
+        """QGram blocking cannot shard AND a custom comparator cannot
+        batch: both reasons must surface, joined, in declaration order."""
+        external, local = stores
+        custom = CustomComparator([FieldComparator("pn")])
+        result = LinkingJob(
+            QGramBlocking("pn", q=3, threshold=0.6),
+            custom,
+            ThresholdMatcher(match_threshold=0.9),
+            JobConfig(executor="shard", workers=2, scoring="batched"),
+        ).run(external, local)
+        stats = result.stats
+        assert stats.executor == "process"  # shard degraded
+        assert stats.scoring == "pairwise"  # batched degraded
+        reason = stats.fallback_reason
+        assert reason is not None
+        assert reason.startswith("shard: QGramBlocking")
+        assert "; batched: CustomComparator" in reason
+        assert reason.index("shard:") < reason.index("batched:")
+
+
+class TestStreamingBatched:
+    def deltas(self):
+        return [EXTERNAL_RECORDS[:3], EXTERNAL_RECORDS[3:]]
+
+    def stream(self, comparator, config, **kwargs):
+        local = RecordStore(LOCAL_RECORDS)
+        job = StreamingLinkingJob(
+            local,
+            comparator,
+            ThresholdMatcher(match_threshold=0.9, possible_threshold=0.6),
+            config,
+            blocking=make_blocking(),
+            **kwargs,
+        )
+        for delta in self.deltas():
+            job.ingest(delta)
+        return job
+
+    def batch_pairwise(self, comparator):
+        return LinkingJob(
+            make_blocking(),
+            comparator,
+            ThresholdMatcher(match_threshold=0.9, possible_threshold=0.6),
+            JobConfig(executor="serial"),
+        ).run(RecordStore(EXTERNAL_RECORDS), RecordStore(LOCAL_RECORDS))
+
+    @pytest.mark.parametrize("executor", ("serial", "thread"))
+    def test_streamed_batched_matches_pairwise_batch(self, comparator, executor):
+        config = JobConfig(executor=executor, workers=2, chunk_size=4, scoring="batched")
+        job = self.stream(comparator, config)
+        result = job.result()
+        batch = self.batch_pairwise(comparator)
+        assert result.matches == batch.matches
+        assert result.possible == batch.possible
+        assert result.compared == batch.compared
+        stats = result.stats
+        assert stats.scoring == "batched"
+        assert stats.batch_profiles > 0
+        assert stats.cache_hits == 0 and stats.cache_misses == 0
+        # the stream owns one scorer for the whole delta sequence,
+        # thread-safe exactly when the pool needs it
+        assert job._batch_scorer is not None
+        assert job._batch_scorer.thread_safe == (executor == "thread")
+
+    def test_stream_owned_scorer_carries_memos_across_deltas(self, comparator):
+        config = JobConfig(executor="serial", chunk_size=4, scoring="batched")
+        job = self.stream(comparator, config)
+        # delta 2 re-sends e3 (= e0's content), so its profile and its
+        # pairs against every local record were already scored in delta 1
+        assert job.result().stats.batch_pair_hits > 0
+
+    def test_unshared_cache_stream_still_batched_and_identical(self, comparator):
+        config = JobConfig(executor="serial", chunk_size=4, scoring="batched")
+        job = self.stream(comparator, config, shared_cache=False)
+        assert job._batch_scorer is None  # per-job scorers instead
+        result = job.result()
+        batch = self.batch_pairwise(comparator)
+        assert result.matches == batch.matches
+        assert result.stats.scoring == "batched"
+
+
+class TestCacheHonesty:
+    """Batched runs must not report bogus similarity-cache hit rates.
+
+    The columnar scorer never consults the pairwise cache, so a
+    caller-provided :class:`CachedRecordComparator` has to sit idle —
+    zero hits, zero misses — instead of accumulating counters that
+    suggest the cache did the work the profile-pair memo actually did.
+    """
+
+    def run(self, comparator, stores, scoring):
+        external, local = stores
+        return LinkingJob(
+            make_blocking(), comparator, ThresholdMatcher(match_threshold=0.9),
+            JobConfig(executor="serial", scoring=scoring),
+        ).run(external, local)
+
+    def test_caller_provided_cache_sits_idle_under_batched(
+        self, comparator, stores
+    ):
+        from repro.engine import CachedRecordComparator
+
+        cached = CachedRecordComparator(comparator)
+        stats = self.run(cached, stores, "batched").stats
+        assert stats.scoring == "batched"
+        assert stats.cache_hits == 0
+        assert stats.cache_misses == 0
+        assert stats.cache_hit_rate == 0.0
+        # the instance itself, not just the report, stayed untouched
+        assert cached.cache_hits == 0
+        assert cached.cache_misses == 0
+
+    def test_same_cache_is_live_under_pairwise(self, comparator, stores):
+        from repro.engine import CachedRecordComparator
+
+        cached = CachedRecordComparator(comparator)
+        stats = self.run(cached, stores, "pairwise").stats
+        assert stats.cache_misses > 0
+
+    def test_batched_stream_skips_the_cache_wrapper(self, comparator):
+        from repro.engine import CachedRecordComparator
+
+        def stream(scoring):
+            return StreamingLinkingJob(
+                RecordStore(LOCAL_RECORDS),
+                comparator,
+                ThresholdMatcher(match_threshold=0.9),
+                JobConfig(executor="serial", scoring=scoring),
+                blocking=make_blocking(),
+            )
+
+        # pairwise streams own a warm cache; batched streams own a
+        # scorer instead — wrapping anyway would only report zeros
+        assert isinstance(stream("pairwise")._comparator, CachedRecordComparator)
+        batched = stream("batched")
+        assert not isinstance(batched._comparator, CachedRecordComparator)
+        assert batched._batch_scorer is not None
+
+
+class TestBatchedStatsFormat:
+    def run(self, scoring, comparator, stores):
+        external, local = stores
+        return LinkingJob(
+            make_blocking(), comparator, ThresholdMatcher(match_threshold=0.9),
+            JobConfig(executor="serial", scoring=scoring),
+        ).run(external, local)
+
+    def test_batched_run_reports_scoring_and_reuse(self, comparator, stores):
+        formatted = self.run("batched", comparator, stores).stats.format()
+        assert "scoring=batched" in formatted
+        assert "batched scoring:" in formatted
+        assert "reuse" in formatted
+
+    def test_pairwise_run_format_is_unchanged(self, comparator, stores):
+        formatted = self.run("pairwise", comparator, stores).stats.format()
+        assert "scoring=" not in formatted
+        assert "batched scoring:" not in formatted
+        assert "hit rate" in formatted
+
+    def test_job_config_rejects_unknown_scoring(self):
+        with pytest.raises(ValueError, match="scoring"):
+            JobConfig(scoring="columnar")

@@ -171,7 +171,14 @@ class TestShardExecutorIdentity:
         ).run(external, local)
         assert shard.stats.executor == "process"
         assert shard.stats.shard_count == 0
-        assert "per-key block decomposition" in shard.stats.fallback_reason
+        # the reason names the offending blocking class and both the
+        # requested and the actual strategy — nothing generic
+        assert shard.stats.fallback_reason == (
+            f"shard: {type(make_blocking()).__name__} has no per-key "
+            "block decomposition; ran process"
+        )
+        # and it is surfaced, not just recorded: format() carries it
+        assert f"fallback: {shard.stats.fallback_reason}" in shard.stats.format()
         assert_identical(shard, serial)
 
     def test_shard_run_never_reports_stale_parent_index_stats(

@@ -1,8 +1,8 @@
 """Fixtures for the scenario regression layer.
 
-Scenario runs are the expensive part (generation + two engine legs), so
-reports are computed once per session and shared between the golden
-test and any other consumer.
+The session-scoped ``scenario_report`` runner lives in the top-level
+``tests/conftest.py`` so the batched-scoring differential layer under
+``tests/engine`` shares the same memoized pairwise reports.
 """
 
 from pathlib import Path
@@ -10,21 +10,6 @@ from pathlib import Path
 import pytest
 
 SNAPSHOT_DIR = Path(__file__).parent / "snapshots"
-
-
-@pytest.fixture(scope="session")
-def scenario_report():
-    """Memoized ``name -> ScenarioReport`` runner."""
-    from repro.scenarios import run_scenario
-
-    cache = {}
-
-    def get(name: str):
-        if name not in cache:
-            cache[name] = run_scenario(name)
-        return cache[name]
-
-    return get
 
 
 @pytest.fixture(scope="session")

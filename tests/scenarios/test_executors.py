@@ -20,8 +20,8 @@ SCENARIOS = ("electronics-tiny-prefix", "electronics-deep-rules")
 EXECUTORS = ("thread", "process", "shard")
 
 
-def _config(executor):
-    return JobConfig(executor=executor, workers=2, chunk_size=128)
+def _config(executor, scoring="pairwise"):
+    return JobConfig(executor=executor, workers=2, chunk_size=128, scoring=scoring)
 
 
 @pytest.fixture(scope="module")
@@ -47,3 +47,18 @@ def test_shard_streaming_leg_matches_batch(name):
     (the runner asserts batch == streamed inside the report)."""
     report = run_scenario(name, job_config=_config("shard"))
     assert report.streaming_identical
+
+
+@pytest.mark.parametrize("name", SCENARIOS)
+@pytest.mark.parametrize("executor", ("serial",) + EXECUTORS)
+def test_batched_scoring_is_byte_identical_on_scenarios(
+    name, executor, serial_reports
+):
+    """The scoring dimension composes with the executor dimension: every
+    executor's batched leg reproduces the serial pairwise snapshot."""
+    report = run_scenario(
+        name, job_config=_config(executor, scoring="batched"), streaming=False
+    )
+    serial = serial_reports[name]
+    assert report.match_digest == serial.match_digest
+    assert report.snapshot() == serial.snapshot()

@@ -139,6 +139,54 @@ class TestExecution:
         assert "pairs/s" in out
         assert "hit rate" in out
 
+    @pytest.mark.parametrize(
+        "blocking,degraded_class",
+        [
+            ("qgram", "QGramBlocking"),
+            ("sorted", "SortedNeighbourhood"),
+            ("canopy", "CanopyBlocking"),
+        ],
+    )
+    def test_link_surfaces_shard_degradation(self, capsys, blocking, degraded_class):
+        """q-gram, window and canopy blocking cannot shard: a shard
+        request must degrade loudly — reason in the stats block on
+        stdout AND a warning on stderr — never silently."""
+        code = main(
+            ["link", "--preset", "tiny", "--test-items", "30",
+             "--executor", "shard", "--workers", "2",
+             "--blocking", blocking]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "executor=process" in captured.out
+        reason = (
+            f"shard: {degraded_class} has no per-key block decomposition; "
+            "ran process"
+        )
+        assert f"fallback: {reason}" in captured.out
+        assert f"warning: degraded execution ({reason})" in captured.err
+
+    def test_link_batched_scoring(self, capsys):
+        code = main(
+            ["link", "--preset", "tiny", "--test-items", "40",
+             "--executor", "serial", "--scoring", "batched"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "scoring=batched" in captured.out
+        assert "batched scoring:" in captured.out
+        assert "warning: degraded execution" not in captured.err
+
+    def test_link_scoring_flag_parses(self):
+        args = build_parser().parse_args(["link", "--scoring", "batched"])
+        assert args.scoring == "batched"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["link", "--scoring", "columnar"])
+
+    def test_link_canopy_blocking_parses(self):
+        args = build_parser().parse_args(["link", "--blocking", "canopy"])
+        assert args.blocking == "canopy"
+
     def test_link_with_progress(self, capsys):
         code = main(
             ["link", "--preset", "tiny", "--test-items", "40",
