@@ -1,7 +1,7 @@
 """The benchmark library: every registered spec.
 
-Five **smoke** benchmarks run on the small presets in seconds — they are
-the CI perf gate (``repro bench run --tier smoke``). The **standard**
+Seven **smoke** benchmarks run on the small presets in seconds — they
+are the CI perf gate (``repro bench run --tier smoke``). The **standard**
 tier absorbs the paper-scale measurements the old standalone
 ``bench_*.py`` scripts made (those scripts are now one-line shims onto
 this registry); **full** adds the multi-catalog scalability sweep and
@@ -294,6 +294,150 @@ def measure_shard_executor(catalog, size=400, seed=4242, workers=2) -> Measureme
     return Measurement(metrics=metrics, text=text)
 
 
+def _skewed_provider(catalog, pool_size=300, size=300, seed=4242):
+    """A provider batch with a skewed key distribution.
+
+    The provider pool is re-sampled Zipf-style under fresh ids: a few
+    hot part-number families dominate the batch, so q-gram sub-list
+    blocks, window neighbourhoods and canopies are heavily unbalanced —
+    exactly the shape the shard plan's LPT balancing and the per-class
+    ownership rules have to cope with.
+    """
+    from repro.datagen.catalog import MANUFACTURER, PART_NUMBER
+    from repro.experiments.throughput import provider_batch
+    from repro.linking import RecordStore
+    from repro.linking.records import Record
+    from repro.rdf.terms import IRI
+
+    field_map = {"pn": PART_NUMBER, "maker": MANUFACTURER}
+    local = RecordStore.from_graph(catalog.local_graph, field_map)
+    graph, _ = provider_batch(catalog, pool_size, seed=seed)
+    pool = list(RecordStore.from_graph(graph, field_map))
+    rng = random.Random(seed)
+    weights = [1.0 / (rank + 1) for rank in range(len(pool))]
+    records = [
+        Record(id=IRI(f"{record.id}/sk{index}"), fields=record.fields)
+        for index, record in enumerate(
+            rng.choices(pool, weights=weights, k=size)
+        )
+    ]
+    return RecordStore(records), local
+
+
+def measure_shard_blocking(catalog, size=300, seed=4242, workers=2, rounds=1) -> Measurement:
+    """Shard-native q-gram / window / canopy blocking vs the serial path.
+
+    Each of the three key-interleaving blocking classes links the same
+    skewed provider batch twice — serially and with the ``shard``
+    executor — and every shard leg must (a) actually run sharded (no
+    per-class degradation: these classes used to fall back to the
+    process executor) and (b) be byte-identical to its serial twin,
+    down to the serialized sameAs graph. The aggregate pairs/sec
+    speedup is gated at >1.5x only on machines that can parallelize
+    (``os.cpu_count() >= 2``) — a 1-CPU runner pays pool bring-up for
+    no parallelism, so there the verdicts and the baseline-relative
+    budgets are the gate while the trajectory tracks the real ratio.
+    """
+    import os
+
+    from repro.bench.runner import engine_metrics
+    from repro.engine import JobConfig, LinkingJob
+    from repro.linking import (
+        CanopyBlocking,
+        FieldComparator,
+        QGramBlocking,
+        RecordComparator,
+        SortedNeighbourhood,
+        ThresholdMatcher,
+    )
+    from repro.rdf import serialize_ntriples
+
+    external, local = _skewed_provider(catalog, size=size, seed=seed)
+    comparator = RecordComparator(
+        [FieldComparator("pn", weight=2.0), FieldComparator("maker")]
+    )
+    matcher = ThresholdMatcher(match_threshold=0.9)
+    methods = (
+        ("qgram", lambda: QGramBlocking("pn", q=2, threshold=0.8)),
+        ("window", lambda: SortedNeighbourhood.on_field("pn", window_size=7)),
+        ("canopy", lambda: CanopyBlocking("pn", loose=0.5, tight=0.9)),
+    )
+
+    def run(make_blocking, executor):
+        config = JobConfig(executor=executor, chunk_size=512, workers=workers)
+        return LinkingJob(make_blocking(), comparator, matcher, config).run(
+            external, local
+        )
+
+    cpus = os.cpu_count() or 1
+    metrics = {"shard_workers": workers, "cpus": cpus}
+    lines = [
+        "smoke: shard-native q-gram/window/canopy blocking vs serial "
+        "(skewed keys)",
+        f"|S_E|={len(external)}, |S_L|={len(local)}, "
+        f"{workers} shards, {cpus} cpu(s)",
+    ]
+    all_sharded = True
+    all_identical = True
+    serial_total = 0.0
+    shard_total = 0.0
+    for name, make_blocking in methods:
+        serial_seconds, serial = _best_of(
+            lambda: run(make_blocking, "serial"), rounds=rounds
+        )
+        shard_seconds, shard = _best_of(
+            lambda: run(make_blocking, "shard"), rounds=rounds
+        )
+        sharded = (
+            shard.stats.executor == "shard"
+            and shard.stats.fallback_reason is None
+            and shard.stats.shard_count == workers
+        )
+        identical = (
+            shard.matches == serial.matches
+            and shard.possible == serial.possible
+            and shard.candidate_pairs == serial.candidate_pairs
+            and shard.compared == serial.compared
+            and serialize_ntriples(shard.sameas_graph())
+            == serialize_ntriples(serial.sameas_graph())
+        )
+        all_sharded = all_sharded and sharded
+        all_identical = all_identical and identical
+        serial_total += serial_seconds
+        shard_total += shard_seconds
+        speedup = serial_seconds / shard_seconds if shard_seconds else float("inf")
+        metrics.update(
+            {
+                f"{name}_serial_seconds": serial_seconds,
+                f"{name}_shard_seconds": shard_seconds,
+                f"{name}_speedup": speedup,
+                f"{name}_pairs": serial.compared,
+            }
+        )
+        if name == "qgram":
+            metrics.update(engine_metrics(shard.stats, prefix="qgram_shard_"))
+        lines.append(
+            f"{name:<8} serial {serial_seconds * 1000:8.1f} ms / "
+            f"shard {shard_seconds * 1000:8.1f} ms   x{speedup:.2f}   "
+            f"{serial.compared} pairs"
+            f"{'' if identical else '   DIVERGED'}"
+        )
+    pps_speedup = serial_total / shard_total if shard_total else float("inf")
+    metrics.update(
+        serial_seconds=serial_total,
+        shard_seconds=shard_total,
+        pps_speedup=pps_speedup,
+        ran_sharded=1.0 if all_sharded else 0.0,
+        identical=1.0 if all_identical else 0.0,
+    )
+    assert all_sharded, "a blocking class silently degraded out of shard"
+    assert all_identical, "a shard leg diverged from its serial twin"
+    lines.append(
+        f"-> aggregate x{pps_speedup:.2f} pairs/s, all byte-identical"
+    )
+    return Measurement(metrics=metrics, text="\n".join(lines))
+
+
 def _redundant_feed(catalog, pool_size=400, n_tx=20, tx_size=200, seed=7):
     """A multi-column provider feed re-sent across transmissions.
 
@@ -519,6 +663,45 @@ register(
             ),
         ),
         report_name="smoke_shard",
+    )
+)
+
+register(
+    BenchmarkSpec(
+        name="smoke-shard-blocking",
+        description="q-gram/window/canopy blocking shard-native vs serial on skewed keys",
+        tier="smoke",
+        workload="small-catalog",
+        measure=measure_shard_blocking,
+        budgets=(
+            WALL,
+            MetricBudget("serial_seconds", "lower", WALL_TOLERANCE),
+            MetricBudget("shard_seconds", "lower", WALL_TOLERANCE),
+            # machine-relative: the trajectory tracks the real ratio; a
+            # genuine regression against this machine's baseline trips it
+            MetricBudget("pps_speedup", "higher", 0.5),
+            # binary verdicts: any drop below 1.0 regresses
+            MetricBudget("ran_sharded", "higher", 0.0),
+            MetricBudget("identical", "higher", 0.0),
+        ),
+        checks=(
+            lambda m: _assert(
+                m.metrics["ran_sharded"] == 1.0,
+                "a blocking class silently degraded out of the shard executor",
+            ),
+            lambda m: _assert(
+                m.metrics["identical"] == 1.0,
+                "a shard leg diverged from its serial twin",
+            ),
+            # the speedup gate needs real parallelism to be meaningful:
+            # on a 1-CPU runner the shard pool shares one core with the
+            # parent, so only multi-CPU machines enforce the 1.5x floor
+            lambda m: _assert(
+                m.metrics["cpus"] < 2 or m.metrics["pps_speedup"] > 1.5,
+                f"sharded blocking not faster: x{m.metrics['pps_speedup']:.2f}",
+            ),
+        ),
+        report_name="smoke_shard_blocking",
     )
 )
 

@@ -155,6 +155,7 @@ def _job_config(args: argparse.Namespace):
         chunk_size=args.chunk_size,
         executor=args.executor,
         workers=args.workers,
+        shards=args.shards,
         cache_size=args.cache_size,
         scoring=args.scoring,
         on_progress=on_progress,
@@ -184,10 +185,17 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         default="auto",
         help="execution strategy (default: auto = process when CPUs allow; "
         "shard = workers generate their own key-space shards' candidates "
-        "in-worker, degrading to process when the blocking cannot shard)",
+        "in-worker; every built-in blocking method shards)",
     )
     parser.add_argument(
         "--workers", type=_positive_int, default=None, help="worker count"
+    )
+    parser.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=None,
+        help="key-space shard count for the shard executor "
+        "(default: the worker count)",
     )
     parser.add_argument(
         "--chunk-size",
@@ -285,7 +293,8 @@ def _cmd_link(args: argparse.Namespace) -> int:
         # degradations (shard -> process, batched -> pairwise, pool
         # failure -> serial) must be loud, not buried in the stats block
         print(
-            f"warning: degraded execution ({result.stats.fallback_reason})",
+            f"warning: degraded execution, ran {result.stats.executor} "
+            f"({result.stats.fallback_reason})",
             file=sys.stderr,
         )
     return 0

@@ -25,11 +25,12 @@ generating every candidate pair and pickling chunks to workers, a
 shards in-worker (stores inherited via fork — zero pair pickling; only
 compact :data:`DecisionWire` results cross the process boundary). The
 parent folds shard outcomes in deterministic shard order and merges the
-ordinal-tagged groups back into external-store order, so the result is
-byte-identical to the serial path. Blocking methods without a per-key
-block decomposition (see
-:meth:`~repro.linking.blocking.BlockingMethod.supports_sharding`)
-degrade to the ``process`` executor with the reason recorded.
+sort-key-tagged groups back into serial emission order, so the result
+is byte-identical to the serial path. Every registered blocking method
+implements the per-key block decomposition (see
+:meth:`~repro.linking.blocking.BlockingMethod.supports_sharding`);
+duck-typed blocking doubles that do not degrade to the ``process``
+executor with the reason recorded.
 """
 
 from __future__ import annotations
@@ -111,6 +112,10 @@ class JobConfig:
       available);
     * ``workers`` — worker count (default: the CPUs *available* to the
       process, affinity/cgroup aware); 1 runs serially;
+    * ``shards`` — key-space shard count for the ``shard`` executor
+      (default: the resolved worker count). More shards than workers
+      queue on the pool — useful when per-shard load is skewed; the
+      setting is inert under the other executors;
     * ``cache_size`` — LRU capacity of the similarity cache per worker
       (0 disables memoization);
     * ``scoring`` — ``pairwise`` (per-pair comparator dispatch) or
@@ -126,6 +131,7 @@ class JobConfig:
     chunk_size: int = 1024
     executor: str = "serial"
     workers: Optional[int] = None
+    shards: Optional[int] = None
     cache_size: int = DEFAULT_CACHE_SIZE
     scoring: str = "pairwise"
     best_match_only: bool = True
@@ -140,6 +146,8 @@ class JobConfig:
             )
         if self.workers is not None and self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.shards is not None and self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
         if self.cache_size < 0:
             raise ValueError(f"cache size must be >= 0, got {self.cache_size}")
         if self.scoring not in SCORING:
@@ -152,6 +160,13 @@ class JobConfig:
         if self.workers is not None:
             return self.workers
         return max(1, available_cpu_count())
+
+    def resolved_shards(self) -> int:
+        """The shard executor's key-space shard count (workers when
+        unset — one shard per worker)."""
+        if self.shards is not None:
+            return self.shards
+        return self.resolved_workers()
 
     def resolved_executor(self) -> str:
         """The concrete strategy (``auto`` resolved, 1 worker = serial)."""
@@ -305,14 +320,19 @@ def _init_shard_worker(
     _SHARD_STATE = (blocking, external, local, cache, decider, plan, scorer)
 
 
+#: Group sentinel: distinct from every sort key a blocking method can
+#: emit (keys are ints or int tuples), so the first pair always opens a
+#: fresh group.
+_NO_GROUP = object()
+
+
 def _run_shard_worker(shard: int) -> ShardOutcome:
     """Generate, compare and decide one shard's candidates in-worker.
 
     Pairs are drawn lazily from the blocking method's per-key block
     iteration — the candidate stream never exists in the parent — and
-    grouped per external record (tagged with the record's store
-    ordinal) so the parent can merge shard outcomes back into serial
-    comparison order.
+    runs of consecutive equal sort keys become one group, so the parent
+    can merge shard outcomes back into serial comparison order.
     """
     if _SHARD_STATE is None:
         raise RuntimeError("shard worker used before initialization")
@@ -350,21 +370,21 @@ def _run_shard_worker(shard: int) -> ShardOutcome:
     groups: List[tuple] = []
     match_ext_ids: List[Term] = []
     compared = 0
-    current = -1
-    locals_of: List[Term] = []
+    current: object = _NO_GROUP
+    pairs: List[Pair] = []
     wires: List[DecisionWire] = []
-    for ordinal, ext_id, local_id in blocking.shard_candidate_pairs(
+    for sort_key, ext_id, local_id in blocking.shard_candidate_pairs(
         external, local, plan, shard
     ):
         scored = score(ext_id, local_id)
         if scored is None:
             continue
-        if ordinal != current:
-            if locals_of:
-                groups.append((current, locals_of, wires))
-            current, locals_of, wires = ordinal, [], []
+        if sort_key != current:
+            if pairs:
+                groups.append((current, pairs, wires))
+            current, pairs, wires = sort_key, [], []
         status, decision_score, similarities, aggregate = scored
-        locals_of.append(local_id)
+        pairs.append((ext_id, local_id))
         compared += 1
         if status is not MatchStatus.NON_MATCH:
             wires.append(
@@ -379,8 +399,8 @@ def _run_shard_worker(shard: int) -> ShardOutcome:
             )
             if status is MatchStatus.MATCH:
                 match_ext_ids.append(ext_id)
-    if locals_of:
-        groups.append((current, locals_of, wires))
+    if pairs:
+        groups.append((current, pairs, wires))
     return ShardOutcome(
         shard=shard,
         groups=groups,
@@ -614,7 +634,7 @@ class LinkingJob:
             elapsed_seconds=elapsed,
             cache_hits=hits,
             cache_misses=misses,
-            shard_count=workers if executor == "shard" else 0,
+            shard_count=config.resolved_shards() if executor == "shard" else 0,
             fallback_reason=fallback_reason,
             index_build_seconds=index_stats.build_seconds if index_stats else 0.0,
             index_probe_seconds=index_stats.probe_seconds if index_stats else 0.0,
@@ -744,24 +764,23 @@ class LinkingJob:
         """Block-parallel execution: one shard of the key space per worker.
 
         The plan is built in the parent (which also warms any shared
-        block index *before* the fork, so workers inherit it); workers
-        generate, compare and decide their own shards' candidates; the
-        parent consumes outcomes in deterministic shard order and then
-        folds the ordinal-merged groups, reconstructing the serial
-        comparison order exactly.
+        block index — and canopy's center pass — *before* the fork, so
+        workers inherit it); workers generate, compare and decide their
+        own shards' candidates; the parent consumes outcomes in
+        deterministic shard order and then folds the key-merged groups,
+        reconstructing the serial comparison order exactly.
         """
         config = self._config
         on_progress = config.on_progress
         plan = ShardPlan.build(
-            workers, self._blocking.shard_block_sizes(external, local)
+            config.resolved_shards(), self._blocking.shard_block_sizes(external, local)
         )
-        ext_ids = list(external.ids())
         outcomes: List[ShardOutcome] = []
         compared_so_far = 0
         matched_ext: set = set()
         match_wires = 0
         with ProcessPoolExecutor(
-            max_workers=workers,
+            max_workers=min(workers, plan.shards),
             initializer=_init_shard_worker,
             initargs=(
                 self._blocking,
@@ -800,10 +819,9 @@ class LinkingJob:
                             elapsed_seconds=time.perf_counter() - started,
                         )
                     )
-        for ordinal, local_ids, wires in merge_shard_groups(outcomes):
-            ext_id = ext_ids[ordinal]
-            fold.compared += len(local_ids)
-            fold.candidate_pairs.extend((ext_id, local_id) for local_id in local_ids)
+        for _sort_key, pairs, wires in merge_shard_groups(outcomes):
+            fold.compared += len(pairs)
+            fold.candidate_pairs.extend(pairs)
             fold.fold_decisions(wires)
         return fold.cache_hits, fold.cache_misses
 

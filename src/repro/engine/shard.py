@@ -25,9 +25,11 @@ Balance comes from two sources, composed:
   shards in different workers.
 
 Determinism does **not** rest on the plan, though. Shard outcomes carry
-their external-record ordinals, the parent folds outcomes in shard
-order and merges the per-record groups back into external-store order
-(:func:`merge_shard_groups`), so the final
+group sort keys derived from the serial emission order (an external
+ordinal for record-keyed methods, richer tuples for methods like q-gram
+or sorted-neighbourhood whose serial order interleaves records), the
+parent folds outcomes in shard order and merges the groups back into
+that serial order (:func:`merge_shard_groups`), so the final
 :class:`~repro.linking.pipeline.LinkingResult` is byte-identical to the
 serial path whatever the plan assigned where.
 """
@@ -36,14 +38,23 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple, Union
 
-#: One worker's results for one external record: the record's ordinal
-#: in external-store order, the local ids actually compared (in block
-#: emission order) and the non-NON_MATCH decision wires (see
-#: :data:`repro.engine.job.DecisionWire`). Ordinals let the parent
+#: A merge group's sort key: the blocking method's encoding of where
+#: the group sits in the *serial* emission order. An int (external
+#: ordinal) for methods whose serial order is external-store order;
+#: tuples of ints for methods that interleave records (q-gram's
+#: ``(ordinal, key index)``, sorted-neighbourhood's window positions).
+#: All keys of one run must be mutually comparable, ascending in serial
+#: emission order, and owned by exactly one shard.
+GroupKey = Union[int, Tuple[int, ...]]
+
+#: One worker's results for one merge group: the group's sort key, the
+#: candidate pairs actually compared — ``(external id, local id)``, in
+#: serial emission order — and the non-NON_MATCH decision wires (see
+#: :data:`repro.engine.job.DecisionWire`). Sort keys let the parent
 #: restore the serial candidate order with a k-way merge.
-ShardGroup = Tuple[int, List, List]
+ShardGroup = Tuple[GroupKey, List, List]
 
 
 def stable_key_hash(key: str) -> int:
@@ -122,9 +133,10 @@ class ShardPlan:
 class ShardOutcome:
     """Everything one worker produced for one shard.
 
-    ``groups`` holds one :data:`ShardGroup` per external record that
-    contributed at least one compared pair, in external-store order
-    (the order the worker drew them). Cache counters are the worker's
+    ``groups`` holds one :data:`ShardGroup` per run of consecutive
+    equal sort keys that contributed at least one compared pair, in
+    ascending sort-key order (the order the worker drew them). Cache
+    counters are the worker's
     per-shard deltas, summed by the parent like the process executor's
     per-chunk deltas; the ``batch_*`` counters are the batched scorer's
     deltas when the run scores in batched mode (zero otherwise).
@@ -142,14 +154,17 @@ class ShardOutcome:
 
 
 def merge_shard_groups(outcomes: List[ShardOutcome]) -> Iterator[ShardGroup]:
-    """K-way merge of shard outcomes back into external-store order.
+    """K-way merge of shard outcomes back into serial emission order.
 
-    Every external record's pairs live entirely inside one shard (a
-    record has at most one block key) and each shard's groups are
-    already ordinal-sorted, so a heap merge on the ordinal restores
-    exactly the order the serial path would have compared in — the
-    byte-identity guarantee of the shard executor reduces to this merge
-    plus the shard-ordered fold of the caller.
+    Every group sort key is owned by exactly one shard (the blocking
+    method's ownership rule — a record's single block key, q-gram's
+    first-owning sub-list key, a window segment's later position, a
+    canopy pair's local record) and each shard's groups are already
+    key-sorted, so
+    a heap merge on the sort key restores exactly the order the serial
+    path would have compared in — the byte-identity guarantee of the
+    shard executor reduces to this merge plus the shard-ordered fold of
+    the caller.
     """
     import heapq
 

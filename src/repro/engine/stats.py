@@ -51,8 +51,9 @@ class EngineStats:
     cannot replicate reads ``pairwise`` the same way). Cache counters
     are summed across workers for the process and shard executors.
     ``shard_count`` is the number of key-space shards a ``shard`` run
-    planned (0 otherwise); for shard runs ``chunk_count`` counts
-    completed shards.
+    planned — the worker count unless
+    :attr:`~repro.engine.job.JobConfig.shards` overrode it (0 outside
+    shard runs); for shard runs ``chunk_count`` counts completed shards.
 
     ``scoring`` is the scoring path that actually ran. For batched runs
     the ``batch_*`` fields report the columnar scorer's work: distinct

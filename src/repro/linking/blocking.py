@@ -25,20 +25,37 @@ Every method keeps a scan-based reference path behind ``use_index=False``
 and the index equivalence tests assert both emit identical candidate
 pair sequences.
 
-Methods whose blocks *partition* the pair space additionally support
-the engine's ``shard`` executor through the per-key block iteration API
+Every registered method supports the engine's ``shard`` executor
+through the per-key block iteration API
 (:meth:`BlockingMethod.supports_sharding`,
 :meth:`~BlockingMethod.shard_block_sizes`,
 :meth:`~BlockingMethod.shard_candidate_pairs`): a process worker draws
 only the candidate pairs whose block key its
 :class:`~repro.engine.shard.ShardPlan` shard owns, lazily, in-worker.
-Standard blocking shards on its blocking key (block sizes read off the
-shared key index inform the plan's balance); the full index and
-rule-based blocking shard on the external record id (each external
-record is its own block). Q-gram blocking cannot shard — one pair can
-live under several sub-list keys, so keys do not partition the pair
-space — and the window/canopy methods depend on the whole external
-source at once; the engine degrades those to the ``process`` executor.
+Each class has its own partitioning argument:
+
+* **standard blocking** shards on its blocking key (block sizes read
+  off the shared key index inform the plan's balance); the **full
+  index** and **rule-based blocking** shard on the external record id
+  (each external record is its own block);
+* **q-gram blocking** shards on the expanded sub-list key. One pair can
+  co-occur under several keys, so ownership follows the serial dedup
+  rule: the pair belongs to the external record's *first* sorted key
+  whose posting contains the local record — every other key skips it;
+* **sorted-neighbourhood** cuts the sorted order into one contiguous
+  position segment per shard; a segment owns the window pairs whose
+  *later* position falls inside it and reaches back ``window-1``
+  positions (the overlap halo) for pairs straddling its left boundary;
+* **canopy blocking** shards on the *local* record: whether a local is
+  still in circulation at a center depends only on that local's own
+  similarities (it leaves right after the first ``tight`` center's
+  sweep), so a worker owning a local replays its whole serial life —
+  scan centers in order, emit ``loose`` pairs, stop at the first
+  ``tight`` one — with no serial pre-pass at all.
+
+Each rule assigns every pair exactly one owner, so shard outputs merge
+back into the exact serial emission order (the engine's byte-identity
+guarantee — see :mod:`repro.engine.shard`).
 """
 
 from __future__ import annotations
@@ -57,9 +74,11 @@ from typing import (
     Iterable,
     Iterator,
     List,
+    Optional,
     Sequence,
     Set,
     Tuple,
+    Union,
 )
 
 from repro.core.classifier import RuleClassifier
@@ -78,10 +97,19 @@ if TYPE_CHECKING:  # pragma: no cover - typing only (engine imports us)
 #: A candidate pair: (external record id, local record id).
 CandidatePair = Tuple[Term, Term]
 
-#: A sharded candidate pair: (external record ordinal in store order,
-#: external record id, local record id). The ordinal lets the engine
-#: merge shard outcomes back into the serial comparison order.
-ShardedPair = Tuple[int, Term, Term]
+#: A merge group's sort key: the method's encoding of where its pairs
+#: sit in the serial emission order — an external-store ordinal for
+#: record-keyed methods, tuples for methods whose serial order
+#: interleaves records (q-gram's ``(ordinal, key index)``,
+#: sorted-neighbourhood's ``(first window start, earlier position,
+#: later position)``). Keys of one run must be mutually comparable and
+#: each key must be emitted by exactly one shard.
+GroupKey = Union[int, Tuple[int, ...]]
+
+#: A sharded candidate pair: (group sort key, external record id, local
+#: record id). The sort key lets the engine merge shard outcomes back
+#: into the serial comparison order.
+ShardedPair = Tuple[GroupKey, Term, Term]
 
 
 class BlockingMethod(ABC):
@@ -110,14 +138,16 @@ class BlockingMethod(ABC):
     # per-key block iteration (the shard executor's contract)
     # ------------------------------------------------------------------
     def supports_sharding(self) -> bool:
-        """Whether this method's blocks partition the candidate space.
+        """Whether this method can decompose candidates by block key.
 
-        True only when every candidate pair lives inside exactly one
-        block *and* all of one external record's pairs share a single
-        block key — the two invariants that let
-        :meth:`shard_candidate_pairs` split work by key without
-        duplicating or reordering pairs. Methods that cannot honor them
-        return False and the engine degrades ``shard`` to ``process``.
+        True only when the method has an ownership rule that assigns
+        every candidate pair to exactly one shard and a sort key that
+        restores the serial emission order under the engine's k-way
+        merge — the invariants that let :meth:`shard_candidate_pairs`
+        split work without duplicating or reordering pairs. Every
+        registered method honors them; duck-typed doubles that do not
+        keep the default False and the engine degrades ``shard`` to
+        ``process``.
         """
         return False
 
@@ -143,11 +173,11 @@ class BlockingMethod(ABC):
     ) -> Iterator[ShardedPair]:
         """Candidate pairs whose block key *plan* assigns to *shard*.
 
-        Pairs are yielded in external-store order, each tagged with the
-        external record's store ordinal, and for any one external
-        record in exactly the order :meth:`candidate_pairs` would have
-        emitted them — the engine's ordinal merge then reconstructs the
-        serial comparison order exactly.
+        Pairs are yielded in ascending group-sort-key order, each
+        tagged with its key, and within one key in exactly the order
+        :meth:`candidate_pairs` would have emitted them — the engine's
+        k-way merge then reconstructs the serial comparison order
+        exactly.
         """
         raise NotImplementedError(
             f"{type(self).__name__} does not support sharded candidate generation"
@@ -381,15 +411,25 @@ class SortedNeighbourhood(BlockingMethod):
 
         return cls(key, window_size)
 
-    def candidate_pairs(
+    def _tagged(
         self, external: RecordStore, local: RecordStore
-    ) -> Iterator[CandidatePair]:
+    ) -> List[Tuple[str, bool, Term]]:
+        """Both sources merged and sorted by (key, id) — the order the
+        window slides over. The str(id) tie-break (plus the stable sort
+        over external-then-local insertion) keeps the order identical
+        across processes, which shard ownership depends on."""
         tagged: List[Tuple[str, bool, Term]] = []
         for record in external:
             tagged.append((self._key(record), True, record.id))
         for record in local:
             tagged.append((self._key(record), False, record.id))
         tagged.sort(key=lambda entry: (entry[0], str(entry[2])))
+        return tagged
+
+    def candidate_pairs(
+        self, external: RecordStore, local: RecordStore
+    ) -> Iterator[CandidatePair]:
+        tagged = self._tagged(external, local)
         seen: Set[CandidatePair] = set()
         for start in range(len(tagged)):
             window = tagged[start:start + self._window]
@@ -400,6 +440,57 @@ class SortedNeighbourhood(BlockingMethod):
                 if pair not in seen:
                     seen.add(pair)
                     yield pair
+
+    def supports_sharding(self) -> bool:
+        """The sorted order is cut into one contiguous position segment
+        per shard. A window pair is identified by its two sorted
+        positions; the segment containing the *later* position owns it
+        and reaches back ``window-1`` positions (the overlap halo) for
+        pairs that straddle its left boundary — every pair has exactly
+        one later position, so exactly one owner, and the halo pairs
+        are generated once, never twice."""
+        return True
+
+    def shard_block_sizes(
+        self, external: RecordStore, local: RecordStore
+    ) -> Dict[str, int]:
+        """Empty: segments are equal position ranges of the sorted
+        order assigned directly (segment *i* is shard *i*), so there
+        are no block keys for the plan to balance — window load is
+        uniform per position by construction."""
+        return {}
+
+    def shard_candidate_pairs(
+        self,
+        external: RecordStore,
+        local: RecordStore,
+        plan: "ShardPlan",
+        shard: int,
+    ) -> Iterator[ShardedPair]:
+        # Serial emission order: a position pair (a, b) first appears in
+        # the window starting at s = max(0, b - window + 1), and within
+        # one start the combinations() sweep runs (a, b)-ascending — so
+        # (s, a, b) sorts pairs exactly as the serial sweep yields them.
+        tagged = self._tagged(external, local)
+        count = len(tagged)
+        lo = count * shard // plan.shards
+        hi = count * (shard + 1) // plan.shards
+        owned: List[ShardedPair] = []
+        for later in range(lo, hi):
+            _, is_ext_b, id_b = tagged[later]
+            first_start = max(0, later - self._window + 1)
+            for earlier in range(first_start, later):
+                _, is_ext_a, id_a = tagged[earlier]
+                if is_ext_a == is_ext_b:
+                    continue
+                ext_id, local_id = (
+                    (id_a, id_b) if is_ext_a else (id_b, id_a)
+                )
+                owned.append(((first_start, earlier, later), ext_id, local_id))
+        # the halo scan runs later-position-major; re-sort into serial
+        # emission order (only the first window's pairs actually move)
+        owned.sort(key=lambda entry: entry[0])
+        yield from owned
 
 
 class QGramBlocking(BlockingMethod):
@@ -463,6 +554,22 @@ class QGramBlocking(BlockingMethod):
     def index_stats(self) -> IndexStats | None:
         return self._last_index_stats
 
+    def _signature(self) -> str:
+        """Shared-index cache key: the full q-gram configuration."""
+        return f"qgram:{self._field}:{self._q}:{self._threshold}:{self._max_grams}"
+
+    def _local_postings(self, local: RecordStore) -> Callable[[str], Iterable[Term]]:
+        """Posting lookup (sub-list key -> local ids in store order),
+        shared-index backed when enabled."""
+        if self._use_index:
+            index = shared_record_index(local, self._signature(), self._keys)
+            return index.candidates
+        postings: Dict[str, List[Term]] = defaultdict(list)
+        for record in local:
+            for key in self._keys(record):
+                postings[key].append(record.id)
+        return lambda key: postings.get(key, ())
+
     def candidate_pairs(
         self, external: RecordStore, local: RecordStore
     ) -> Iterator[CandidatePair]:
@@ -470,26 +577,77 @@ class QGramBlocking(BlockingMethod):
             yield from self._candidate_pairs_indexed(external, local)
             return
         self._last_index_stats = None
-        index: Dict[str, List[Term]] = defaultdict(list)
-        for record in local:
-            for key in self._keys(record):
-                index[key].append(record.id)
+        lookup = self._local_postings(local)
         seen: Set[CandidatePair] = set()
         for record in external:
             for key in self._keys(record):
-                for local_id in index.get(key, ()):
+                for local_id in lookup(key):
                     pair = (record.id, local_id)
                     if pair not in seen:
                         seen.add(pair)
                         yield pair
 
+    def supports_sharding(self) -> bool:
+        """Sub-list keys are partitioned by the plan. A pair that
+        co-occurs under several of a record's keys is owned by the
+        *first* sorted key whose posting contains the local record —
+        exactly the occurrence the serial path's dedup set keeps — so
+        every pair is generated by exactly one shard."""
+        return True
+
+    def shard_block_sizes(
+        self, external: RecordStore, local: RecordStore
+    ) -> Dict[str, int]:
+        """Per-sub-list-key posting sizes for the plan's LPT balance.
+
+        With the shared index enabled this also warms the per-store
+        cache *before* the engine forks its shard workers, so every
+        worker inherits the postings instead of rebuilding them.
+        """
+        if self._use_index:
+            index = shared_record_index(local, self._signature(), self._keys)
+            return index.key_sizes()
+        sizes: Dict[str, int] = {}
+        for record in local:
+            for key in self._keys(record):
+                sizes[key] = sizes.get(key, 0) + 1
+        return sizes
+
+    def shard_candidate_pairs(
+        self,
+        external: RecordStore,
+        local: RecordStore,
+        plan: "ShardPlan",
+        shard: int,
+    ) -> Iterator[ShardedPair]:
+        lookup = self._local_postings(local)
+        for ordinal, record in enumerate(external):
+            keys = self._keys(record)
+            owned = [
+                index for index, key in enumerate(keys)
+                if plan.shard_of(key) == shard
+            ]
+            if not owned:
+                continue
+            owned_set = set(owned)
+            # replay the record's keys up to its last owned one so the
+            # dedup set sees every earlier occurrence of a local id,
+            # but emit only the fresh pairs of owned keys — the serial
+            # seen-set dedup, restated as an ownership rule
+            seen: Set[Term] = set()
+            for key_index in range(owned[-1] + 1):
+                fresh_here = key_index in owned_set
+                for local_id in lookup(keys[key_index]):
+                    if local_id in seen:
+                        continue
+                    seen.add(local_id)
+                    if fresh_here:
+                        yield (ordinal, key_index), record.id, local_id
+
     def _candidate_pairs_indexed(
         self, external: RecordStore, local: RecordStore
     ) -> Iterator[CandidatePair]:
-        signature = (
-            f"qgram:{self._field}:{self._q}:{self._threshold}:{self._max_grams}"
-        )
-        index = shared_record_index(local, signature, self._keys)
+        index = shared_record_index(local, self._signature(), self._keys)
         seen: Set[CandidatePair] = set()
         probe_seconds = 0.0
         for record in external:
@@ -554,6 +712,60 @@ class CanopyBlocking(BlockingMethod):
                         claimed.append(local_id)
             for local_id in claimed:
                 del remaining[local_id]
+
+    def supports_sharding(self) -> bool:
+        """Shards own *local* records. In the serial sweep a local
+        leaves circulation right after the *first* center within
+        ``tight`` similarity has scanned it — an event that depends
+        only on that local's own similarities, never on another local's
+        removal — so a worker owning a local can replay its whole
+        serial life: scan the centers in ordinal order, emit every
+        ``loose`` pair, stop at the first ``tight`` one. The work of
+        the serial sweep is partitioned exactly (no extra similarity
+        is ever computed) and every pair is emitted by exactly the one
+        worker owning its local record."""
+        return True
+
+    def shard_block_sizes(
+        self, external: RecordStore, local: RecordStore
+    ) -> Dict[str, int]:
+        """Empty — per-local work is unknown until the sims are
+        computed (an early-claimed local is cheap), so locals balance
+        by stable hash of their id."""
+        return {}
+
+    def shard_candidate_pairs(
+        self,
+        external: RecordStore,
+        local: RecordStore,
+        plan: "ShardPlan",
+        shard: int,
+    ) -> Iterator[ShardedPair]:
+        # Serial emission order is center-major: center ordinal, then
+        # local store order within the center's canopy (dict iteration
+        # order survives deletions), so (ordinal, local position) sorts
+        # pairs exactly as the serial sweep yields them — and the key
+        # is unique per pair, trivially owned by its local's shard.
+        centers = [
+            (ordinal, record.id, normalize_value(record.value(self._field)))
+            for ordinal, record in enumerate(external)
+        ]
+        owned: List[ShardedPair] = []
+        for position, record in enumerate(local):
+            if plan.shard_of(str(record.id)) != shard:
+                continue
+            local_value = normalize_value(record.value(self._field))
+            for ordinal, ext_id, value in centers:
+                if not value:
+                    continue  # empty centers neither pair nor claim
+                sim = qgram_cosine_similarity(value, local_value, q=self._q)
+                if sim >= self._loose:
+                    owned.append(((ordinal, position), ext_id, record.id))
+                if sim >= self._tight:
+                    break  # claimed: later centers never see this local
+        # the scan runs local-major; re-sort into center-major serial order
+        owned.sort(key=lambda entry: entry[0])
+        yield from owned
 
 
 class RuleBasedBlocking(BlockingMethod):

@@ -367,12 +367,21 @@ class TestBatchedDegradation:
         assert "batched: CustomComparator" in formatted
 
     def test_shard_and_batched_degradations_compose(self, stores):
-        """QGram blocking cannot shard AND a custom comparator cannot
-        batch: both reasons must surface, joined, in declaration order."""
+        """A blocking double without the shard API AND a custom
+        comparator that cannot batch: both reasons must surface,
+        joined, in declaration order (every registered blocking class
+        shards, so the blocking half needs a synthetic double)."""
+
+        class CartesianDouble:
+            def candidate_pairs(self, external, local):
+                for ext in external.ids():
+                    for loc in local.ids():
+                        yield ext, loc
+
         external, local = stores
         custom = CustomComparator([FieldComparator("pn")])
         result = LinkingJob(
-            QGramBlocking("pn", q=3, threshold=0.6),
+            CartesianDouble(),
             custom,
             ThresholdMatcher(match_threshold=0.9),
             JobConfig(executor="shard", workers=2, scoring="batched"),
@@ -382,9 +391,31 @@ class TestBatchedDegradation:
         assert stats.scoring == "pairwise"  # batched degraded
         reason = stats.fallback_reason
         assert reason is not None
-        assert reason.startswith("shard: QGramBlocking")
+        assert reason.startswith("shard: CartesianDouble")
         assert "; batched: CustomComparator" in reason
         assert reason.index("shard:") < reason.index("batched:")
+
+    def test_qgram_shard_composes_with_batched_scoring(self, comparator, stores):
+        """The once-degrading composition now runs both paths for real:
+        multi-key blocking sharded AND scored columnar, byte-identical
+        to the serial pairwise run."""
+        external, local = stores
+        matcher = ThresholdMatcher(match_threshold=0.9)
+        serial = LinkingJob(
+            QGramBlocking("pn", q=3, threshold=0.6), comparator, matcher,
+            JobConfig(executor="serial"),
+        ).run(external, local)
+        result = LinkingJob(
+            QGramBlocking("pn", q=3, threshold=0.6), comparator, matcher,
+            JobConfig(executor="shard", workers=2, scoring="batched"),
+        ).run(external, local)
+        stats = result.stats
+        assert stats.executor == "shard"
+        assert stats.scoring == "batched"
+        assert stats.fallback_reason is None
+        assert stats.shard_count == 2
+        assert stats.batch_pair_hits + stats.batch_pair_misses == result.compared
+        assert_identical(result, serial)
 
 
 class TestStreamingBatched:

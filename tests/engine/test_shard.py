@@ -105,7 +105,14 @@ class TestShardExecutorIdentity:
         lambda: FullIndex(),
         lambda: StandardBlocking.on_field_prefix("pn", length=3),
         lambda: StandardBlocking.on_field_prefix("pn", length=3, use_index=False),
-    ), ids=("full-index", "standard-indexed", "standard-scan"))
+        lambda: QGramBlocking("pn", q=2, threshold=0.8),
+        lambda: QGramBlocking("pn", q=2, threshold=0.8, use_index=False),
+        lambda: SortedNeighbourhood.on_field("pn", window_size=3),
+        lambda: CanopyBlocking("pn", loose=0.3, tight=0.9),
+    ), ids=(
+        "full-index", "standard-indexed", "standard-scan",
+        "qgram-indexed", "qgram-scan", "sorted-neighbourhood", "canopy",
+    ))
     @pytest.mark.parametrize("workers", (2, 3))
     def test_shard_is_byte_identical_to_serial(
         self, comparator, stores, make_blocking, workers
@@ -157,9 +164,12 @@ class TestShardExecutorIdentity:
         lambda: SortedNeighbourhood.on_field("pn", window_size=3),
         lambda: CanopyBlocking("pn", loose=0.3, tight=0.9),
     ), ids=("qgram", "sorted-neighbourhood", "canopy"))
-    def test_unshardable_blocking_degrades_to_process(
+    def test_every_registered_blocking_class_shards_without_degrading(
         self, comparator, stores, make_blocking
     ):
+        """qgram/window/canopy once degraded to the process executor;
+        with their per-key decompositions, degradation is impossible —
+        a shard request must actually shard, and byte-identically."""
         external, local = stores
         matcher = ThresholdMatcher(0.9)
         serial = LinkingJob(
@@ -169,17 +179,70 @@ class TestShardExecutorIdentity:
             make_blocking(), comparator, matcher,
             JobConfig(executor="shard", workers=2),
         ).run(external, local)
+        assert shard.stats.executor == "shard"
+        assert shard.stats.fallback_reason is None
+        assert shard.stats.shard_count > 1
+        assert "fallback" not in shard.stats.format()
+        assert_identical(shard, serial)
+
+    def test_unsupported_blocking_still_degrades_to_process(
+        self, comparator, stores
+    ):
+        """The degradation path itself stays covered by a synthetic
+        double without a per-key decomposition (every registered class
+        now has one)."""
+
+        class CartesianDouble:
+            """Duck-typed blocking without the shard API."""
+
+            def candidate_pairs(self, external, local):
+                for ext in external.ids():
+                    for loc in local.ids():
+                        yield ext, loc
+
+        external, local = stores
+        matcher = ThresholdMatcher(0.9)
+        serial = LinkingJob(
+            CartesianDouble(), comparator, matcher, JobConfig(executor="serial")
+        ).run(external, local)
+        shard = LinkingJob(
+            CartesianDouble(), comparator, matcher,
+            JobConfig(executor="shard", workers=2),
+        ).run(external, local)
         assert shard.stats.executor == "process"
         assert shard.stats.shard_count == 0
         # the reason names the offending blocking class and both the
         # requested and the actual strategy — nothing generic
         assert shard.stats.fallback_reason == (
-            f"shard: {type(make_blocking()).__name__} has no per-key "
+            "shard: CartesianDouble has no per-key "
             "block decomposition; ran process"
         )
         # and it is surfaced, not just recorded: format() carries it
         assert f"fallback: {shard.stats.fallback_reason}" in shard.stats.format()
         assert_identical(shard, serial)
+
+    @pytest.mark.parametrize("shards", (3, 5))
+    def test_shards_override_decouples_plan_from_workers(
+        self, comparator, stores, shards
+    ):
+        external, local = stores
+        matcher = ThresholdMatcher(0.9)
+        serial = LinkingJob(
+            QGramBlocking("pn", q=2, threshold=0.8), comparator, matcher,
+            JobConfig(executor="serial"),
+        ).run(external, local)
+        shard = LinkingJob(
+            QGramBlocking("pn", q=2, threshold=0.8), comparator, matcher,
+            JobConfig(executor="shard", workers=2, shards=shards),
+        ).run(external, local)
+        assert shard.stats.shard_count == shards
+        assert shard.stats.chunk_count == shards  # one "chunk" per shard
+        assert shard.stats.workers == 2
+        assert_identical(shard, serial)
+
+    def test_rejects_bad_shards_override(self):
+        with pytest.raises(ValueError):
+            JobConfig(shards=0)
 
     def test_shard_run_never_reports_stale_parent_index_stats(
         self, comparator, stores
@@ -222,6 +285,30 @@ class TestStreamingShard:
         stream = StreamingLinkingJob(
             local, comparator, matcher, config,
             blocking=StandardBlocking.on_field_prefix("pn", length=3),
+        )
+        records = list(external)
+        for delta in (records[:2], records[2:5], records[5:]):
+            stream.ingest(delta)
+        result = stream.result()
+        assert_identical(result, batch)
+        assert result.stats.executor == "shard"
+        assert result.stats.shard_count == 2
+
+    def test_streamed_qgram_shard_deltas_match_one_batch_run(
+        self, comparator, stores
+    ):
+        """Q-gram is the one multi-key method that may stream (window
+        and canopy candidates depend on the whole external source):
+        per-delta shard runs must reproduce the batch shard run."""
+        external, local = stores
+        matcher = ThresholdMatcher(0.9)
+        config = JobConfig(executor="shard", workers=2)
+        batch = LinkingJob(
+            QGramBlocking("pn", q=2, threshold=0.8), comparator, matcher, config
+        ).run(external, local)
+        stream = StreamingLinkingJob(
+            local, comparator, matcher, config,
+            blocking=QGramBlocking("pn", q=2, threshold=0.8),
         )
         records = list(external)
         for delta in (records[:2], records[2:5], records[5:]):

@@ -205,3 +205,48 @@ class TestRuleBasedBlocking:
         none = RuleBasedBlocking(classifier, tiny_ontology, new_graph, fallback_full=False)
         assert len(set(full.candidate_pairs(external, local))) == 3
         assert set(none.candidate_pairs(external, local)) == set()
+
+    def test_shard_streams_partition_serial(
+        self, tiny_training_set, tiny_ontology
+    ):
+        """Each external record's canopy of rule-predicted candidates is
+        owned by exactly one shard; merged on the external ordinal, the
+        shard streams reproduce the serial candidate order exactly."""
+        import heapq
+
+        from repro.engine.shard import ShardPlan
+
+        rules = RuleLearner(LearnerConfig(support_threshold=0.1)).learn(
+            tiny_training_set
+        )
+        classifier = RuleClassifier(rules)
+        new_graph = Graph()
+        for name, pn in (
+            ("n1", "t83-42"), ("n2", "ohm-42"), ("n3", "uf-42"),
+            ("n4", "unseen-junk"), ("n5", "t83-77"),
+        ):
+            new_graph.add(Triple(EX[name], EX.partNumber, Literal(pn)))
+        external = RecordStore.from_graph(new_graph, {"pn": EX.partNumber})
+        local = RecordStore(
+            Record(id=EX[f"l{i}"], fields={"pn": (f"v{i}",)}) for i in range(1, 11)
+        )
+        blocking = RuleBasedBlocking(
+            classifier, tiny_ontology, new_graph, fallback_full=True
+        )
+        serial = list(blocking.candidate_pairs(external, local))
+        assert serial  # the fixture must actually exercise the merge
+        for shards in (2, 3):
+            plan = ShardPlan.build(
+                shards, blocking.shard_block_sizes(external, local)
+            )
+            streams = [
+                list(blocking.shard_candidate_pairs(external, local, plan, s))
+                for s in range(plan.shards)
+            ]
+            key_owner = {}
+            for shard, stream in enumerate(streams):
+                for key, _, _ in stream:
+                    assert key_owner.setdefault(key, shard) == shard
+            merged = heapq.merge(*streams, key=lambda entry: entry[0])
+            assert [(ext, loc) for _, ext, loc in merged] == serial
+            assert sum(len(stream) for stream in streams) == len(serial)

@@ -57,11 +57,17 @@ class TestParser:
 
     @pytest.mark.parametrize(
         "flags",
-        [["--chunk-size", "0"], ["--workers", "0"], ["--cache-size", "-1"]],
+        [["--chunk-size", "0"], ["--workers", "0"], ["--cache-size", "-1"],
+         ["--shards", "0"], ["--shards", "-2"]],
     )
     def test_link_rejects_bad_engine_values(self, flags):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["link", *flags])
+
+    def test_link_shards_flag_parses(self):
+        args = build_parser().parse_args(["link", "--shards", "5"])
+        assert args.shards == 5
+        assert build_parser().parse_args(["link"]).shards is None
 
     def test_common_flags(self):
         args = build_parser().parse_args(
@@ -139,18 +145,10 @@ class TestExecution:
         assert "pairs/s" in out
         assert "hit rate" in out
 
-    @pytest.mark.parametrize(
-        "blocking,degraded_class",
-        [
-            ("qgram", "QGramBlocking"),
-            ("sorted", "SortedNeighbourhood"),
-            ("canopy", "CanopyBlocking"),
-        ],
-    )
-    def test_link_surfaces_shard_degradation(self, capsys, blocking, degraded_class):
-        """q-gram, window and canopy blocking cannot shard: a shard
-        request must degrade loudly — reason in the stats block on
-        stdout AND a warning on stderr — never silently."""
+    @pytest.mark.parametrize("blocking", ["qgram", "sorted", "canopy"])
+    def test_link_shards_every_blocking_method(self, capsys, blocking):
+        """q-gram, window and canopy blocking all shard natively now: a
+        shard request must run sharded with no degradation warning."""
         code = main(
             ["link", "--preset", "tiny", "--test-items", "30",
              "--executor", "shard", "--workers", "2",
@@ -158,13 +156,56 @@ class TestExecution:
         )
         assert code == 0
         captured = capsys.readouterr()
+        assert "executor=shard" in captured.out
+        assert "shards=2" in captured.out
+        assert "fallback:" not in captured.out
+        assert "warning: degraded execution" not in captured.err
+
+    def test_link_shards_override(self, capsys):
+        """--shards decouples the shard plan from the worker count."""
+        code = main(
+            ["link", "--preset", "tiny", "--test-items", "30",
+             "--executor", "shard", "--workers", "2", "--shards", "3",
+             "--blocking", "qgram"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "executor=shard" in captured.out
+        assert "shards=3" in captured.out
+        assert "warning: degraded execution" not in captured.err
+
+    def test_link_degradation_warning_names_actual_executor(self, capsys, monkeypatch):
+        """A genuine degradation (duck-typed blocking without the shard
+        API) warns on stderr naming the executor that actually ran."""
+        import repro.linking
+
+        class UnshardableDouble:
+            def __init__(self, field, **kwargs):
+                self._field = field
+
+            def candidate_pairs(self, external, local):
+                for ext in external.ids():
+                    for loc in local.ids():
+                        yield ext, loc
+
+        monkeypatch.setattr(repro.linking, "QGramBlocking", UnshardableDouble)
+        code = main(
+            ["link", "--preset", "tiny", "--test-items", "20",
+             "--executor", "shard", "--workers", "2",
+             "--blocking", "qgram"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
         assert "executor=process" in captured.out
         reason = (
-            f"shard: {degraded_class} has no per-key block decomposition; "
+            "shard: UnshardableDouble has no per-key block decomposition; "
             "ran process"
         )
         assert f"fallback: {reason}" in captured.out
-        assert f"warning: degraded execution ({reason})" in captured.err
+        assert (
+            f"warning: degraded execution, ran process ({reason})"
+            in captured.err
+        )
 
     def test_link_batched_scoring(self, capsys):
         code = main(
