@@ -22,7 +22,10 @@ from repro.bench.io import (
     DEFAULT_BASELINE_DIR,
     DEFAULT_RESULTS_DIR,
     TRAJECTORY_LIMIT,
+    ResultsDirError,
     append_result,
+    default_baseline_dir,
+    default_results_dir,
     jsonable,
     read_result,
     read_trajectory,
@@ -74,6 +77,7 @@ __all__ = [
     "Measurement",
     "MetricBudget",
     "MetricComparison",
+    "ResultsDirError",
     "SCHEMA_VERSION",
     "SchemaError",
     "TIERS",
@@ -86,6 +90,8 @@ __all__ = [
     "clear_workload_cache",
     "compare_benchmarks",
     "compare_result",
+    "default_baseline_dir",
+    "default_results_dir",
     "engine_metrics",
     "environment_fingerprint",
     "get_benchmark",

@@ -25,22 +25,62 @@ from __future__ import annotations
 
 import dataclasses
 import json
-import os
 from pathlib import Path
 from typing import Any, List, Optional
 
 from repro.bench.spec import BenchmarkResult, SchemaError, result_from_payload
+from repro.ioutils import atomic_write_text, find_repo_root
 
 #: Trajectory files keep at most this many records (oldest dropped) so
 #: a long-lived checkout cannot grow one without bound.
 TRAJECTORY_LIMIT = 1000
 
-#: Default locations, relative to the invoking directory (the repo root
-#: in CI and the documented workflows); every CLI entry point takes
-#: ``--results-dir`` / ``--baseline-dir`` overrides.
+#: Default locations as *repo-relative* paths. These are resolved
+#: against the repository root by :func:`default_results_dir` /
+#: :func:`default_baseline_dir` — the bare constants are kept for
+#: callers composing their own roots and for the invoking-directory
+#: back-compat case (a cwd that already holds a ``benchmarks/`` tree).
 DEFAULT_RESULTS_DIR = Path("benchmarks") / "results"
 DEFAULT_BASELINE_DIR = Path("benchmarks") / "baselines"
 TRAJECTORY_DIRNAME = "trajectory"
+
+
+class ResultsDirError(ValueError):
+    """Raised when no default benchmarks directory can be resolved."""
+
+
+def _resolve_default(relative: Path) -> Path:
+    """Anchor a repo-relative default directory.
+
+    The invoking directory wins when it already holds a ``benchmarks/``
+    tree (the repo root in CI and the documented workflows — unchanged
+    behavior). From anywhere else the checkout that the imported package
+    lives in is used, so a run from a subdirectory appends to the real
+    trajectory instead of silently scattering a fresh ``benchmarks/``
+    tree under the cwd. With no detectable root (e.g. an installed
+    package outside any checkout) this fails loudly.
+    """
+    cwd = Path.cwd()
+    if (cwd / "benchmarks").is_dir():
+        return cwd / relative
+    root = find_repo_root()
+    if root is not None:
+        return root / relative
+    raise ResultsDirError(
+        f"cannot resolve the default {relative} directory: the current "
+        f"directory has no benchmarks/ tree and no repository root was "
+        f"found — pass --results-dir / --baseline-dir explicitly"
+    )
+
+
+def default_results_dir() -> Path:
+    """The default results directory, anchored at the repo root."""
+    return _resolve_default(DEFAULT_RESULTS_DIR)
+
+
+def default_baseline_dir() -> Path:
+    """The default baseline directory, anchored at the repo root."""
+    return _resolve_default(DEFAULT_BASELINE_DIR)
 
 
 def trajectory_dir(results_dir: Path) -> Path:
@@ -79,11 +119,11 @@ def write_report(results_dir: Path, name: str, text: str, data: Any = None) -> N
     again.
     """
     results_dir = Path(results_dir)
-    results_dir.mkdir(parents=True, exist_ok=True)
-    (results_dir / f"{name}.txt").write_text(text + "\n")
+    atomic_write_text(results_dir / f"{name}.txt", text + "\n")
     payload = jsonable(data) if data is not None else {"report": text}
-    (results_dir / f"{name}.json").write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    atomic_write_text(
+        results_dir / f"{name}.json",
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
     )
 
 
@@ -98,11 +138,10 @@ def write_result(directory: Path, result: BenchmarkResult) -> Path:
     Baselines are a *pinned point*, not a history — use
     :func:`append_result` for trajectory files.
     """
-    directory = Path(directory)
-    directory.mkdir(parents=True, exist_ok=True)
-    path = trajectory_path(directory, result.benchmark)
-    path.write_text(json.dumps(result.to_payload(), indent=2, sort_keys=True) + "\n")
-    return path
+    path = trajectory_path(Path(directory), result.benchmark)
+    return atomic_write_text(
+        path, json.dumps(result.to_payload(), indent=2, sort_keys=True) + "\n"
+    )
 
 
 def _load_payloads(path: Path) -> List[Any]:
@@ -136,21 +175,21 @@ def append_result(
     The file stays a valid, schema-checked JSON array after every
     append (a legacy single-object file is upgraded in place); at most
     *limit* records are kept, oldest dropped first. The rewrite goes
-    through a same-directory temp file and an atomic ``os.replace`` —
-    a run killed mid-write must never truncate the accumulated
-    history it exists to preserve.
+    through :func:`~repro.ioutils.atomic_write_text` — a uniquely-named
+    same-directory temp file published with ``os.replace`` — so a run
+    killed mid-write never truncates the accumulated history, and two
+    concurrent runs never collide on a shared temp name (the previous
+    fixed ``.tmp`` name let one writer replace a half-written file of
+    the other).
     """
-    directory = Path(directory)
-    directory.mkdir(parents=True, exist_ok=True)
-    path = trajectory_path(directory, result.benchmark)
+    path = trajectory_path(Path(directory), result.benchmark)
     records = _load_payloads(path)
     records.append(result.to_payload())
     if limit and len(records) > limit:
         records = records[-limit:]
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(json.dumps(records, indent=2, sort_keys=True) + "\n")
-    os.replace(tmp, path)
-    return path
+    return atomic_write_text(
+        path, json.dumps(records, indent=2, sort_keys=True) + "\n"
+    )
 
 
 def read_trajectory(directory: Path, benchmark: str) -> List[BenchmarkResult]:

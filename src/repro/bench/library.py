@@ -576,6 +576,111 @@ def measure_batched_scoring(catalog, rounds=5, **feed_kwargs) -> Measurement:
     return Measurement(metrics=metrics, text=text)
 
 
+def measure_serve_daemon(
+    _workload, items=120, requests=20, burst=8, workers=4, warm_items=120
+) -> Measurement:
+    """The warm-start daemon vs per-request engine construction.
+
+    A bundle is built once (the expensive, amortized work: catalog
+    generation, store construction, key-index builds, cache warming);
+    a daemon serves it. The cold leg is one full one-shot construction
+    — exactly what every ``repro link`` invocation pays — and the warm
+    leg answers the same request over HTTP. Warm latency is sampled
+    sequentially (queue-free p50/p99); throughput comes from a separate
+    concurrent burst. Every warm response, sequential and concurrent,
+    must equal the cold response byte for byte — that verdict, not the
+    speedup, is the correctness gate.
+    """
+    import shutil
+    import statistics
+    import tempfile
+    from concurrent.futures import ThreadPoolExecutor
+    from pathlib import Path
+
+    from repro.index.artifacts import record_store_to_payload
+    from repro.serve import build_bundle, cold_reference, request_json, serve_bundle
+
+    tmp = Path(tempfile.mkdtemp(prefix="repro-serve-bench-"))
+    daemon = None
+    try:
+        build_started = time.perf_counter()
+        manifest = build_bundle(
+            tmp / "bundle", preset="small", blocking="prefix", warm_items=warm_items
+        )
+        build_seconds = time.perf_counter() - build_started
+        bundle_bytes = sum(
+            entry["bytes"] for entry in manifest["components"].values()
+        )
+
+        daemon = serve_bundle(tmp / "bundle")
+        host, port = daemon.start()
+        external, cold, cold_seconds = cold_reference(
+            daemon.session.bundle.config, items
+        )
+        payload = record_store_to_payload(external)
+
+        latencies = []
+        responses = []
+        for _ in range(requests):
+            started = time.perf_counter()
+            responses.append(request_json(host, port, "POST", "/link", payload))
+            latencies.append(time.perf_counter() - started)
+        ordered = sorted(latencies)
+        warm_p50 = statistics.median(ordered)
+        warm_p99 = ordered[min(len(ordered) - 1, int(len(ordered) * 0.99))]
+
+        burst_started = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            burst_responses = list(
+                pool.map(
+                    lambda _: request_json(host, port, "POST", "/link", payload),
+                    range(burst),
+                )
+            )
+        burst_seconds = time.perf_counter() - burst_started
+        requests_per_second = burst / burst_seconds if burst_seconds else 0.0
+
+        identical = all(
+            response == cold for response in responses + burst_responses
+        )
+        warm_speedup = cold_seconds / warm_p50 if warm_p50 else float("inf")
+        metrics = {
+            "bundle_build_seconds": build_seconds,
+            "bundle_bytes": bundle_bytes,
+            "cold_seconds": cold_seconds,
+            "warm_p50_seconds": warm_p50,
+            "warm_p99_seconds": warm_p99,
+            "warm_speedup_p50": warm_speedup,
+            "requests_per_second": requests_per_second,
+            "cache_hit_rate": daemon.session.comparator.cache_hit_rate,
+            "matches": cold["matches"],
+            "identical_to_cli": 1.0 if identical else 0.0,
+        }
+        assert identical, "a warm daemon response diverged from the one-shot path"
+        assert warm_speedup >= 5.0, (
+            f"warm requests only x{warm_speedup:.1f} vs cold construction"
+        )
+        text = "\n".join(
+            [
+                "smoke: warm-start daemon vs one-shot engine construction",
+                f"bundle {bundle_bytes:,} bytes, built in "
+                f"{build_seconds * 1000:.0f} ms",
+                f"cold one-shot        {cold_seconds * 1000:8.1f} ms",
+                f"warm request p50/p99 {warm_p50 * 1000:8.1f} / "
+                f"{warm_p99 * 1000:.1f} ms   -> x{warm_speedup:.1f}",
+                f"concurrent burst     {requests_per_second:8.1f} req/s "
+                f"({burst} requests, {workers} clients)",
+                f"{requests + burst} responses byte-identical to the cold path, "
+                f"{cold['matches']} matches each",
+            ]
+        )
+        return Measurement(metrics=metrics, text=text)
+    finally:
+        if daemon is not None:
+            daemon.shutdown()
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
 def measure_smoke_index_passes(catalog, support_threshold=SUPPORT, rounds=3) -> Measurement:
     """Index-backed frequency passes vs the scan learn (I1 at smoke
     scale) — the same measurement as ``measure_index_learner``, minus
@@ -738,6 +843,39 @@ register(
             ),
         ),
         report_name="smoke_batched_scoring",
+    )
+)
+
+register(
+    BenchmarkSpec(
+        name="smoke-serve",
+        description="warm-start daemon latency vs one-shot construction, byte-identical",
+        tier="smoke",
+        workload="null",
+        measure=measure_serve_daemon,
+        budgets=(
+            WALL,
+            MetricBudget("warm_p50_seconds", "lower", WALL_TOLERANCE),
+            MetricBudget("warm_p99_seconds", "lower", WALL_TOLERANCE),
+            # machine-relative ratio: both legs run on the same box, so
+            # a real warm-path regression moves it even on loaded runners
+            MetricBudget("warm_speedup_p50", "higher", 0.5),
+            MetricBudget("requests_per_second", "higher", 0.65),
+            # binary verdict: any drop below 1.0 regresses
+            MetricBudget("identical_to_cli", "higher", 0.0),
+        ),
+        checks=(
+            lambda m: _assert(
+                m.metrics["identical_to_cli"] == 1.0,
+                "a warm daemon response diverged from the one-shot path",
+            ),
+            lambda m: _assert(
+                m.metrics["warm_speedup_p50"] >= 5.0,
+                f"warm requests only x{m.metrics['warm_speedup_p50']:.1f} "
+                "vs cold construction",
+            ),
+        ),
+        report_name="smoke_serve",
     )
 )
 

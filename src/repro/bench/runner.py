@@ -191,15 +191,9 @@ def run_shim(*names: str) -> int:
     prints each report — the same behavior the standalone scripts had,
     now one line each.
     """
-    from repro.bench.io import DEFAULT_RESULTS_DIR
+    from repro.bench.io import default_results_dir
 
-    if Path("benchmarks").is_dir():
-        target = DEFAULT_RESULTS_DIR
-    else:
-        # invoked from elsewhere: resolve the checkout from this file
-        # (src/repro/bench/runner.py -> repo root -> benchmarks/results)
-        target = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
-    runs = run_benchmarks(names=list(names), results_dir=target)
+    runs = run_benchmarks(names=list(names), results_dir=default_results_dir())
     for run in runs:
         if run.measurement.text:
             print(run.measurement.text)

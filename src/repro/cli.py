@@ -391,9 +391,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     from repro.bench import (
         BenchmarkCheckError,
+        ResultsDirError,
         UnknownBenchmarkError,
         benchmark_names,
         compare_benchmarks,
+        default_baseline_dir,
+        default_results_dir,
         get_benchmark,
         read_trajectory,
         run_benchmarks,
@@ -401,8 +404,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         write_result,
     )
 
-    results_dir = Path(args.results_dir)
-    baseline_dir = Path(args.baseline_dir)
+    try:
+        results_dir = (
+            Path(args.results_dir) if args.results_dir else default_results_dir()
+        )
+        baseline_dir = (
+            Path(args.baseline_dir) if args.baseline_dir else default_baseline_dir()
+        )
+    except ResultsDirError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
 
     if args.action == "list":
         specs = [get_benchmark(name) for name in benchmark_names(args.tier)]
@@ -529,6 +540,123 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_artifacts(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.index.artifacts import ArtifactError, inspect_bundle
+    from repro.serve import ServeError, build_bundle
+
+    if args.action == "build":
+        try:
+            manifest = build_bundle(
+                Path(args.bundle),
+                preset=args.preset,
+                seed=args.seed,
+                blocking=args.blocking,
+                support_threshold=args.support_threshold,
+                match_threshold=args.match_threshold,
+                use_index=args.index,
+                warm_items=args.warm_items,
+            )
+        except ServeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        components = manifest["components"]
+        total = sum(entry["bytes"] for entry in components.values())
+        print(
+            f"bundle written to {args.bundle} "
+            f"({len(components)} components, {total:,} bytes)"
+        )
+        for name in sorted(components):
+            print(f"  {name:<14} {components[name]['bytes']:>10,} bytes")
+        return 0
+
+    # inspect
+    try:
+        summary = inspect_bundle(Path(args.bundle))
+    except ArtifactError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    print(f"bundle: {args.bundle}")
+    print(f"records: {summary['records']}")
+    for signature, info in sorted(summary["indexes"].items()):
+        print(f"index {signature}: {info['keys']} keys over {info['records']} records")
+    print(f"rules: {summary['rules']}")
+    print(f"ontology classes: {summary['ontology_classes']}")
+    print(
+        f"cached similarities: {summary['cached_similarities']} "
+        f"(+{summary['cached_normalizations']} normalizations)"
+    )
+    config = summary.get("config", {})
+    if config:
+        print(
+            "config: "
+            + " ".join(f"{key}={config[key]}" for key in sorted(config))
+        )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.index.artifacts import ArtifactError
+    from repro.serve import ServeError, run_self_test, serve_bundle
+
+    try:
+        daemon = serve_bundle(
+            args.bundle, host=args.host, port=args.port, cache_size=args.cache_size
+        )
+    except (ArtifactError, ServeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.self_test:
+        try:
+            report = run_self_test(
+                args.bundle,
+                items=args.self_test,
+                requests=args.self_test_requests,
+                workers=args.self_test_workers,
+                daemon=daemon,
+            )
+        finally:
+            daemon.shutdown()
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            verdict = "identical" if report["identical"] else "MISMATCH"
+            print(
+                f"self-test: {report['requests']} concurrent requests, "
+                f"{report['matches']} matches each — {verdict}"
+            )
+            print(
+                f"cold one-shot {report['cold_seconds']:.2f}s, "
+                f"warm p50 {report['warm_p50_seconds'] * 1000:.1f}ms "
+                f"({report['warm_speedup_p50']:.1f}x), "
+                f"cache hit rate {report['cache_hit_rate']:.1%}"
+            )
+        return 0 if report["identical"] else 1
+
+    host, port = daemon.start()
+    stats = daemon.session.stats()
+    print(
+        f"serving {stats['records']} records ({stats['blocking']} blocking) "
+        f"on http://{host}:{port} — GET /stats, POST /link, POST /delta",
+        file=sys.stderr,
+    )
+    try:
+        daemon.wait()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        daemon.shutdown()
+    return 0
+
+
 def _cmd_export_rules(args: argparse.Namespace) -> int:
     catalog = _generate(args)
     learner = RuleLearner(
@@ -650,14 +778,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--results-dir",
-        default="benchmarks/results",
+        default=None,
         help="where run reports + trajectory/BENCH_*.json land "
-        "(default: benchmarks/results)",
+        "(default: benchmarks/results under the repo root)",
     )
     bench.add_argument(
         "--baseline-dir",
-        default="benchmarks/baselines",
-        help="checked-in baseline records (default: benchmarks/baselines)",
+        default=None,
+        help="checked-in baseline records "
+        "(default: benchmarks/baselines under the repo root)",
     )
     bench.add_argument(
         "--update-baselines",
@@ -677,6 +806,84 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--json", action="store_true", help="emit JSON")
     bench.set_defaults(handler=_cmd_bench)
+
+    artifacts = sub.add_parser(
+        "artifacts", help="warm-start bundle store (build / inspect)"
+    )
+    artifacts.add_argument(
+        "action",
+        choices=("build", "inspect"),
+        help="build a bundle from a deterministic catalog, or summarize one",
+    )
+    artifacts.add_argument(
+        "--bundle", required=True, metavar="DIR", help="bundle directory"
+    )
+    _add_common(artifacts)
+    artifacts.add_argument(
+        "--blocking",
+        choices=("rules", "rules-strict", "prefix", "sorted", "qgram", "canopy", "full"),
+        default="prefix",
+        help="blocking method the bundle is warmed for (default: prefix)",
+    )
+    artifacts.add_argument("--match-threshold", type=float, default=0.9)
+    artifacts.add_argument(
+        "--warm-items",
+        type=_non_negative_int,
+        default=0,
+        help="pre-warm the similarity cache by linking one provider "
+        "batch of this size (0 = no cache in the bundle)",
+    )
+    artifacts.add_argument(
+        "--index",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="snapshot the shared key indexes into the bundle",
+    )
+    artifacts.add_argument(
+        "--json", action="store_true", help="inspect: emit the summary as JSON"
+    )
+    artifacts.set_defaults(handler=_cmd_artifacts)
+
+    serve = sub.add_parser(
+        "serve", help="long-running warm linking daemon over a bundle"
+    )
+    serve.add_argument(
+        "--bundle", required=True, metavar="DIR", help="bundle directory to load"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=_non_negative_int,
+        default=8355,
+        help="listen port (0 = ephemeral; default 8355)",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=_non_negative_int,
+        default=None,
+        help="similarity-cache capacity (default: engine default)",
+    )
+    serve.add_argument(
+        "--self-test",
+        type=_positive_int,
+        default=None,
+        metavar="ITEMS",
+        help="don't serve: fire concurrent warm requests for a provider "
+        "batch of ITEMS records, verify byte-identity against the "
+        "one-shot path, and exit 0/1",
+    )
+    serve.add_argument(
+        "--self-test-requests", type=_positive_int, default=8,
+        help="concurrent requests in the self-test (default 8)",
+    )
+    serve.add_argument(
+        "--self-test-workers", type=_positive_int, default=4,
+        help="client threads in the self-test (default 4)",
+    )
+    serve.add_argument(
+        "--json", action="store_true", help="self-test: emit the report as JSON"
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     export = sub.add_parser("export-rules", help="learn and export rules")
     _add_common(export)

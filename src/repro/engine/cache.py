@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Hashable, Optional
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple
 
 from repro.linking.comparators import FieldComparator, RecordComparator
 from repro.linking.records import Record
@@ -69,7 +69,11 @@ class LRUCache:
 
     def _get(self, key: Hashable) -> object:
         if self._max_size <= 0:
-            return _MISS  # disabled: no storage, no counters
+            # disabled: no storage, but the lookup still happened — the
+            # stats must show every consultation as a miss, not report
+            # zero traffic for a cache consulted on every pair
+            self.misses += 1
+            return _MISS
         value = self._entries.get(key, _MISS)
         if value is _MISS:
             self.misses += 1
@@ -94,6 +98,23 @@ class LRUCache:
         self._entries[key] = value
         if len(self._entries) > self._max_size:
             self._entries.popitem(last=False)
+
+    def export_entries(self) -> List[Tuple[Hashable, object]]:
+        """The cached entries, least recently used first.
+
+        The order is the reload order: :meth:`load_entries` replays it
+        through :meth:`put`, so an exported-then-reloaded cache evicts
+        in the same sequence the original would have.
+        """
+        if self._lock is not None:
+            with self._lock:
+                return list(self._entries.items())
+        return list(self._entries.items())
+
+    def load_entries(self, entries: Iterable[Tuple[Hashable, object]]) -> None:
+        """Insert *entries* in order (oldest first), respecting capacity."""
+        for key, value in entries:
+            self.put(key, value)
 
     @staticmethod
     def is_miss(value: object) -> bool:
@@ -167,6 +188,39 @@ class CachedRecordComparator(RecordComparator):
     def cache_hit_rate(self) -> float:
         """Similarity-cache hit rate so far."""
         return self._similarities.hit_rate
+
+    def cache_export(self) -> Dict[str, Any]:
+        """Cache contents as a JSON-ready payload (for artifact bundles).
+
+        Entries are exported least recently used first so
+        :meth:`cache_load` reconstructs the same LRU order; hit/miss
+        counters are *not* exported — a reloaded cache starts its stats
+        fresh, only the memoized work is carried over.
+        """
+        return {
+            "capacity": self.cache_capacity,
+            "similarities": [
+                [index, a, b, similarity]
+                for (index, a, b), similarity in self._similarities.export_entries()
+            ],
+            "normalized": [
+                [raw, normalized]
+                for raw, normalized in self._normalized.export_entries()
+            ],
+        }
+
+    def cache_load(self, payload: Dict[str, Any]) -> None:
+        """Warm the caches from a :meth:`cache_export` payload.
+
+        Keys are rebuilt exactly as the live path builds them, so a
+        warm-started comparator answers the same lookups without
+        recomputing — memoization only skips work, never changes it.
+        """
+        for entry in payload.get("similarities", ()):
+            index, a, b, similarity = entry
+            self._similarities.put((index, a, b), similarity)
+        for raw, normalized in payload.get("normalized", ()):
+            self._normalized.put(raw, normalized)
 
     def _normalize(self, value: str) -> str:
         cached = self._normalized.get(value)

@@ -22,7 +22,9 @@ intersection, union, count and incremental append.
 from repro.index.inverted import IndexStats, InvertedIndex
 from repro.index.keys import (
     RecordKeyIndex,
+    seed_shared_index,
     shared_index_cache_clear,
+    shared_index_snapshot,
     shared_record_index,
 )
 from repro.index.postings import EMPTY_POSTING, PostingList
@@ -37,6 +39,8 @@ __all__ = [
     "PostingList",
     "RecordKeyIndex",
     "TrainingFeatureIndex",
+    "seed_shared_index",
     "shared_index_cache_clear",
+    "shared_index_snapshot",
     "shared_record_index",
 ]

@@ -76,6 +76,11 @@ class RecordKeyIndex:
         """The record id at *ordinal* (store order at build time)."""
         return self._ids[ordinal]
 
+    @property
+    def record_count(self) -> int:
+        """Number of records indexed (the store size at build time)."""
+        return len(self._ids)
+
     def key_sizes(self) -> Dict[str, int]:
         """Posting length per key — the block-size stats the engine's
         :class:`~repro.engine.shard.ShardPlan` balances shards with."""
@@ -137,6 +142,41 @@ def shared_record_index(
     index = RecordKeyIndex.build(store, keys_for)
     per_store[signature] = (version, index)
     return index
+
+
+def seed_shared_index(
+    store: "RecordStore", signature: str, index: RecordKeyIndex
+) -> None:
+    """Register a prebuilt *index* for *store* under *signature*.
+
+    The warm-start path of the artifact store: an index deserialized
+    from a bundle is seeded at the store's *current* version, so the
+    first job blocking the store with the same signature reuses it with
+    zero rebuild — and a later store mutation invalidates it exactly
+    like a locally-built entry.
+    """
+    per_store = _SHARED.get(store)
+    if per_store is None:
+        per_store = {}
+        _SHARED[store] = per_store
+    per_store[signature] = (getattr(store, "version", None), index)
+
+
+def shared_index_snapshot(store: "RecordStore") -> Dict[str, RecordKeyIndex]:
+    """The store's currently-valid cached indexes, by signature.
+
+    Entries built against an older store version are skipped — a bundle
+    must only capture indexes that describe the store as it is now.
+    """
+    per_store = _SHARED.get(store)
+    if not per_store:
+        return {}
+    version = getattr(store, "version", None)
+    return {
+        signature: index
+        for signature, (built_version, index) in per_store.items()
+        if built_version == version
+    }
 
 
 def shared_index_cache_clear() -> None:

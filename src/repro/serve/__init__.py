@@ -1,0 +1,38 @@
+"""``repro.serve`` — the warm-start linking service.
+
+A cold ``repro link`` run spends most of its wall clock on work that is
+identical across runs: generating the catalog, building the local
+record store, learning rules and constructing key indexes.
+:func:`~repro.serve.build.build_bundle` does that once and persists it
+as a versioned artifact bundle (:mod:`repro.index.artifacts`);
+:class:`~repro.serve.session.LinkSession` opens a bundle O(1) and
+answers link/delta requests byte-identically to the one-shot path;
+:class:`~repro.serve.daemon.LinkDaemon` puts a session behind a
+threading HTTP server so many clients share one warm engine.
+"""
+
+from repro.serve.build import build_bundle
+from repro.serve.daemon import LinkDaemon, link_response, request_json, serve_bundle
+from repro.serve.selftest import cold_reference, run_self_test
+from repro.serve.session import (
+    BLOCKING_NAMES,
+    STREAMABLE_BLOCKING,
+    LinkSession,
+    ServeError,
+    make_blocking,
+)
+
+__all__ = [
+    "BLOCKING_NAMES",
+    "STREAMABLE_BLOCKING",
+    "LinkDaemon",
+    "LinkSession",
+    "ServeError",
+    "build_bundle",
+    "cold_reference",
+    "link_response",
+    "make_blocking",
+    "request_json",
+    "run_self_test",
+    "serve_bundle",
+]

@@ -1,0 +1,231 @@
+"""A long-running linking daemon over one warm :class:`LinkSession`.
+
+Stdlib-only HTTP front: a :class:`ThreadingHTTPServer` dispatches each
+request on its own thread into the shared session — the bundle's record
+store, seeded key indexes and the thread-safe similarity cache are
+loaded exactly once, so a warm request pays only its own candidate
+generation and comparisons.
+
+Protocol (all JSON):
+
+* ``GET /stats`` — session snapshot (records, cache hit rate, ...).
+* ``POST /link`` — body ``{"records": [...]}`` in the artifact-bundle
+  record payload shape; responds with match counts and the confirmed
+  links as canonical N-Triples (the byte-identity comparand).
+* ``POST /delta`` — body ``{"stream": name, "records": [...]}``;
+  ingests a delta into a named cumulative stream.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.client import HTTPConnection
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from repro.serve.session import LinkSession, ServeError
+
+
+def link_response(result) -> Dict[str, Any]:
+    """The JSON body describing one linking result.
+
+    ``sameas_ntriples`` is the canonical serialized link set — two runs
+    are byte-identical iff these strings (and the counters) are equal.
+    """
+    from repro.rdf.ntriples import serialize_ntriples
+
+    return {
+        "matches": len(result.matches),
+        "possible": len(result.possible),
+        "compared": result.compared,
+        "naive_pairs": result.naive_pairs,
+        "sameas_ntriples": serialize_ntriples(result.sameas_graph()),
+        "executor": result.stats.executor if result.stats else None,
+    }
+
+
+def _make_handler(session: LinkSession):
+    from repro.index.artifacts import ArtifactError, record_store_from_payload
+
+    class LinkRequestHandler(BaseHTTPRequestHandler):
+        # one handler class per daemon: the session rides on the closure
+        protocol_version = "HTTP/1.1"
+        server_version = "repro-serve"
+
+        def log_message(self, format: str, *args: Any) -> None:
+            pass  # request logging is the caller's business, not stderr's
+
+        def _reply(self, status: int, payload: Dict[str, Any]) -> None:
+            body = json.dumps(payload, sort_keys=True).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _read_body(self) -> Dict[str, Any]:
+            length = int(self.headers.get("Content-Length", "0"))
+            raw = self.rfile.read(length) if length else b""
+            if not raw:
+                raise ServeError("empty request body; expected JSON")
+            try:
+                payload = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise ServeError(f"request body is not valid JSON: {exc}") from exc
+            if not isinstance(payload, dict):
+                raise ServeError("request body must be a JSON object")
+            return payload
+
+        def do_GET(self) -> None:  # noqa: N802 - http.server API
+            if self.path.rstrip("/") in ("", "/stats"):
+                self._reply(200, session.stats())
+                return
+            self._reply(404, {"error": f"unknown path {self.path!r}"})
+
+        def do_POST(self) -> None:  # noqa: N802 - http.server API
+            try:
+                payload = self._read_body()
+                if self.path == "/link":
+                    self._reply(200, self._handle_link(payload))
+                elif self.path == "/delta":
+                    self._reply(200, self._handle_delta(payload))
+                else:
+                    self._reply(404, {"error": f"unknown path {self.path!r}"})
+            except (ServeError, ArtifactError) as exc:
+                self._reply(400, {"error": str(exc)})
+            except Exception as exc:  # pragma: no cover - defensive
+                self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+        def _handle_link(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+            external = record_store_from_payload(payload)
+            result = session.link(external)
+            return link_response(result)
+
+        def _handle_delta(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+            stream = payload.get("stream")
+            if not isinstance(stream, str) or not stream:
+                raise ServeError('delta requests need a non-empty "stream" name')
+            store = record_store_from_payload(payload)
+            job, delta = session.delta(stream, list(store))
+            response = link_response(job.result())
+            response["stream"] = stream
+            response["delta"] = {
+                "index": delta.index,
+                "records": delta.records,
+                "compared": delta.compared,
+                "matches": delta.matches,
+            }
+            return response
+
+    return LinkRequestHandler
+
+
+class LinkDaemon:
+    """The serve daemon: one warm session behind a threading HTTP server."""
+
+    def __init__(
+        self, session: LinkSession, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self._session = session
+        self._server = ThreadingHTTPServer((host, port), _make_handler(session))
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def session(self) -> LinkSession:
+        """The shared warm session answering requests."""
+        return self._session
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """``(host, port)`` actually bound (port 0 resolves at bind)."""
+        host, port = self._server.server_address[:2]
+        return str(host), int(port)
+
+    def start(self) -> Tuple[str, int]:
+        """Serve on a daemon thread; returns the bound address."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                name="repro-serve",
+                daemon=True,
+            )
+            self._thread.start()
+        return self.address
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`shutdown`."""
+        self._server.serve_forever()
+
+    def wait(self) -> None:
+        """Block until the serving thread exits (after :meth:`shutdown`)."""
+        if self._thread is not None:
+            self._thread.join()
+
+    def shutdown(self) -> None:
+        """Stop serving and release the socket."""
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+
+    def __enter__(self) -> "LinkDaemon":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+
+def serve_bundle(
+    bundle_path: Path | str,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    cache_size: Optional[int] = None,
+) -> LinkDaemon:
+    """Load a bundle and wrap it in a (not yet started) daemon."""
+    from repro.index.artifacts import load_bundle
+
+    session = LinkSession(load_bundle(bundle_path), cache_size=cache_size)
+    return LinkDaemon(session, host=host, port=port)
+
+
+def request_json(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    payload: Optional[Dict[str, Any]] = None,
+    timeout: float = 60.0,
+) -> Dict[str, Any]:
+    """One JSON request against a running daemon (stdlib http.client).
+
+    Raises :class:`ServeError` on any non-200 response, carrying the
+    daemon's error message.
+    """
+    connection = HTTPConnection(host, port, timeout=timeout)
+    try:
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        connection.request(method, path, body=body, headers=headers)
+        response = connection.getresponse()
+        raw = response.read().decode("utf-8")
+        try:
+            decoded = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ServeError(
+                f"daemon returned non-JSON ({response.status}): {raw[:200]!r}"
+            ) from exc
+        if response.status != 200:
+            raise ServeError(
+                f"daemon error ({response.status}): "
+                f"{decoded.get('error', raw[:200])}"
+            )
+        return decoded
+    finally:
+        connection.close()

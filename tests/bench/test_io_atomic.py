@@ -1,0 +1,186 @@
+"""Atomic result I/O and default-directory resolution.
+
+Regression coverage for two I/O-integrity bugs: the fixed ``.tmp`` temp
+name that let concurrent writers replace each other's half-written
+files, and the cwd-relative default directories that scattered fresh
+``benchmarks/`` trees under whatever directory invoked the CLI.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.bench.io import (
+    ResultsDirError,
+    append_result,
+    default_baseline_dir,
+    default_results_dir,
+    read_trajectory,
+    trajectory_path,
+    write_report,
+    write_result,
+)
+from repro.bench.spec import BenchmarkResult
+from repro.ioutils import atomic_write_text, find_repo_root
+
+
+def result_record(benchmark="t-bench", wall=1.0):
+    return BenchmarkResult(
+        benchmark=benchmark,
+        tier="smoke",
+        metrics={"wall_seconds": wall},
+        environment={"python": "3.11"},
+    )
+
+
+class TestAtomicWriteText:
+    def test_writes_and_returns_path(self, tmp_path):
+        target = tmp_path / "deep" / "out.txt"
+        assert atomic_write_text(target, "hello") == target
+        assert target.read_text() == "hello"
+
+    def test_replaces_existing_content_completely(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "x" * 1000)
+        atomic_write_text(target, "short")
+        assert target.read_text() == "short"
+
+    def test_no_temp_litter_after_success(self, tmp_path):
+        atomic_write_text(tmp_path / "out.txt", "data")
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_failed_write_keeps_old_file_and_cleans_temp(self, tmp_path, monkeypatch):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "original")
+
+        import repro.ioutils as ioutils
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash at the commit point")
+
+        monkeypatch.setattr(ioutils.os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="simulated crash"):
+            atomic_write_text(target, "replacement")
+        monkeypatch.undo()
+        # the old complete file survives and the temp file is unlinked
+        assert target.read_text() == "original"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_concurrent_writers_never_publish_partial_files(self, tmp_path):
+        # the old fixed "<name>.tmp" temp name let writer B os.replace a
+        # file A was still filling; unique mkstemp names make every
+        # published version one writer's complete text
+        target = tmp_path / "shared.json"
+        texts = [json.dumps({"writer": index, "pad": "x" * 4096}) for index in range(4)]
+        errors = []
+
+        def write(text):
+            try:
+                for _ in range(25):
+                    atomic_write_text(target, text)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=write, args=(text,)) for text in texts]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert json.loads(target.read_text())["pad"] == "x" * 4096
+        assert [p.name for p in tmp_path.iterdir()] == ["shared.json"]
+
+
+class TestTrajectoryAppendIntegrity:
+    def test_append_survives_interrupted_rewrite(self, tmp_path, monkeypatch):
+        append_result(tmp_path, result_record(wall=1.0))
+        append_result(tmp_path, result_record(wall=2.0))
+
+        import repro.ioutils as ioutils
+
+        real_replace = ioutils.os.replace
+        monkeypatch.setattr(
+            ioutils.os,
+            "replace",
+            lambda src, dst: (_ for _ in ()).throw(OSError("killed mid-append")),
+        )
+        with pytest.raises(OSError, match="killed mid-append"):
+            append_result(tmp_path, result_record(wall=3.0))
+        monkeypatch.setattr(ioutils.os, "replace", real_replace)
+
+        # the two committed records are intact, nothing truncated
+        walls = [r.metrics["wall_seconds"] for r in read_trajectory(tmp_path, "t-bench")]
+        assert walls == [1.0, 2.0]
+        append_result(tmp_path, result_record(wall=3.0))
+        walls = [r.metrics["wall_seconds"] for r in read_trajectory(tmp_path, "t-bench")]
+        assert walls == [1.0, 2.0, 3.0]
+
+    def test_concurrent_appends_leave_valid_json(self, tmp_path):
+        # appends may interleave (lost updates are acceptable; this is
+        # not a database) but the published file must always parse and
+        # every record must be complete
+        def append_many(wall):
+            for _ in range(10):
+                append_result(tmp_path, result_record(wall=wall))
+
+        threads = [
+            threading.Thread(target=append_many, args=(float(index),))
+            for index in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        records = read_trajectory(tmp_path, "t-bench")
+        assert records, "at least the final append must be visible"
+        assert all(r.benchmark == "t-bench" for r in records)
+        leftovers = [p.name for p in tmp_path.iterdir() if p.name.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_write_report_twins_atomic(self, tmp_path):
+        write_report(tmp_path, "rep", "table text", data={"rows": [1, 2]})
+        assert (tmp_path / "rep.txt").read_text() == "table text\n"
+        assert json.loads((tmp_path / "rep.json").read_text()) == {"rows": [1, 2]}
+
+    def test_write_result_single_record(self, tmp_path):
+        path = write_result(tmp_path, result_record())
+        assert path == trajectory_path(tmp_path, "t-bench")
+        assert json.loads(path.read_text())["benchmark"] == "t-bench"
+
+
+class TestDefaultDirResolution:
+    def test_cwd_with_benchmarks_tree_wins(self, tmp_path, monkeypatch):
+        (tmp_path / "benchmarks").mkdir()
+        monkeypatch.chdir(tmp_path)
+        assert default_results_dir() == tmp_path / "benchmarks" / "results"
+        assert default_baseline_dir() == tmp_path / "benchmarks" / "baselines"
+
+    def test_subdirectory_resolves_to_repo_root(self, tmp_path, monkeypatch):
+        # running from a random cwd must anchor at the checkout the
+        # package lives in, not scatter benchmarks/ under the cwd
+        monkeypatch.chdir(tmp_path)
+        root = find_repo_root()
+        assert root is not None
+        assert default_results_dir() == root / "benchmarks" / "results"
+
+    def test_fails_loudly_without_any_root(self, tmp_path, monkeypatch):
+        import repro.bench.io as bench_io
+
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setattr(bench_io, "find_repo_root", lambda: None)
+        with pytest.raises(ResultsDirError, match="--results-dir"):
+            default_results_dir()
+
+    def test_find_repo_root_requires_both_markers(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text("[project]\n")
+        assert find_repo_root(tmp_path) is None  # no benchmarks/ sibling
+        (tmp_path / "benchmarks").mkdir()
+        assert find_repo_root(tmp_path) == tmp_path
+
+    def test_find_repo_root_walks_upward(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text("[project]\n")
+        (tmp_path / "benchmarks").mkdir()
+        nested = tmp_path / "a" / "b"
+        nested.mkdir(parents=True)
+        assert find_repo_root(nested) == tmp_path

@@ -123,3 +123,70 @@ class TestCachedRecordComparator:
         cached = CachedRecordComparator(comparator)
         assert cached.inner is comparator
         assert cached.field_names == ("pn", "maker")
+
+
+class TestDisabledCacheStats:
+    def test_disabled_cache_counts_misses(self):
+        # regression: max_size <= 0 used to return the sentinel without
+        # touching the counters, so a disabled cache reported zero
+        # traffic (hit_rate 0/0) despite being consulted on every pair
+        cache = LRUCache(0)
+        assert LRUCache.is_miss(cache.get("a"))
+        assert LRUCache.is_miss(cache.get("a"))
+        assert cache.misses == 2
+        assert cache.hits == 0
+        assert cache.hit_rate == 0.0
+
+    def test_disabled_comparator_stats_show_traffic(self, comparator):
+        cached = CachedRecordComparator(comparator, cache_size=0)
+        cached.compare(record("a", "x100"), record("b", "x100"))
+        assert cached.cache_hits == 0
+        assert cached.cache_misses > 0
+        assert cached.cache_hit_rate == 0.0
+
+
+class TestCacheExport:
+    def test_lru_export_preserves_eviction_order(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # "b" becomes the LRU entry
+        clone = LRUCache(2)
+        clone.load_entries(cache.export_entries())
+        clone.put("c", 3)  # must evict "b", exactly as the original would
+        assert clone.get("a") == 1
+        assert LRUCache.is_miss(clone.get("b"))
+        assert clone.get("c") == 3
+
+    def test_load_respects_capacity(self):
+        source = LRUCache(4)
+        for key in "abcd":
+            source.put(key, key.upper())
+        small = LRUCache(2)
+        small.load_entries(source.export_entries())
+        assert len(small) == 2
+        assert small.get("d") == "D"  # the newest entries survive
+
+    def test_comparator_round_trip_answers_without_recompute(self, comparator):
+        warm = CachedRecordComparator(comparator)
+        left, right = record("a", "crcw0805-10k"), record("b", "crcw0806-10k")
+        expected = warm.compare(left, right)
+
+        reloaded = CachedRecordComparator(comparator, thread_safe=True)
+        reloaded.cache_load(warm.cache_export())
+        assert reloaded.cache_hits == 0  # stats start fresh
+        assert reloaded.compare(left, right) == expected
+        assert reloaded.cache_misses == 0  # every lookup answered warm
+        assert reloaded.cache_hits > 0
+
+    def test_export_is_json_ready(self, comparator):
+        import json
+
+        warm = CachedRecordComparator(comparator)
+        warm.compare(record("a", "x100"), record("b", "x200"))
+        payload = json.loads(json.dumps(warm.cache_export()))
+        reloaded = CachedRecordComparator(comparator)
+        reloaded.cache_load(payload)
+        left, right = record("a", "x100"), record("b", "x200")
+        assert reloaded.compare(left, right) == warm.compare(left, right)
+        assert reloaded.cache_misses == 0  # the JSON round trip kept the keys

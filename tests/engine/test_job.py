@@ -161,7 +161,10 @@ class TestSerialEquivalence:
         result = job.run(external, local)
         assert result.matches == serial_result.matches
         assert result.stats.cache_hits == 0
-        assert result.stats.cache_misses == 0
+        # a disabled cache still counts its misses: every consulted
+        # pair is honest traffic, not a silent 0/0 hit rate
+        assert result.stats.cache_misses > 0
+        assert result.stats.cache_hit_rate == 0.0
 
     def test_best_match_only_disabled(self, comparator):
         external = RecordStore([record("e1", "abc")])

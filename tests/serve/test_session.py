@@ -1,0 +1,177 @@
+"""Warm LinkSession semantics: identity, invariants, streams.
+
+The serve contract: a session answer is byte-identical to a cold
+one-shot run on the same inputs, the shared comparator is provably
+thread-safe, and delta streams fold to the batch result.
+"""
+
+import pytest
+
+from repro.datagen.catalog import PART_NUMBER, ElectronicCatalogGenerator
+from repro.datagen.config import CatalogConfig
+from repro.engine import JobConfig, LinkingJob
+from repro.experiments.throughput import provider_batch
+from repro.index.artifacts import load_bundle, record_store_from_payload, record_store_to_payload
+from repro.linking import (
+    FieldComparator,
+    RecordComparator,
+    RecordStore,
+    ThresholdMatcher,
+)
+from repro.rdf import serialize_ntriples
+from repro.serve import (
+    BLOCKING_NAMES,
+    STREAMABLE_BLOCKING,
+    LinkSession,
+    ServeError,
+    build_bundle,
+    link_response,
+    make_blocking,
+)
+
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def materials(tmp_path_factory):
+    root = tmp_path_factory.mktemp("serve-session")
+    build_bundle(root / "bundle", preset="tiny", seed=SEED, blocking="prefix")
+    catalog = ElectronicCatalogGenerator(CatalogConfig.tiny(seed=SEED)).generate()
+    test_graph, _ = provider_batch(catalog, 40, seed=SEED)
+    external = RecordStore.from_graph(test_graph, {"pn": PART_NUMBER})
+    return root / "bundle", catalog, external
+
+
+@pytest.fixture()
+def session(materials):
+    bundle_path, _, _ = materials
+    return LinkSession(load_bundle(bundle_path))
+
+
+class TestMakeBlocking:
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ServeError, match="unknown blocking"):
+            make_blocking("soundex")
+
+    def test_rules_needs_materials(self):
+        with pytest.raises(ServeError, match="learned rules"):
+            make_blocking("rules")
+
+    def test_all_names_constructible(self, materials):
+        _, catalog, _ = materials
+        for name in BLOCKING_NAMES:
+            if name.startswith("rules"):
+                continue  # covered via a rules bundle below
+            assert make_blocking(name) is not None
+
+
+class TestWarmIdentity:
+    def test_link_matches_cold_one_shot(self, session, materials):
+        _, catalog, external = materials
+        warm = session.link(
+            record_store_from_payload(record_store_to_payload(external))
+        )
+
+        local = RecordStore.from_graph(catalog.local_graph, {"pn": PART_NUMBER})
+        cold = LinkingJob(
+            make_blocking("prefix"),
+            RecordComparator([FieldComparator("pn")]),
+            ThresholdMatcher(match_threshold=0.9),
+            JobConfig(executor="serial"),
+        ).run(external, local)
+
+        assert warm.match_pairs == cold.match_pairs
+        assert warm.compared == cold.compared
+        assert serialize_ntriples(warm.sameas_graph()) == serialize_ntriples(
+            cold.sameas_graph()
+        )
+        assert len(warm.matches) > 0
+
+    def test_repeat_requests_identical_and_counted(self, session, materials):
+        _, _, external = materials
+        first = link_response(session.link(external))
+        second = link_response(session.link(external))
+        assert first == second
+        assert session.request_count == 2
+        # the second pass answers similarities from the shared cache
+        assert session.comparator.cache_hits > 0
+
+    def test_rules_bundle_round_trips_through_graph_of(
+        self, materials, tmp_path
+    ):
+        bundle_path, catalog, external = materials
+        build_bundle(
+            tmp_path / "rules-bundle", preset="tiny", seed=SEED, blocking="rules"
+        )
+        rules_session = LinkSession(load_bundle(tmp_path / "rules-bundle"))
+        # no external graph supplied: the session must reconstruct one
+        warm = rules_session.link(external)
+        assert len(warm.matches) > 0
+        assert rules_session.stats()["rules"] > 0
+
+
+class TestThreadSafetyInvariant:
+    def test_session_refuses_unsafe_comparator(self, materials, monkeypatch):
+        import repro.engine as engine
+
+        real = engine.CachedRecordComparator
+
+        class UnsafeComparator(real):
+            @property
+            def thread_safe(self):
+                return False
+
+        monkeypatch.setattr(engine, "CachedRecordComparator", UnsafeComparator)
+        bundle_path, _, _ = materials
+        with pytest.raises(ServeError, match="thread-safe"):
+            LinkSession(load_bundle(bundle_path))
+
+    def test_session_comparator_is_thread_safe(self, session):
+        assert session.comparator.thread_safe
+        assert session.stats()["cache"]["thread_safe"] is True
+
+
+class TestDeltaStreams:
+    def test_deltas_fold_to_batch_result(self, session, materials):
+        _, _, external = materials
+        records = list(external)
+        middle = len(records) // 2
+        job, first = session.delta("s1", records[:middle])
+        _, second = session.delta("s1", records[middle:])
+        assert first.index == 0
+        assert second.index == 1
+        assert first.records == middle
+
+        streamed = session.stream_result("s1")
+        batch = session.link(external)
+        assert streamed.match_pairs == batch.match_pairs
+        assert serialize_ntriples(streamed.sameas_graph()) == serialize_ntriples(
+            batch.sameas_graph()
+        )
+
+    def test_unknown_stream_has_no_result(self, session):
+        assert session.stream_result("nope") is None
+
+    def test_non_streamable_blocking_rejected(self, materials, tmp_path):
+        _, _, external = materials
+        build_bundle(
+            tmp_path / "canopy-bundle", preset="tiny", seed=SEED, blocking="canopy"
+        )
+        canopy_session = LinkSession(load_bundle(tmp_path / "canopy-bundle"))
+        assert "canopy" not in STREAMABLE_BLOCKING
+        with pytest.raises(ServeError, match="cannot stream deltas"):
+            canopy_session.delta("s1", list(external))
+
+
+class TestStats:
+    def test_snapshot_shape(self, session, materials):
+        _, _, external = materials
+        session.link(external)
+        stats = session.stats()
+        assert stats["records"] == len(session.local_store)
+        assert stats["blocking"] == "prefix"
+        assert stats["match_threshold"] == 0.9
+        assert "prefix:pn:4" in stats["indexes"]
+        assert stats["requests"] == 1
+        assert stats["cache"]["capacity"] > 0
+        assert 0.0 <= stats["cache"]["hit_rate"] <= 1.0

@@ -401,3 +401,113 @@ class TestBenchCommand:
         assert payload[0]["status"] == "ok"
         statuses = {m["metric"]: m["status"] for m in payload[0]["metrics"]}
         assert set(statuses) == {"wall_seconds", "learn_seconds"}
+
+
+class TestArtifactsCommand:
+    def test_artifacts_flags_parse(self):
+        args = build_parser().parse_args(
+            ["artifacts", "build", "--bundle", "b", "--preset", "tiny",
+             "--blocking", "qgram", "--warm-items", "50", "--no-index"]
+        )
+        assert args.action == "build"
+        assert args.bundle == "b"
+        assert args.blocking == "qgram"
+        assert args.warm_items == 50
+        assert args.index is False
+
+    def test_artifacts_rejects_unknown_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["artifacts", "frobnicate", "--bundle", "b"])
+
+    def test_artifacts_rejects_negative_warm_items(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["artifacts", "build", "--bundle", "b", "--warm-items", "-1"]
+            )
+
+    def test_build_then_inspect(self, tmp_path, capsys):
+        bundle = tmp_path / "bundle"
+        code = main(
+            ["artifacts", "build", "--bundle", str(bundle), "--preset", "tiny",
+             "--seed", "5", "--blocking", "prefix", "--warm-items", "20"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bundle written to" in out
+        assert "store.json" in out
+
+        code = main(["artifacts", "inspect", "--bundle", str(bundle), "--json"])
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["records"] > 0
+        assert "prefix:pn:4" in summary["indexes"]
+        assert summary["config"]["blocking"] == "prefix"
+        assert summary["cached_similarities"] > 0
+
+    def test_inspect_human_readable(self, tmp_path, capsys):
+        bundle = tmp_path / "bundle"
+        main(["artifacts", "build", "--bundle", str(bundle), "--preset", "tiny"])
+        capsys.readouterr()
+        code = main(["artifacts", "inspect", "--bundle", str(bundle)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "records:" in out
+        assert "config:" in out
+
+    def test_inspect_missing_bundle_errors_cleanly(self, tmp_path, capsys):
+        code = main(["artifacts", "inspect", "--bundle", str(tmp_path / "nope")])
+        assert code == 2
+        assert "repro artifacts build" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_serve_flags_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--bundle", "b", "--port", "0", "--self-test", "40",
+             "--self-test-requests", "3", "--self-test-workers", "2", "--json"]
+        )
+        assert args.bundle == "b"
+        assert args.port == 0
+        assert args.self_test == 40
+        assert args.self_test_requests == 3
+        assert args.json
+
+    def test_serve_missing_bundle_errors_cleanly(self, tmp_path, capsys):
+        code = main(["serve", "--bundle", str(tmp_path / "nope")])
+        assert code == 2
+        assert "repro artifacts build" in capsys.readouterr().err
+
+    def test_serve_self_test_identical(self, tmp_path, capsys):
+        bundle = tmp_path / "bundle"
+        main(
+            ["artifacts", "build", "--bundle", str(bundle), "--preset", "tiny",
+             "--seed", "9", "--warm-items", "30"]
+        )
+        capsys.readouterr()
+        code = main(
+            ["serve", "--bundle", str(bundle), "--port", "0",
+             "--self-test", "30", "--self-test-requests", "3",
+             "--self-test-workers", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "identical" in out
+        assert "MISMATCH" not in out
+
+    def test_serve_self_test_json_report(self, tmp_path, capsys):
+        bundle = tmp_path / "bundle"
+        main(
+            ["artifacts", "build", "--bundle", str(bundle), "--preset", "tiny",
+             "--seed", "9"]
+        )
+        capsys.readouterr()
+        code = main(
+            ["serve", "--bundle", str(bundle), "--port", "0",
+             "--self-test", "30", "--self-test-requests", "2",
+             "--self-test-workers", "2", "--json"]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["identical"] is True
+        assert report["mismatched_requests"] == []
+        assert report["warm_speedup_p50"] > 0
