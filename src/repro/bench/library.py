@@ -681,6 +681,241 @@ def measure_serve_daemon(
         shutil.rmtree(tmp, ignore_errors=True)
 
 
+def measure_serve_load(
+    _workload,
+    clients=8,
+    link_items=80,
+    beta_items=40,
+    warm_items=80,
+    overload_probes=4,
+) -> Measurement:
+    """Sustained mixed traffic against a multi-bundle daemon, plus a
+    deterministic overload probe.
+
+    One daemon hosts two bundles (``alpha``: small preset, prefix;
+    ``beta``: tiny preset, q-gram). *clients* threads each run a fixed
+    script of ``/link`` requests against both bundles interleaved with
+    two ``/delta`` ingests into a private stream — the production mix
+    the ROADMAP names. Every response is identity-checked against a
+    cold reference (links) or a pre-storm sequential reference stream
+    (deltas); throughput and p50/p99 latency come from the storm.
+
+    The overload leg runs on a second daemon sized ``workers=1,
+    depth=1``: its single worker is parked on an event, the one queue
+    slot is filled, and *overload_probes* concurrent requests are
+    fired — every one must come back as a well-formed 503 with a
+    ``Retry-After`` header, the rejections must show up in the queue
+    counters, and the daemon must answer normally after release. That
+    verdict is deterministic (no timing races), so it gates at zero
+    tolerance.
+    """
+    import shutil
+    import statistics
+    import tempfile
+    import threading
+    from concurrent.futures import ThreadPoolExecutor
+    from pathlib import Path
+
+    from repro.index.artifacts import record_store_to_payload
+    from repro.serve import (
+        build_bundle,
+        cold_reference,
+        request_json,
+        request_raw,
+        response_identity,
+        serve_bundle,
+        serve_bundles,
+    )
+
+    tmp = Path(tempfile.mkdtemp(prefix="repro-serve-load-"))
+    daemon = None
+    overload_daemon = None
+    try:
+        build_bundle(
+            tmp / "alpha", preset="small", blocking="prefix", warm_items=warm_items
+        )
+        build_bundle(tmp / "beta", preset="tiny", blocking="qgram", warm_items=30)
+
+        daemon = serve_bundles(
+            {"alpha": tmp / "alpha", "beta": tmp / "beta"},
+            queue_workers=4,
+            queue_depth=max(32, clients * 8),
+        )
+        host, port = daemon.start()
+
+        # cold references: the identity comparand for every /link
+        alpha_config = daemon.registry.session("alpha").bundle.config
+        beta_config = daemon.registry.session("beta").bundle.config
+        alpha_external, alpha_cold, _ = cold_reference(alpha_config, link_items)
+        beta_external, beta_cold, _ = cold_reference(beta_config, beta_items)
+        alpha_payload = record_store_to_payload(alpha_external)
+        beta_payload = record_store_to_payload(beta_external)
+        alpha_identity = response_identity(alpha_cold)
+        beta_identity = response_identity(beta_cold)
+
+        # delta reference: one sequential stream before the storm; every
+        # client replays the same splits into a private stream, so each
+        # concurrent delta response must match this reference ordinally
+        records = alpha_payload["records"]
+        middle = len(records) // 2
+        splits = (records[:middle], records[middle:])
+        delta_identities = [
+            response_identity(
+                request_json(
+                    host,
+                    port,
+                    "POST",
+                    "/delta",
+                    {"bundle": "alpha", "stream": "ref", "records": split},
+                )
+            )
+            for split in splits
+        ]
+
+        latencies: list = []
+        mismatches = [0]
+        lock = threading.Lock()
+
+        def timed(path, payload, expected):
+            started = time.perf_counter()
+            response = request_json(host, port, "POST", path, payload)
+            elapsed = time.perf_counter() - started
+            ok = response_identity(response) == expected
+            with lock:
+                latencies.append(elapsed)
+                if not ok:
+                    mismatches[0] += 1
+
+        def client_script(index: int) -> None:
+            stream = f"load-{index}"
+            timed("/link", {**alpha_payload, "bundle": "alpha"}, alpha_identity)
+            timed(
+                "/delta",
+                {"bundle": "alpha", "stream": stream, "records": splits[0]},
+                {**delta_identities[0], "stream": stream},
+            )
+            timed("/link", {**beta_payload, "bundle": "beta"}, beta_identity)
+            timed(
+                "/delta",
+                {"bundle": "alpha", "stream": stream, "records": splits[1]},
+                {**delta_identities[1], "stream": stream},
+            )
+            timed("/link", {**alpha_payload, "bundle": "alpha"}, alpha_identity)
+
+        storm_started = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=clients) as pool:
+            list(pool.map(client_script, range(clients)))
+        storm_seconds = time.perf_counter() - storm_started
+
+        total_requests = len(latencies)
+        ordered = sorted(latencies)
+        p50 = statistics.median(ordered)
+        p99 = ordered[min(len(ordered) - 1, int(len(ordered) * 0.99))]
+        requests_per_second = (
+            total_requests / storm_seconds if storm_seconds else 0.0
+        )
+        identical = mismatches[0] == 0
+        queue_stats = daemon.queue.stats()
+
+        # ---- deterministic overload probe -------------------------------
+        overload_daemon = serve_bundle(
+            tmp / "beta", queue_workers=1, queue_depth=1, retry_after=0.5
+        )
+        overload_host, overload_port = overload_daemon.start()
+        release = threading.Event()
+        occupiers = [
+            threading.Thread(
+                target=lambda: overload_daemon.queue.submit(release.wait),
+                daemon=True,
+            )
+            for _ in range(2)  # one runs, one fills the single queue slot
+        ]
+        overload_ok = True
+        try:
+            occupiers[0].start()
+            deadline = time.perf_counter() + 10.0
+            while overload_daemon.queue.stats()["in_flight"] < 1:
+                if time.perf_counter() > deadline:
+                    raise AssertionError("overload worker never went busy")
+                time.sleep(0.005)
+            occupiers[1].start()
+            while overload_daemon.queue.stats()["queued"] < 1:
+                if time.perf_counter() > deadline:
+                    raise AssertionError("overload queue slot never filled")
+                time.sleep(0.005)
+
+            def probe(_: int):
+                return request_raw(
+                    overload_host,
+                    overload_port,
+                    "POST",
+                    "/link",
+                    payload=beta_payload,
+                )
+
+            with ThreadPoolExecutor(max_workers=overload_probes) as pool:
+                probes = list(pool.map(probe, range(overload_probes)))
+            for status, headers, body in probes:
+                if status != 503:
+                    overload_ok = False
+                if "Retry-After" not in headers:
+                    overload_ok = False
+                if not isinstance(body, dict) or "error" not in body:
+                    overload_ok = False
+        finally:
+            release.set()
+            for thread in occupiers:
+                thread.join(timeout=10.0)
+        overload_stats = overload_daemon.queue.stats()
+        if overload_stats["rejected"] < overload_probes:
+            overload_ok = False
+        # and the daemon recovers: the next request is answered in full
+        recovered = request_json(
+            overload_host, overload_port, "POST", "/link", beta_payload
+        )
+        if response_identity(recovered) != beta_identity:
+            overload_ok = False
+
+        metrics = {
+            "clients": clients,
+            "requests_total": total_requests,
+            "requests_per_second": requests_per_second,
+            "p50_seconds": p50,
+            "p99_seconds": p99,
+            "storm_seconds": storm_seconds,
+            "queue_rejected": queue_stats["rejected"],
+            "overload_rejections": overload_stats["rejected"],
+            "identical": 1.0 if identical else 0.0,
+            "overload_ok": 1.0 if overload_ok else 0.0,
+        }
+        assert identical, (
+            f"{mismatches[0]}/{total_requests} concurrent responses "
+            "diverged from their references"
+        )
+        assert overload_ok, "overload did not answer clean 503s"
+        text = "\n".join(
+            [
+                "serve-load: mixed /link + /delta traffic, "
+                f"{clients} concurrent clients",
+                f"{total_requests} requests in {storm_seconds:.2f}s "
+                f"-> {requests_per_second:8.1f} req/s",
+                f"latency p50/p99 {p50 * 1000:8.1f} / {p99 * 1000:.1f} ms",
+                f"storm rejections {queue_stats['rejected']} "
+                f"(depth {queue_stats['depth']})",
+                f"overload probe: {overload_stats['rejected']} rejected "
+                f"as 503 + Retry-After, recovery verified",
+                "all responses byte-identical to their references",
+            ]
+        )
+        return Measurement(metrics=metrics, text=text)
+    finally:
+        if daemon is not None:
+            daemon.shutdown()
+        if overload_daemon is not None:
+            overload_daemon.shutdown()
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
 def measure_smoke_index_passes(catalog, support_threshold=SUPPORT, rounds=3) -> Measurement:
     """Index-backed frequency passes vs the scan learn (I1 at smoke
     scale) — the same measurement as ``measure_index_learner``, minus
@@ -876,6 +1111,43 @@ register(
             ),
         ),
         report_name="smoke_serve",
+    )
+)
+
+register(
+    BenchmarkSpec(
+        name="serve-load",
+        description="sustained mixed /link+/delta traffic, 8 clients, + overload 503s",
+        tier="serve-load",
+        workload="null",
+        measure=measure_serve_load,
+        budgets=(
+            WALL,
+            MetricBudget("p50_seconds", "lower", WALL_TOLERANCE),
+            MetricBudget("p99_seconds", "lower", WALL_TOLERANCE),
+            # machine-relative: both the storm and the baseline ran on
+            # the recording box; a real serving regression moves this
+            # even when absolute latency is noisy
+            MetricBudget("requests_per_second", "higher", 0.65),
+            # binary verdicts: any drop below 1.0 regresses
+            MetricBudget("identical", "higher", 0.0),
+            MetricBudget("overload_ok", "higher", 0.0),
+        ),
+        checks=(
+            lambda m: _assert(
+                m.metrics["identical"] == 1.0,
+                "a concurrent response diverged from its reference",
+            ),
+            lambda m: _assert(
+                m.metrics["overload_ok"] == 1.0,
+                "overload was not answered with clean 503 + Retry-After",
+            ),
+            lambda m: _assert(
+                m.metrics["overload_rejections"] >= 1,
+                "the overload probe never tripped a queue rejection",
+            ),
+        ),
+        report_name="serve_load",
     )
 )
 

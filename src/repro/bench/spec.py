@@ -25,8 +25,10 @@ from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
 #: Benchmark tiers, cheapest first. A spec's tier is the *cheapest* tier
 #: that includes it: ``--tier smoke`` runs only smoke specs, ``--tier
-#: standard`` runs smoke + standard, ``--tier full`` runs everything.
-TIERS = ("smoke", "standard", "full")
+#: serve-load`` adds the concurrent-serving load test, ``--tier
+#: standard`` adds the paper-scale measurements, ``--tier full`` runs
+#: everything. (Keep the CLI ``bench --tier`` choices in sync.)
+TIERS = ("smoke", "serve-load", "standard", "full")
 
 #: Version of the on-disk result schema. Bump when the payload shape
 #: changes incompatibly; the loader rejects mismatched files loudly

@@ -600,15 +600,52 @@ def _cmd_artifacts(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_bundle_specs(specs):
+    """``[NAME=]DIR`` serve specs → ``(name -> path, default name)``.
+
+    A bare DIR names itself ``default`` when it is the only bundle and
+    by its directory basename otherwise; the first spec is the default
+    route. Duplicate names are an error, not a silent override.
+    """
+    from pathlib import Path
+
+    from repro.serve import ServeError
+
+    bundles = {}
+    for spec in specs:
+        if "=" in spec:
+            name, _, path = spec.partition("=")
+        else:
+            name = "default" if len(specs) == 1 else Path(spec).name
+            path = spec
+        if not name or not path:
+            raise ServeError(
+                f"bundle spec {spec!r} must be DIR or NAME=DIR"
+            )
+        if name in bundles:
+            raise ServeError(f"duplicate bundle name {name!r}")
+        bundles[name] = Path(path)
+    return bundles, next(iter(bundles))
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import json
 
     from repro.index.artifacts import ArtifactError
-    from repro.serve import ServeError, run_self_test, serve_bundle
+    from repro.serve import ServeError, run_self_test, serve_bundles
 
     try:
-        daemon = serve_bundle(
-            args.bundle, host=args.host, port=args.port, cache_size=args.cache_size
+        bundles, default = _parse_bundle_specs(args.bundle)
+        daemon = serve_bundles(
+            bundles,
+            default=default,
+            host=args.host,
+            port=args.port,
+            cache_size=args.cache_size,
+            queue_workers=args.queue_workers,
+            queue_depth=args.queue_depth,
+            multiplex_threshold=args.multiplex_threshold,
+            multiplex_workers=args.multiplex_workers,
         )
     except (ArtifactError, ServeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -617,7 +654,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.self_test:
         try:
             report = run_self_test(
-                args.bundle,
+                bundles[default],
                 items=args.self_test,
                 requests=args.self_test_requests,
                 workers=args.self_test_workers,
@@ -643,9 +680,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     host, port = daemon.start()
     stats = daemon.session.stats()
+    # the machine-readable announce goes to STDOUT (and is flushed):
+    # scripts start `serve --port 0`, read one line, and connect to
+    # the actually-bound port without racing or parsing the banner
+    print(
+        json.dumps(
+            {
+                "event": "serving",
+                "host": host,
+                "port": port,
+                "bundles": sorted(bundles),
+                "default_bundle": default,
+            },
+            sort_keys=True,
+        ),
+        flush=True,
+    )
     print(
         f"serving {stats['records']} records ({stats['blocking']} blocking) "
-        f"on http://{host}:{port} — GET /stats, POST /link, POST /delta",
+        f"on http://{host}:{port} — GET /stats, GET /bundles, "
+        f"POST /link, POST /delta",
         file=sys.stderr,
     )
     try:
@@ -764,10 +818,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--tier",
-        choices=("smoke", "standard", "full"),
+        # keep in sync with repro.bench.spec.TIERS (not imported here:
+        # parser construction must not pay the bench registry import)
+        choices=("smoke", "serve-load", "standard", "full"),
         default=None,
-        help="cumulative tier filter (smoke ⊂ standard ⊂ full; "
-        "default: full = everything)",
+        help="cumulative tier filter (smoke ⊂ serve-load ⊂ standard "
+        "⊂ full; default: full = everything)",
     )
     bench.add_argument(
         "--bench",
@@ -845,23 +901,58 @@ def build_parser() -> argparse.ArgumentParser:
     artifacts.set_defaults(handler=_cmd_artifacts)
 
     serve = sub.add_parser(
-        "serve", help="long-running warm linking daemon over a bundle"
+        "serve", help="long-running warm linking daemon over artifact bundles"
     )
     serve.add_argument(
-        "--bundle", required=True, metavar="DIR", help="bundle directory to load"
+        "--bundle",
+        required=True,
+        action="append",
+        metavar="[NAME=]DIR",
+        help="bundle to host (repeatable; requests route by name via "
+        'the "bundle" payload field, the first one is the default)',
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument(
         "--port",
         type=_non_negative_int,
         default=8355,
-        help="listen port (0 = ephemeral; default 8355)",
+        help="listen port (0 = ephemeral; the bound port is announced "
+        "as a JSON line on stdout)",
     )
     serve.add_argument(
         "--cache-size",
         type=_non_negative_int,
         default=None,
         help="similarity-cache capacity (default: engine default)",
+    )
+    serve.add_argument(
+        "--queue-workers",
+        type=_positive_int,
+        default=4,
+        help="concurrent linking requests executed at once (default 4)",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=_positive_int,
+        default=32,
+        help="requests allowed to wait behind the workers before the "
+        "daemon answers 503 + Retry-After (default 32)",
+    )
+    serve.add_argument(
+        "--multiplex-threshold",
+        type=_positive_int,
+        default=None,
+        metavar="RECORDS",
+        help="shard-multiplex /link batches of at least RECORDS records "
+        "over the shard executor (byte-identical to serial; default: "
+        "never multiplex)",
+    )
+    serve.add_argument(
+        "--multiplex-workers",
+        type=_positive_int,
+        default=None,
+        help="worker processes for multiplexed batches "
+        "(default: one per available CPU)",
     )
     serve.add_argument(
         "--self-test",

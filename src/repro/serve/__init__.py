@@ -7,13 +7,29 @@ record store, learning rules and constructing key indexes.
 as a versioned artifact bundle (:mod:`repro.index.artifacts`);
 :class:`~repro.serve.session.LinkSession` opens a bundle O(1) and
 answers link/delta requests byte-identically to the one-shot path;
-:class:`~repro.serve.daemon.LinkDaemon` puts a session behind a
-threading HTTP server so many clients share one warm engine.
+:class:`~repro.serve.registry.BundleRegistry` hosts many named bundles
+with lazy open and idle-LRU eviction;
+:class:`~repro.serve.daemon.LinkDaemon` puts a registry behind a
+threading HTTP server whose work is admitted through a bounded
+:class:`~repro.serve.queueing.RequestQueue` (overload → 503 +
+``Retry-After``), so many clients share warm engines without thread
+pileup. Large batches multiplex over the shard executor and stay
+byte-identical to serial.
 """
 
 from repro.serve.build import build_bundle
-from repro.serve.daemon import LinkDaemon, link_response, request_json, serve_bundle
-from repro.serve.selftest import cold_reference, run_self_test
+from repro.serve.daemon import (
+    DEFAULT_MAX_BODY_BYTES,
+    LinkDaemon,
+    link_response,
+    request_json,
+    request_raw,
+    serve_bundle,
+    serve_bundles,
+)
+from repro.serve.queueing import OverloadError, RequestQueue
+from repro.serve.registry import BundleRegistry, UnknownBundleError
+from repro.serve.selftest import cold_reference, response_identity, run_self_test
 from repro.serve.session import (
     BLOCKING_NAMES,
     STREAMABLE_BLOCKING,
@@ -24,15 +40,23 @@ from repro.serve.session import (
 
 __all__ = [
     "BLOCKING_NAMES",
+    "DEFAULT_MAX_BODY_BYTES",
     "STREAMABLE_BLOCKING",
+    "BundleRegistry",
     "LinkDaemon",
     "LinkSession",
+    "OverloadError",
+    "RequestQueue",
     "ServeError",
+    "UnknownBundleError",
     "build_bundle",
     "cold_reference",
     "link_response",
     "make_blocking",
     "request_json",
+    "request_raw",
+    "response_identity",
     "run_self_test",
     "serve_bundle",
+    "serve_bundles",
 ]

@@ -1,0 +1,192 @@
+"""Bounded request admission for the serve daemon.
+
+:class:`ThreadingHTTPServer` spawns one thread per connection, so
+without admission control a traffic burst turns into an unbounded pile
+of threads all executing linking jobs at once — throughput collapses
+and every request's tail latency explodes together. The
+:class:`RequestQueue` bounds both dimensions: at most ``workers``
+requests execute concurrently, at most ``depth`` wait in line, and
+everything beyond that is rejected *immediately* with
+:class:`OverloadError` (the daemon maps it to HTTP 503 +
+``Retry-After``). A rejected client learns in microseconds that it
+should back off; an accepted one keeps the latency profile the worker
+pool was sized for.
+
+The submitting thread blocks until its task completes — HTTP handler
+threads are cheap waiters; the scarce resource being rationed is the
+linking work itself.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.serve.session import ServeError
+
+#: Default concurrent-execution width of a daemon.
+DEFAULT_QUEUE_WORKERS = 4
+
+#: Default number of requests allowed to wait behind the workers.
+DEFAULT_QUEUE_DEPTH = 32
+
+#: Default ``Retry-After`` (seconds) advertised on 503 responses.
+DEFAULT_RETRY_AFTER = 1.0
+
+
+class OverloadError(ServeError):
+    """The queue is full: the request was rejected, not dropped mid-run."""
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class _Task:
+    """One submitted callable and the box its outcome comes back in."""
+
+    __slots__ = ("fn", "done", "value", "error")
+
+    def __init__(self, fn: Callable[[], Any]) -> None:
+        self.fn = fn
+        self.done = threading.Event()
+        self.value: Any = None
+        self.error: Optional[BaseException] = None
+
+
+_SHUTDOWN = object()
+
+
+class RequestQueue:
+    """A bounded work queue with a fixed worker pool and live counters.
+
+    ``submit`` either enqueues and blocks until the task ran, or raises
+    :class:`OverloadError` without blocking when ``depth`` tasks are
+    already waiting. Counters (accepted/rejected/completed/failed,
+    in-flight, queued) are exposed via :meth:`stats` for ``GET /stats``.
+    """
+
+    def __init__(
+        self,
+        workers: int = DEFAULT_QUEUE_WORKERS,
+        depth: int = DEFAULT_QUEUE_DEPTH,
+        retry_after: float = DEFAULT_RETRY_AFTER,
+    ) -> None:
+        if workers < 1:
+            raise ServeError(f"queue workers must be >= 1, got {workers}")
+        if depth < 1:
+            # Queue(maxsize=0) means *unbounded* — exactly the pileup
+            # this class exists to prevent
+            raise ServeError(f"queue depth must be >= 1, got {depth}")
+        if retry_after <= 0:
+            raise ServeError(f"retry_after must be positive, got {retry_after}")
+        self.workers = workers
+        self.depth = depth
+        self.retry_after = retry_after
+        self._queue: "queue.Queue[Any]" = queue.Queue(maxsize=depth + workers)
+        self._lock = threading.Lock()
+        self._accepted = 0
+        self._rejected = 0
+        self._completed = 0
+        self._failed = 0
+        self._in_flight = 0
+        self._threads: List[threading.Thread] = []
+        self._started = False
+        self._closed = False
+
+    def start(self) -> None:
+        """Spin up the worker pool (idempotent)."""
+        with self._lock:
+            if self._started:
+                return
+            self._started = True
+            for index in range(self.workers):
+                thread = threading.Thread(
+                    target=self._work,
+                    name=f"repro-serve-worker-{index}",
+                    daemon=True,
+                )
+                thread.start()
+                self._threads.append(thread)
+
+    def submit(self, fn: Callable[[], Any]) -> Any:
+        """Run *fn* on a worker; block until done; propagate its result.
+
+        Raises :class:`OverloadError` immediately when the waiting line
+        is full — admission is decided before any work is queued.
+        """
+        self.start()
+        task = _Task(fn)
+        with self._lock:
+            if self._closed:
+                raise ServeError("request queue is shut down")
+            # admission accounting: the physical queue is sized
+            # depth + workers so a task a worker has *taken* no longer
+            # occupies a waiting slot; the waiting line itself is
+            # accepted-minus-(running+finished), bounded by depth
+            waiting = self._accepted - self._completed - self._failed - self._in_flight
+            if waiting >= self.depth:
+                self._rejected += 1
+                raise OverloadError(
+                    f"request queue full ({self.depth} waiting, "
+                    f"{self.workers} in flight); retry after "
+                    f"{self.retry_after:g}s",
+                    self.retry_after,
+                )
+            self._accepted += 1
+            self._queue.put_nowait(task)
+        task.done.wait()
+        if task.error is not None:
+            raise task.error
+        return task.value
+
+    def _work(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                # pass the sentinel on so every sibling exits too
+                self._queue.put(_SHUTDOWN)
+                return
+            with self._lock:
+                self._in_flight += 1
+            try:
+                item.value = item.fn()
+                with self._lock:
+                    self._in_flight -= 1
+                    self._completed += 1
+            except BaseException as exc:  # propagated to the submitter
+                item.error = exc
+                with self._lock:
+                    self._in_flight -= 1
+                    self._failed += 1
+            finally:
+                item.done.set()
+
+    def stats(self) -> Dict[str, Any]:
+        """A JSON-ready counter snapshot."""
+        with self._lock:
+            waiting = self._accepted - self._completed - self._failed - self._in_flight
+            return {
+                "workers": self.workers,
+                "depth": self.depth,
+                "retry_after": self.retry_after,
+                "accepted": self._accepted,
+                "rejected": self._rejected,
+                "completed": self._completed,
+                "failed": self._failed,
+                "in_flight": self._in_flight,
+                "queued": max(0, waiting),
+            }
+
+    def shutdown(self) -> None:
+        """Stop accepting work and drain the worker pool."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            started = self._started
+        if started:
+            self._queue.put(_SHUTDOWN)
+            for thread in self._threads:
+                thread.join(timeout=10.0)

@@ -23,6 +23,18 @@ from repro.serve.daemon import LinkDaemon, link_response, request_json, serve_bu
 from repro.serve.session import ServeError, make_blocking
 
 
+def response_identity(response: Mapping[str, Any]) -> Dict[str, Any]:
+    """The byte-identity comparand of a link response.
+
+    Everything except ``executor``: which executor answered (serial,
+    shard, or a degraded fallback) is diagnostic and machine-dependent,
+    while the counters and the canonical N-Triples string are the
+    contract — the shard fold restores serial emission order precisely
+    so that this projection is executor-invariant.
+    """
+    return {key: value for key, value in response.items() if key != "executor"}
+
+
 def cold_reference(
     config: Mapping[str, Any], items: int
 ) -> Tuple[Any, Dict[str, Any], float]:
@@ -91,6 +103,7 @@ def run_self_test(
     items: int = 120,
     requests: int = 8,
     workers: int = 4,
+    multiplex_threshold: Optional[int] = None,
     daemon: Optional[LinkDaemon] = None,
 ) -> Dict[str, Any]:
     """Fire concurrent warm requests and diff them against the cold path.
@@ -99,17 +112,27 @@ def run_self_test(
     one-shot reference in-process, then sends *requests* concurrent
     ``/link`` calls from *workers* client threads. Returns a report
     dict; ``report["identical"]`` is the gate.
+
+    With *multiplex_threshold* the daemon shards any batch of at least
+    that many records, so the gate also proves the multiplexed path:
+    responses are compared through :func:`response_identity` (the
+    executor tag legitimately differs; everything else must not), and
+    the report records how many requests actually multiplexed and which
+    executors answered.
     """
     from repro.index.artifacts import record_store_to_payload
 
     own_daemon = daemon is None
     if daemon is None:
-        daemon = serve_bundle(bundle_path)
+        daemon = serve_bundle(
+            bundle_path, multiplex_threshold=multiplex_threshold
+        )
     try:
         host, port = daemon.start()
         config = daemon.session.bundle.config
         external, cold, cold_seconds = cold_reference(config, items)
         payload = record_store_to_payload(external)
+        cold_identity = response_identity(cold)
 
         warm_seconds = []
 
@@ -125,7 +148,7 @@ def run_self_test(
         mismatched = [
             index
             for index, response in enumerate(responses)
-            if response != cold
+            if response_identity(response) != cold_identity
         ]
         return {
             "identical": not mismatched,
@@ -142,6 +165,12 @@ def run_self_test(
                 statistics.median(warm_seconds), 1e-9
             ),
             "cache_hit_rate": daemon.session.comparator.cache_hit_rate,
+            "multiplex_threshold": daemon.session.multiplex_threshold,
+            "multiplexed_requests": daemon.session.multiplexed_count,
+            "executors": sorted(
+                {str(response.get("executor")) for response in responses}
+            ),
+            "queue": daemon.queue.stats(),
         }
     finally:
         if own_daemon:

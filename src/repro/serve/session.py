@@ -103,9 +103,27 @@ def make_blocking(
 
 
 class LinkSession:
-    """A warm, thread-shareable engine session over one bundle."""
+    """A warm, thread-shareable engine session over one bundle.
 
-    def __init__(self, bundle: ArtifactBundle, cache_size: Optional[int] = None) -> None:
+    ``multiplex_threshold`` turns on shard multiplexing for large
+    batches: a ``link`` request of at least that many external records
+    runs under ``JobConfig(executor="shard")`` — partitioned by the
+    engine's :class:`~repro.engine.shard.ShardPlan` and folded with the
+    ordinal merge — instead of serially. The shard executor is provably
+    byte-identical to serial (its fold restores serial emission order,
+    and the shared cache is pure memoization), so multiplexing changes
+    wall clock, never bytes; when the machine cannot shard (one CPU,
+    pool bring-up failure) the engine degrades to serial on its own.
+    """
+
+    def __init__(
+        self,
+        bundle: ArtifactBundle,
+        cache_size: Optional[int] = None,
+        *,
+        multiplex_threshold: Optional[int] = None,
+        multiplex_workers: Optional[int] = None,
+    ) -> None:
         from repro.engine import DEFAULT_CACHE_SIZE, CachedRecordComparator
         from repro.linking import FieldComparator, RecordComparator
 
@@ -132,8 +150,15 @@ class LinkSession:
                 "serve sessions require a thread-safe shared comparator"
             )
         self._comparator = comparator
+        if multiplex_threshold is not None and multiplex_threshold < 1:
+            raise ServeError(
+                f"multiplex threshold must be >= 1, got {multiplex_threshold}"
+            )
+        self._multiplex_threshold = multiplex_threshold
+        self._multiplex_workers = multiplex_workers
         self._lock = threading.Lock()
         self._requests = 0
+        self._multiplexed = 0
         self._streams: Dict[str, Any] = {}
 
     # ------------------------------------------------------------------
@@ -184,6 +209,23 @@ class LinkSession:
         """Requests answered so far (link + delta)."""
         with self._lock:
             return self._requests
+
+    @property
+    def multiplexed_count(self) -> int:
+        """Link requests that ran under the shard executor."""
+        with self._lock:
+            return self._multiplexed
+
+    @property
+    def multiplex_threshold(self) -> Optional[int]:
+        """Batch size at which link requests shard (``None`` = never)."""
+        return self._multiplex_threshold
+
+    @property
+    def stream_count(self) -> int:
+        """Live delta streams (eviction guard: streams hold state)."""
+        with self._lock:
+            return len(self._streams)
 
     # ------------------------------------------------------------------
     # request construction
@@ -245,16 +287,39 @@ class LinkSession:
         if external_graph is None and self.blocking_name in ("rules", "rules-strict"):
             external_graph = self.graph_of(external)
         blocking = self.make_blocking(external_graph)
+        multiplexed = False
+        if job_config is None:
+            job_config = self._job_config_for(len(external))
+            multiplexed = job_config.executor == "shard"
         job = LinkingJob(
             blocking,
             self._comparator,
             ThresholdMatcher(match_threshold=self.match_threshold),
-            job_config or JobConfig(executor="serial"),
+            job_config,
         )
         result = job.run(external, self._local)
         with self._lock:
             self._requests += 1
+            if multiplexed:
+                self._multiplexed += 1
         return result
+
+    def _job_config_for(self, batch_size: int):
+        """Serial below the multiplex threshold, shard at or above it.
+
+        Byte-identity is executor-invariant (the shard fold restores
+        serial emission order), so this choice is purely a latency one.
+        """
+        from repro.engine import JobConfig
+
+        if (
+            self._multiplex_threshold is not None
+            and batch_size >= self._multiplex_threshold
+        ):
+            return JobConfig(
+                executor="shard", workers=self._multiplex_workers
+            )
+        return JobConfig(executor="serial")
 
     def delta(self, stream: str, records: Iterable, job_config=None):
         """Ingest a delta of external records into a named stream.
@@ -297,7 +362,13 @@ class LinkSession:
         with self._lock:
             streams = sorted(self._streams)
             requests = self._requests
+            multiplexed = self._multiplexed
         return {
+            "multiplex": {
+                "threshold": self._multiplex_threshold,
+                "workers": self._multiplex_workers,
+                "requests": multiplexed,
+            },
             "records": len(self._local),
             "blocking": self.blocking_name,
             "match_threshold": self.match_threshold,

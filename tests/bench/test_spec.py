@@ -14,10 +14,15 @@ from repro.bench.spec import tier_rank
 
 class TestTiers:
     def test_order(self):
-        assert TIERS == ("smoke", "standard", "full")
+        assert TIERS == ("smoke", "serve-load", "standard", "full")
 
     def test_rank_monotone(self):
-        assert tier_rank("smoke") < tier_rank("standard") < tier_rank("full")
+        assert (
+            tier_rank("smoke")
+            < tier_rank("serve-load")
+            < tier_rank("standard")
+            < tier_rank("full")
+        )
 
     def test_unknown_tier(self):
         with pytest.raises(ValueError, match="tier must be one of"):
@@ -26,9 +31,21 @@ class TestTiers:
     def test_inclusion_is_cumulative(self):
         assert tier_includes("smoke", "smoke")
         assert not tier_includes("smoke", "standard")
+        assert not tier_includes("smoke", "serve-load")
+        assert tier_includes("serve-load", "smoke")
         assert tier_includes("standard", "smoke")
+        assert tier_includes("standard", "serve-load")
         assert tier_includes("full", "smoke")
         assert tier_includes("full", "full")
+
+    def test_cli_tier_choices_match(self):
+        # the CLI hardcodes the choices to avoid importing the bench
+        # registry at parser-build time; this pin keeps them honest
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(["bench", "list", "--tier", "serve-load"])
+        assert args.tier == "serve-load"
 
 
 class TestMetricBudget:

@@ -50,10 +50,27 @@ class TestProtocol:
     def test_stats_roundtrip(self, daemon):
         host, port = daemon.address
         stats = request_json(host, port, "GET", "/stats")
-        assert stats["blocking"] == "prefix"
-        assert stats["records"] == len(daemon.session.local_store)
+        assert stats["default_bundle"] == "default"
+        session_stats = stats["sessions"]["default"]
+        assert session_stats["blocking"] == "prefix"
+        assert session_stats["records"] == len(daemon.session.local_store)
         # the bundled warm cache arrived with the session
-        assert stats["cache"]["capacity"] > 0
+        assert session_stats["cache"]["capacity"] > 0
+        # admission counters ride along for load monitoring
+        queue = stats["queue"]
+        assert queue["workers"] >= 1
+        assert queue["depth"] >= 1
+        assert queue["rejected"] == 0
+        assert stats["registry"]["bundles"]["default"]["open"] is True
+
+    def test_bundles_listing(self, daemon):
+        host, port = daemon.address
+        listing = request_json(host, port, "GET", "/bundles")
+        assert listing["default"] == "default"
+        entry = listing["bundles"]["default"]
+        assert entry["open"] is True
+        assert entry["blocking"] == "prefix"
+        assert entry["records"] > 0
 
     def test_unknown_path_is_404(self, daemon):
         host, port = daemon.address

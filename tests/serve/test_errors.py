@@ -1,0 +1,103 @@
+"""Daemon error paths: every bad request gets a JSON 4xx, never a
+500 traceback or a hung connection."""
+
+import pytest
+
+from repro.serve import build_bundle, request_raw, serve_bundle
+
+SEED = 19
+
+
+@pytest.fixture(scope="module")
+def daemon(tmp_path_factory):
+    root = tmp_path_factory.mktemp("serve-errors")
+    build_bundle(
+        root / "bundle", preset="tiny", seed=SEED, blocking="prefix", warm_items=15
+    )
+    running = serve_bundle(root / "bundle", max_body_bytes=4096)
+    running.start()
+    yield running
+    running.shutdown()
+
+
+def _post(daemon, path, **kwargs):
+    host, port = daemon.address
+    return request_raw(host, port, "POST", path, **kwargs)
+
+
+class TestMalformedBodies:
+    def test_invalid_json_is_400(self, daemon):
+        status, _, body = _post(daemon, "/link", body=b"{not json")
+        assert status == 400
+        assert "not valid JSON" in body["error"]
+
+    def test_empty_body_is_400(self, daemon):
+        status, _, body = _post(daemon, "/link", body=b"")
+        assert status == 400
+        assert "empty request body" in body["error"]
+
+    def test_non_object_json_is_400(self, daemon):
+        status, _, body = _post(daemon, "/link", body=b"[1, 2, 3]")
+        assert status == 400
+        assert "JSON object" in body["error"]
+
+    def test_delta_without_stream_is_400(self, daemon):
+        status, _, body = _post(daemon, "/delta", payload={"records": []})
+        assert status == 400
+        assert "stream" in body["error"]
+
+
+class TestUnknownTargets:
+    def test_unknown_endpoint_is_404(self, daemon):
+        for method, path in (("GET", "/nonsense"), ("POST", "/nonsense")):
+            host, port = daemon.address
+            status, _, body = request_raw(
+                host, port, method, path,
+                payload={"records": []} if method == "POST" else None,
+            )
+            assert status == 404
+            assert "unknown path" in body["error"]
+
+    def test_unknown_bundle_is_404(self, daemon):
+        status, _, body = _post(
+            daemon, "/link", payload={"records": [], "bundle": "nope"}
+        )
+        assert status == 404
+        assert "unknown bundle 'nope'" in body["error"]
+
+    def test_non_string_bundle_is_404(self, daemon):
+        status, _, body = _post(
+            daemon, "/link", payload={"records": [], "bundle": 7}
+        )
+        assert status == 404
+        assert "bundle" in body["error"]
+
+
+class TestOversizedPayloads:
+    def test_oversized_body_is_413_before_reading(self, daemon):
+        # 4 KiB limit on this daemon; send 64 KiB of valid JSON
+        status, _, body = _post(
+            daemon, "/link", body=b'{"records": "' + b"x" * 65536 + b'"}'
+        )
+        assert status == 413
+        assert "exceeds" in body["error"]
+
+    def test_limit_sized_body_still_answers(self, daemon):
+        status, _, body = _post(daemon, "/link", payload={"records": []})
+        assert status == 200
+        assert body["matches"] == 0
+
+
+class TestNoHangsNo500s:
+    def test_every_error_body_is_json(self, daemon):
+        probes = [
+            _post(daemon, "/link", body=b"{not json"),
+            _post(daemon, "/link", body=b""),
+            _post(daemon, "/link", payload={"records": [], "bundle": "nope"}),
+            _post(daemon, "/nonsense", payload={}),
+            _post(daemon, "/link", body=b"\xff" * 8),  # undecodable bytes
+        ]
+        for status, _, body in probes:
+            assert 400 <= status < 500
+            assert isinstance(body, dict)
+            assert "error" in body

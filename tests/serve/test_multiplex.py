@@ -1,0 +1,128 @@
+"""Shard multiplexing of large /link batches: byte-identity, routing."""
+
+import pytest
+
+from repro.datagen.catalog import PART_NUMBER, ElectronicCatalogGenerator
+from repro.datagen.config import CatalogConfig
+from repro.experiments.throughput import provider_batch
+from repro.index.artifacts import load_bundle, record_store_to_payload
+from repro.linking import RecordStore
+from repro.serve import (
+    LinkSession,
+    ServeError,
+    build_bundle,
+    link_response,
+    request_json,
+    response_identity,
+    run_self_test,
+    serve_bundle,
+)
+
+SEED = 43
+THRESHOLD = 20
+
+
+@pytest.fixture(scope="module")
+def bundle_path(tmp_path_factory):
+    root = tmp_path_factory.mktemp("serve-multiplex")
+    build_bundle(
+        root / "bundle", preset="tiny", seed=SEED, blocking="prefix", warm_items=20
+    )
+    return root / "bundle"
+
+
+@pytest.fixture(scope="module")
+def externals(bundle_path):
+    catalog = ElectronicCatalogGenerator(CatalogConfig.tiny(seed=SEED)).generate()
+    big_graph, _ = provider_batch(catalog, 40, seed=SEED)
+    small_graph, _ = provider_batch(catalog, 10, seed=SEED)
+    field_map = {"pn": PART_NUMBER}
+    return (
+        RecordStore.from_graph(big_graph, field_map),
+        RecordStore.from_graph(small_graph, field_map),
+    )
+
+
+class TestResponseIdentity:
+    def test_projection_drops_only_the_executor(self):
+        response = {"matches": 3, "sameas_ntriples": "x", "executor": "shard"}
+        assert response_identity(response) == {"matches": 3, "sameas_ntriples": "x"}
+
+
+class TestThresholdRouting:
+    def test_large_batches_multiplex_small_ones_stay_serial(
+        self, bundle_path, externals
+    ):
+        big, small = externals
+        session = LinkSession(
+            load_bundle(bundle_path), multiplex_threshold=THRESHOLD
+        )
+        session.link(small)
+        assert session.multiplexed_count == 0
+        session.link(big)
+        assert session.multiplexed_count == 1
+        stats = session.stats()
+        assert stats["multiplex"]["threshold"] == THRESHOLD
+        assert stats["multiplex"]["requests"] == 1
+
+    def test_explicit_job_config_bypasses_the_threshold(
+        self, bundle_path, externals
+    ):
+        from repro.engine import JobConfig
+
+        big, _ = externals
+        session = LinkSession(
+            load_bundle(bundle_path), multiplex_threshold=THRESHOLD
+        )
+        session.link(big, job_config=JobConfig(executor="serial"))
+        assert session.multiplexed_count == 0
+
+    def test_threshold_must_be_positive(self, bundle_path):
+        with pytest.raises(ServeError, match="threshold"):
+            LinkSession(load_bundle(bundle_path), multiplex_threshold=0)
+
+
+class TestByteIdentity:
+    def test_multiplexed_link_identical_to_serial(self, bundle_path, externals):
+        big, _ = externals
+        serial_session = LinkSession(load_bundle(bundle_path))
+        multiplexed_session = LinkSession(
+            load_bundle(bundle_path), multiplex_threshold=THRESHOLD
+        )
+        serial = link_response(serial_session.link(big))
+        multiplexed = link_response(multiplexed_session.link(big))
+        assert multiplexed_session.multiplexed_count == 1
+        assert response_identity(multiplexed) == response_identity(serial)
+        assert serial["matches"] > 0
+        assert serial["sameas_ntriples"]
+
+    def test_multiplexed_daemon_identical_over_http(
+        self, bundle_path, externals
+    ):
+        big, _ = externals
+        payload = record_store_to_payload(big)
+        serial_session = LinkSession(load_bundle(bundle_path))
+        expected = response_identity(link_response(serial_session.link(big)))
+        with serve_bundle(
+            bundle_path, multiplex_threshold=THRESHOLD
+        ) as daemon:
+            host, port = daemon.address
+            response = request_json(host, port, "POST", "/link", payload)
+        assert response_identity(response) == expected
+        assert daemon.session.multiplexed_count == 1
+
+
+class TestSelfTestCoverage:
+    def test_self_test_exercises_the_multiplexed_path(self, bundle_path):
+        report = run_self_test(
+            bundle_path,
+            items=30,
+            requests=3,
+            workers=2,
+            multiplex_threshold=THRESHOLD,
+        )
+        assert report["identical"] is True
+        assert report["mismatched_requests"] == []
+        assert report["multiplex_threshold"] == THRESHOLD
+        assert report["multiplexed_requests"] == 3
+        assert report["queue"]["completed"] == 3

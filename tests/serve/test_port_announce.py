@@ -1,0 +1,76 @@
+"""`repro serve --port 0` announces the bound port on stdout.
+
+Scripts and CI start the daemon with an ephemeral port and must learn
+the real one without racing or scraping the human banner (which lives
+on stderr). The contract: the first stdout line is one JSON object
+with the bound host/port, flushed before any request is answered.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.serve import build_bundle, request_json
+
+SEED = 11
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def bundle_path(tmp_path_factory):
+    root = tmp_path_factory.mktemp("serve-announce")
+    build_bundle(
+        root / "bundle", preset="tiny", seed=SEED, blocking="prefix", warm_items=10
+    )
+    return root / "bundle"
+
+
+def _read_line(stream, timeout=120.0):
+    """One line from *stream*, or fail — never hang the suite."""
+    box = {}
+
+    def read():
+        box["line"] = stream.readline()
+
+    reader = threading.Thread(target=read, daemon=True)
+    reader.start()
+    reader.join(timeout)
+    if "line" not in box:
+        raise AssertionError("no stdout line within the timeout")
+    return box["line"]
+
+
+def test_port_zero_announces_the_bound_port(bundle_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--bundle", str(bundle_path), "--port", "0",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    try:
+        announce = json.loads(_read_line(process.stdout))
+        assert announce["event"] == "serving"
+        assert announce["host"] == "127.0.0.1"
+        assert announce["port"] > 0  # the *bound* port, not the 0 we asked for
+        assert announce["bundles"] == ["default"]
+        assert announce["default_bundle"] == "default"
+        # the announced endpoint answers: no race between print and bind
+        stats = request_json(announce["host"], announce["port"], "GET", "/stats")
+        assert stats["default_bundle"] == "default"
+    finally:
+        process.terminate()
+        process.wait(timeout=30)

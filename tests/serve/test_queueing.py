@@ -1,0 +1,173 @@
+"""Bounded admission: RequestQueue units and HTTP 503 backpressure."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.serve import (
+    OverloadError,
+    RequestQueue,
+    ServeError,
+    build_bundle,
+    request_json,
+    request_raw,
+    serve_bundle,
+)
+
+SEED = 23
+
+
+class TestRequestQueueUnit:
+    def test_submit_returns_the_result(self):
+        queue = RequestQueue(workers=2, depth=4)
+        try:
+            assert queue.submit(lambda: 21 * 2) == 42
+            stats = queue.stats()
+            assert stats["accepted"] == 1
+            assert stats["completed"] == 1
+            assert stats["rejected"] == 0
+            assert stats["in_flight"] == 0
+        finally:
+            queue.shutdown()
+
+    def test_exceptions_propagate_to_the_submitter(self):
+        queue = RequestQueue(workers=1, depth=2)
+        try:
+            with pytest.raises(ValueError, match="boom"):
+                queue.submit(lambda: (_ for _ in ()).throw(ValueError("boom")))
+            assert queue.stats()["failed"] == 1
+        finally:
+            queue.shutdown()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"workers": 0},
+        {"depth": 0},  # depth 0 would mean an *unbounded* stdlib queue
+        {"retry_after": 0},
+    ])
+    def test_invalid_sizing_rejected(self, kwargs):
+        with pytest.raises(ServeError):
+            RequestQueue(**kwargs)
+
+    def test_overload_rejects_without_blocking(self):
+        queue = RequestQueue(workers=1, depth=1, retry_after=0.25)
+        release = threading.Event()
+        occupiers = [
+            threading.Thread(target=lambda: queue.submit(release.wait), daemon=True)
+            for _ in range(2)
+        ]
+        try:
+            occupiers[0].start()
+            _await(lambda: queue.stats()["in_flight"] == 1)
+            occupiers[1].start()
+            _await(lambda: queue.stats()["queued"] == 1)
+            with pytest.raises(OverloadError) as caught:
+                queue.submit(lambda: None)
+            assert caught.value.retry_after == 0.25
+            stats = queue.stats()
+            assert stats["rejected"] == 1
+            assert stats["in_flight"] == 1
+            assert stats["queued"] == 1
+        finally:
+            release.set()
+            for thread in occupiers:
+                thread.join(timeout=10.0)
+            queue.shutdown()
+        assert queue.stats()["completed"] == 2
+
+    def test_shutdown_refuses_new_work(self):
+        queue = RequestQueue(workers=1, depth=1)
+        queue.start()
+        queue.shutdown()
+        with pytest.raises(ServeError, match="shut down"):
+            queue.submit(lambda: None)
+
+
+def _await(condition, timeout=10.0):
+    import time
+
+    deadline = time.monotonic() + timeout
+    while not condition():
+        if time.monotonic() > deadline:
+            raise AssertionError("condition never held")
+        time.sleep(0.005)
+
+
+@pytest.fixture(scope="module")
+def bundle_path(tmp_path_factory):
+    root = tmp_path_factory.mktemp("serve-queue")
+    build_bundle(
+        root / "bundle", preset="tiny", seed=SEED, blocking="prefix", warm_items=20
+    )
+    return root / "bundle"
+
+
+class TestHTTPBackpressure:
+    def test_overload_answers_503_with_retry_after(self, bundle_path):
+        daemon = serve_bundle(
+            bundle_path, queue_workers=1, queue_depth=1, retry_after=0.5
+        )
+        release = threading.Event()
+        occupiers = [
+            threading.Thread(
+                target=lambda: daemon.queue.submit(release.wait), daemon=True
+            )
+            for _ in range(2)
+        ]
+        try:
+            host, port = daemon.start()
+            occupiers[0].start()
+            _await(lambda: daemon.queue.stats()["in_flight"] == 1)
+            occupiers[1].start()
+            _await(lambda: daemon.queue.stats()["queued"] == 1)
+
+            with ThreadPoolExecutor(max_workers=3) as pool:
+                probes = list(
+                    pool.map(
+                        lambda _: request_raw(
+                            host, port, "POST", "/link",
+                            payload={"records": []},
+                        ),
+                        range(3),
+                    )
+                )
+            for status, headers, body in probes:
+                assert status == 503
+                assert headers["Retry-After"] == "0.5"
+                assert "queue full" in body["error"]
+                assert body["retry_after"] == 0.5
+
+            # /stats bypasses the queue: monitoring keeps working while
+            # the daemon sheds load, and the rejections are visible
+            stats = request_json(host, port, "GET", "/stats")
+            assert stats["queue"]["rejected"] >= 3
+            assert stats["queue"]["in_flight"] == 1
+            assert stats["queue"]["queued"] == 1
+        finally:
+            release.set()
+            for thread in occupiers:
+                thread.join(timeout=10.0)
+            daemon.shutdown()
+
+    def test_recovers_after_overload(self, bundle_path):
+        daemon = serve_bundle(bundle_path, queue_workers=1, queue_depth=1)
+        release = threading.Event()
+        occupier = threading.Thread(
+            target=lambda: daemon.queue.submit(release.wait), daemon=True
+        )
+        try:
+            host, port = daemon.start()
+            occupier.start()
+            _await(lambda: daemon.queue.stats()["in_flight"] == 1)
+            release.set()
+            occupier.join(timeout=10.0)
+            _await(lambda: daemon.queue.stats()["in_flight"] == 0)
+            # a rejected-then-retried client gets a real answer
+            response = request_json(
+                host, port, "POST", "/link", payload={"records": []}
+            )
+            assert response["matches"] == 0
+            assert response["compared"] == 0
+        finally:
+            release.set()
+            daemon.shutdown()

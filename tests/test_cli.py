@@ -466,11 +466,41 @@ class TestServeCommand:
             ["serve", "--bundle", "b", "--port", "0", "--self-test", "40",
              "--self-test-requests", "3", "--self-test-workers", "2", "--json"]
         )
-        assert args.bundle == "b"
+        assert args.bundle == ["b"]
         assert args.port == 0
         assert args.self_test == 40
         assert args.self_test_requests == 3
         assert args.json
+
+    def test_serve_concurrency_flags_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--bundle", "a=x", "--bundle", "b=y",
+             "--queue-workers", "2", "--queue-depth", "8",
+             "--multiplex-threshold", "500", "--multiplex-workers", "3"]
+        )
+        assert args.bundle == ["a=x", "b=y"]
+        assert args.queue_workers == 2
+        assert args.queue_depth == 8
+        assert args.multiplex_threshold == 500
+        assert args.multiplex_workers == 3
+
+    def test_serve_bundle_specs_parse(self):
+        from repro.cli import _parse_bundle_specs
+
+        bundles, default = _parse_bundle_specs(["alpha=/x/a", "/y/beta"])
+        assert default == "alpha"
+        assert sorted(bundles) == ["alpha", "beta"]
+
+        single, default = _parse_bundle_specs(["/y/beta"])
+        assert default == "default"
+        assert list(single) == ["default"]
+
+    def test_serve_duplicate_bundle_names_rejected(self):
+        from repro.cli import _parse_bundle_specs
+        from repro.serve import ServeError
+
+        with pytest.raises(ServeError, match="duplicate"):
+            _parse_bundle_specs(["a=x", "a=y"])
 
     def test_serve_missing_bundle_errors_cleanly(self, tmp_path, capsys):
         code = main(["serve", "--bundle", str(tmp_path / "nope")])
