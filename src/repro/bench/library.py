@@ -1,6 +1,6 @@
 """The benchmark library: every registered spec.
 
-Seven **smoke** benchmarks run on the small presets in seconds — they
+Nine **smoke** benchmarks run on the small presets in seconds — they
 are the CI perf gate (``repro bench run --tier smoke``). The **standard**
 tier absorbs the paper-scale measurements the old standalone
 ``bench_*.py`` scripts made (those scripts are now one-line shims onto
@@ -21,6 +21,7 @@ workloads without paying paper-scale generation.
 
 from __future__ import annotations
 
+import itertools
 import random
 import time
 from typing import List
@@ -289,6 +290,111 @@ def measure_shard_executor(catalog, size=400, seed=4242, workers=2) -> Measureme
             f"serial {serial.stats.elapsed_seconds * 1000:8.1f} ms",
             f"shard  {shard.stats.elapsed_seconds * 1000:8.1f} ms   "
             f"({workers} shards, byte-identical)",
+        ]
+    )
+    return Measurement(metrics=metrics, text=text)
+
+
+def measure_worker_protocol(
+    catalog, size=200, local_size=600, seed=4242, workers=2
+) -> Measurement:
+    """The worker executor vs the serial path: wire round trip + identity.
+
+    One provider batch is linked twice — serially and with the
+    ``worker`` executor, which serializes every shard into a versioned
+    work-unit envelope, round-trips it through a ``repro worker
+    run-unit`` subprocess and folds the result envelopes back by their
+    ordinal sort keys. The gates: byte-identity with the serial run,
+    and proof that every shard actually crossed the wire (a degraded
+    run reports ``work_units == 0`` and would pass the identity check
+    vacuously). The per-unit wall cost — interpreter spawn plus both
+    envelope round trips — lands in the trajectory with a generous
+    budget, so a protocol change that bloats envelopes or adds a
+    serialization pass shows up without the gate flaking on loaded
+    runners.
+    """
+    from repro.bench.runner import engine_metrics
+    from repro.datagen.catalog import MANUFACTURER, PART_NUMBER
+    from repro.engine import JobConfig, LinkingJob
+    from repro.experiments.throughput import provider_batch
+    from repro.linking import (
+        FieldComparator,
+        QGramBlocking,
+        RecordComparator,
+        RecordStore,
+        ThresholdMatcher,
+    )
+    from repro.rdf import serialize_ntriples
+
+    field_map = {"pn": PART_NUMBER, "maker": MANUFACTURER}
+    # a slice of the catalog keeps the inline-store envelopes CI-sized:
+    # the wire path is identical, only the payload weight is trimmed
+    local = RecordStore(
+        itertools.islice(
+            RecordStore.from_graph(catalog.local_graph, field_map), local_size
+        )
+    )
+    graph, _ = provider_batch(catalog, size, seed=seed)
+    external = RecordStore.from_graph(graph, field_map)
+    comparator = RecordComparator(
+        [FieldComparator("pn", weight=2.0), FieldComparator("maker")]
+    )
+    matcher = ThresholdMatcher(match_threshold=0.9)
+
+    def run(executor):
+        blocking = QGramBlocking("pn", q=2, threshold=0.6)
+        config = JobConfig(
+            executor=executor, chunk_size=512, workers=workers, shards=workers
+        )
+        return LinkingJob(blocking, comparator, matcher, config).run(external, local)
+
+    serial = run("serial")
+    worker = run("worker")
+    # metric-backed, like `identical` below: a missing interpreter or a
+    # broken subprocess degrades the run to serial, whose output is
+    # trivially identical — the gate must see that every shard crossed
+    # the serialize→subprocess→deserialize boundary, asserts or not
+    ran_worker = (
+        worker.stats.executor == "worker"
+        and worker.stats.fallback_reason is None
+        and worker.stats.work_units == workers
+        and worker.stats.work_unit_bytes > 0
+    )
+    identical = (
+        worker.matches == serial.matches
+        and worker.possible == serial.possible
+        and worker.candidate_pairs == serial.candidate_pairs
+        and worker.compared == serial.compared
+        and serialize_ntriples(worker.sameas_graph())
+        == serialize_ntriples(serial.sameas_graph())
+    )
+    units = max(worker.stats.work_units, 1)
+    metrics = engine_metrics(worker.stats, prefix="worker_")
+    metrics.update(
+        serial_seconds=serial.stats.elapsed_seconds,
+        worker_seconds=worker.stats.elapsed_seconds,
+        work_units=worker.stats.work_units,
+        work_unit_kb=worker.stats.work_unit_bytes / 1024.0,
+        unit_overhead_seconds=worker.stats.elapsed_seconds / units,
+        pairs_compared=serial.stats.pairs_compared,
+        matches=len(serial.matches),
+        # the metrics carry the real verdicts so the registered budgets
+        # and checks gate them even when asserts are compiled out (-O)
+        ran_worker=1.0 if ran_worker else 0.0,
+        identical=1.0 if identical else 0.0,
+    )
+    assert ran_worker, f"worker run silently degraded: {worker.stats.format()}"
+    assert identical, "worker executor diverged from the serial path"
+    text = "\n".join(
+        [
+            "smoke: worker protocol byte-identity vs serial (q-gram blocking)",
+            f"|S_E|={len(external)}, |S_L|={len(local)}, "
+            f"{serial.compared} pairs, {len(serial.matches)} matches",
+            f"serial {serial.stats.elapsed_seconds * 1000:8.1f} ms",
+            f"worker {worker.stats.elapsed_seconds * 1000:8.1f} ms   "
+            f"({worker.stats.work_units} units, "
+            f"{worker.stats.work_unit_bytes / 1024.0:.1f} KiB round-tripped, "
+            "byte-identical)",
         ]
     )
     return Measurement(metrics=metrics, text=text)
@@ -1042,6 +1148,45 @@ register(
             ),
         ),
         report_name="smoke_shard_blocking",
+    )
+)
+
+register(
+    BenchmarkSpec(
+        name="smoke-worker-protocol",
+        description="worker executor round-trips every shard through the wire, byte-identical to serial",
+        tier="smoke",
+        workload="small-catalog",
+        measure=measure_worker_protocol,
+        budgets=(
+            WALL,
+            MetricBudget("serial_seconds", "lower", WALL_TOLERANCE),
+            MetricBudget("worker_seconds", "lower", WALL_TOLERANCE),
+            # per-unit cost = interpreter spawn + both envelope round
+            # trips; extra-generous envelope because subprocess bringup
+            # is the noisiest thing CI measures, but a protocol change
+            # that triples it (envelope bloat, an extra serialization
+            # pass) must still trip the gate
+            MetricBudget("unit_overhead_seconds", "lower", 2.0),
+            # binary verdicts: any drop below 1.0 regresses
+            MetricBudget("ran_worker", "higher", 0.0),
+            MetricBudget("identical", "higher", 0.0),
+        ),
+        checks=(
+            lambda m: _assert(
+                m.metrics["ran_worker"] == 1.0,
+                "worker run silently degraded (fallback or no units on the wire)",
+            ),
+            lambda m: _assert(
+                m.metrics["identical"] == 1.0,
+                "worker executor output diverged from serial",
+            ),
+            lambda m: _assert(
+                m.metrics["work_unit_kb"] > 0,
+                "transport counter reports an empty wire",
+            ),
+        ),
+        report_name="smoke_worker_protocol",
     )
 )
 

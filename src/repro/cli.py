@@ -177,15 +177,16 @@ def _non_negative_int(text: str) -> int:
 
 
 def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
-    from repro.engine import DEFAULT_CACHE_SIZE, EXECUTORS, SCORING
+    from repro.engine import DEFAULT_CACHE_SIZE, SCORING, executor_names
 
     parser.add_argument(
         "--executor",
-        choices=EXECUTORS,
+        choices=executor_names(),
         default="auto",
         help="execution strategy (default: auto = process when CPUs allow; "
         "shard = workers generate their own key-space shards' candidates "
-        "in-worker; every built-in blocking method shards)",
+        "in-worker; worker = every shard crosses a serialized work-unit "
+        "boundary; every built-in blocking method shards)",
     )
     parser.add_argument(
         "--workers", type=_positive_int, default=None, help="worker count"
@@ -537,6 +538,33 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(report.format())
     if args.fail_on_regression and not report.ok(fail_on_missing=args.fail_on_missing):
         return 1
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    """``repro worker run-unit`` — execute one serialized shard work unit.
+
+    Reads a :class:`ShardWorkUnit` envelope from stdin and writes the
+    WorkerResult envelope to stdout. The ``worker`` executor's
+    subprocess transport drives this; a remote scheduler can drive a
+    pool of these the same way. Rejected envelopes (stale version,
+    foreign fingerprint, corrupt checksum, unknown spec) exit 2 with
+    the reason on stderr — nothing partial ever reaches stdout.
+    """
+    from repro.engine.executors.protocol import (
+        WorkUnitError,
+        decode_work_unit,
+        encode_worker_result,
+        execute_work_unit,
+    )
+
+    text = sys.stdin.read()
+    try:
+        outcome = execute_work_unit(decode_work_unit(text))
+    except WorkUnitError as exc:
+        print(f"work unit rejected: {exc}", file=sys.stderr)
+        return 2
+    sys.stdout.write(encode_worker_result(outcome))
     return 0
 
 
@@ -899,6 +927,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="inspect: emit the summary as JSON"
     )
     artifacts.set_defaults(handler=_cmd_artifacts)
+
+    worker = sub.add_parser(
+        "worker",
+        help="shard work-unit worker (stdin envelope -> stdout result)",
+    )
+    worker.add_argument(
+        "action",
+        choices=("run-unit",),
+        help="run-unit: execute one ShardWorkUnit envelope read from stdin",
+    )
+    worker.set_defaults(handler=_cmd_worker)
 
     serve = sub.add_parser(
         "serve", help="long-running warm linking daemon over artifact bundles"

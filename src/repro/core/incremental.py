@@ -86,6 +86,54 @@ class IncrementalRuleLearner:
         return self.add_links(training_set.links, training_set.external_graph)
 
     # ------------------------------------------------------------------
+    # warm-start persistence (artifact bundles)
+    # ------------------------------------------------------------------
+    def to_state(self):
+        """This learner as a bundleable
+        :class:`~repro.index.artifacts.TrainingState`.
+
+        Seen links are exported in deterministic ``(external, local)``
+        string order, so two learners that ingested the same links in
+        different batch splits serialize byte-identically — the
+        incremental-equals-batch invariant extended to the bundle file.
+        """
+        from repro.index.artifacts import TrainingState
+
+        return TrainingState(
+            index=self._index,
+            properties=self.config.properties or (),
+            support_threshold=self.config.support_threshold,
+            strict_threshold=self.config.strict_threshold,
+            seen=sorted(
+                ((link.external, link.local) for link in self._seen),
+                key=lambda pair: (str(pair[0]), str(pair[1])),
+            ),
+        )
+
+    @classmethod
+    def from_state(cls, state, ontology: Ontology) -> "IncrementalRuleLearner":
+        """Resume a learner from a bundled state and a live ontology.
+
+        The restored learner continues exactly where the serialized one
+        stopped: same index rows, same dedupe set, same thresholds —
+        ``add_links`` on new expert validations appends to the restored
+        postings and :meth:`rules` re-emits from them.
+        """
+        config = LearnerConfig(
+            properties=tuple(state.properties),
+            support_threshold=state.support_threshold,
+            segmenter=state.index.segmenter,
+            strict_threshold=state.strict_threshold,
+        )
+        learner = cls(config, ontology)
+        learner._index = state.index
+        learner._seen = {
+            SameAsLink(external=external, local=local)
+            for external, local in state.seen
+        }
+        return learner
+
+    # ------------------------------------------------------------------
     # emission
     # ------------------------------------------------------------------
     def _min_count(self) -> int:

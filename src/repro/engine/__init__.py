@@ -11,18 +11,24 @@ a streaming, chunked, optionally parallel batch job:
   normalized value pairs and shared across pairs
   (:class:`CachedRecordComparator`) — blocking makes value repetition
   common, so the cache pays for itself quickly;
-* chunks fan out over a thread or process pool with a serial fallback,
-  and every executor produces identical matches in identical order;
+* chunks fan out over a registered execution strategy (see
+  :mod:`repro.engine.executors`) with a serial fallback, and every
+  executor produces identical matches in identical order;
 * the ``shard`` executor goes one level deeper: a :class:`ShardPlan`
   partitions the blocking method's key space and each process worker
   generates its own shards' candidates in-worker (fork-inherited
   stores, zero pair pickling), byte-identical to serial via the
   shard-ordered fold and ordinal merge;
+* the ``worker`` executor replaces the fork pool with the serialized
+  work-unit protocol (:mod:`repro.engine.executors.protocol`): every
+  shard crosses a JSON serialize→subprocess→deserialize boundary — the
+  on-one-machine proof that shards can run on separate hosts;
 * each run reports :class:`EngineStats` (pairs/sec, cache hit rate,
-  chunk/shard counts) on ``LinkingResult.stats``.
+  chunk/shard counts, transport counters) on ``LinkingResult.stats``.
 
-``LinkingPipeline`` is now a thin facade over this engine; future
-scaling work (async backends, distributed shards) plugs in here.
+``LinkingPipeline`` is now a thin facade over this engine; the executor
+registry (:func:`register_executor`) is where future scaling work
+(async backends, multi-node dispatch) plugs in.
 
 :class:`StreamingLinkingJob` is the second execution mode: record
 deltas ingested as they arrive (each delta one chunked batch job over
@@ -36,6 +42,12 @@ from repro.engine.cache import (
     DEFAULT_CACHE_SIZE,
     CachedRecordComparator,
     LRUCache,
+)
+from repro.engine.executors import (
+    Executor,
+    executor_names,
+    get_executor,
+    register_executor,
 )
 from repro.engine.job import (
     EXECUTORS,
@@ -54,11 +66,15 @@ __all__ = [
     "CachedRecordComparator",
     "LRUCache",
     "EXECUTORS",
+    "Executor",
     "SCORING",
     "JobConfig",
     "LinkingJob",
     "EngineProgress",
     "EngineStats",
+    "executor_names",
+    "get_executor",
+    "register_executor",
     "ShardOutcome",
     "ShardPlan",
     "StreamingDelta",

@@ -1,0 +1,80 @@
+"""``repro.engine.executors`` — pluggable execution strategies.
+
+The package splits what used to be a single ~850-line ``engine/job.py``
+monolith into the pieces a distributed engine needs to name separately:
+
+* :mod:`~repro.engine.executors.base` — the :class:`Executor` protocol,
+  the registry ``JobConfig`` validates against, and the shared fold
+  machinery every strategy feeds;
+* :mod:`~repro.engine.executors.chunked` — the serial, thread-pool and
+  process-pool chunk strategies;
+* :mod:`~repro.engine.executors.sharded` — the fork-pool shard strategy
+  and :func:`run_shard_scan`, the one per-shard scan every transport
+  shares;
+* :mod:`~repro.engine.executors.protocol` — the versioned, checksummed
+  :class:`ShardWorkUnit` / WorkerResult JSON envelopes;
+* :mod:`~repro.engine.executors.worker` — the subprocess transport that
+  proves the protocol end-to-end on one machine.
+
+Importing the package registers the built-in strategies. Third-party
+strategies register the same way::
+
+    from repro.engine.executors import Executor, register_executor
+
+    class GPUExecutor(Executor):
+        name = "gpu"
+        def execute(self, request): ...
+
+    register_executor(GPUExecutor())
+    JobConfig(executor="gpu")   # now valid
+"""
+
+from repro.engine.executors.base import (
+    AUTO,
+    ChunkOutcome,
+    Decider,
+    DecisionWire,
+    ExecutionRequest,
+    Executor,
+    FoldState,
+    Pair,
+    executor_names,
+    get_executor,
+    register_executor,
+    update_best_match,
+)
+from repro.engine.executors.chunked import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+)
+from repro.engine.executors.sharded import ShardExecutor, run_shard_scan
+from repro.engine.executors.worker import WorkerExecutor, WorkerTransportError
+
+register_executor(SerialExecutor())
+register_executor(ThreadExecutor())
+register_executor(ProcessExecutor())
+register_executor(ShardExecutor())
+register_executor(WorkerExecutor())
+
+__all__ = [
+    "AUTO",
+    "ChunkOutcome",
+    "Decider",
+    "DecisionWire",
+    "ExecutionRequest",
+    "Executor",
+    "FoldState",
+    "Pair",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "ShardExecutor",
+    "ThreadExecutor",
+    "WorkerExecutor",
+    "WorkerTransportError",
+    "executor_names",
+    "get_executor",
+    "register_executor",
+    "run_shard_scan",
+    "update_best_match",
+]

@@ -1,0 +1,270 @@
+"""Chunk executors: serial, thread-pool and process-pool strategies.
+
+The parent drains the blocking method's candidate stream into fixed-size
+chunks, workers compare-and-decide each chunk, and the parent folds the
+outcomes back in submission order. The candidate stream is never
+materialized: chunks are submitted with a bounded in-flight window, so
+memory stays proportional to ``workers * chunk_size``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from concurrent.futures import Executor as PoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.engine.batch import BatchScorer
+from repro.engine.cache import CachedRecordComparator
+from repro.engine.executors.base import (
+    ChunkOutcome,
+    Decider,
+    ExecutionRequest,
+    Executor,
+    Pair,
+)
+from repro.linking.comparators import RecordComparator
+from repro.linking.matchers import MatchStatus
+from repro.linking.records import RecordStore
+
+
+class ChunkRunner:
+    """Compares and decides the pairs of a chunk against two stores."""
+
+    def __init__(
+        self,
+        external: RecordStore,
+        local: RecordStore,
+        comparator: RecordComparator,
+        decider: Decider,
+        cache_size: int,
+        thread_safe: bool = False,
+        shared_cache: Optional[CachedRecordComparator] = None,
+        scoring: str = "pairwise",
+        scorer: Optional[BatchScorer] = None,
+    ) -> None:
+        self._external = external
+        self._local = local
+        # a caller-provided warm cache survives across runs and deltas;
+        # without one the runner builds its own, cold. Batched runs
+        # keep the instance for the counter API but never consult it —
+        # its hit/miss counters stay at this run's starting values.
+        self.comparator = shared_cache or CachedRecordComparator(
+            comparator, cache_size, thread_safe=thread_safe
+        )
+        self.scorer = scorer
+        if scoring == "batched" and self.scorer is None:
+            self.scorer = BatchScorer(comparator, decider, thread_safe=thread_safe)
+        self._decider = decider
+
+    def run_chunk(self, pairs: List[Pair]) -> ChunkOutcome:
+        if self.scorer is not None:
+            return self._run_chunk_batched(pairs)
+        compared: List[Pair] = []
+        decisions: List = []
+        cache = self.comparator
+        hits_before, misses_before = cache.cache_hits, cache.cache_misses
+        for ext_id, local_id in pairs:
+            left = self._external.get(ext_id)
+            right = self._local.get(local_id)
+            if left is None or right is None:
+                continue
+            vector = cache.compare(left, right)
+            decision = self._decider.decide(vector)
+            compared.append((ext_id, local_id))
+            if decision.status is not MatchStatus.NON_MATCH:
+                decisions.append(
+                    (
+                        ext_id,
+                        local_id,
+                        dict(vector.similarities),
+                        vector.aggregate,
+                        decision.status.value,
+                        decision.score,
+                    )
+                )
+        return ChunkOutcome(
+            pairs=compared,
+            decisions=decisions,
+            cache_hits=cache.cache_hits - hits_before,
+            cache_misses=cache.cache_misses - misses_before,
+        )
+
+    def _run_chunk_batched(self, pairs: List[Pair]) -> ChunkOutcome:
+        scorer = self.scorer
+        hits_before, misses_before = scorer.pair_hits, scorer.pair_misses
+        profiles_before = scorer.profile_count
+        compared, decisions = scorer.score_chunk(pairs, self._external, self._local)
+        # per-chunk deltas, exact for serial and per-process workers
+        # (the thread executor overwrites fold totals with the shared
+        # scorer's run-lifetime deltas — see _LocalExecutor.execute)
+        return ChunkOutcome(
+            pairs=compared,
+            decisions=decisions,
+            cache_hits=0,
+            cache_misses=0,
+            batch_hits=scorer.pair_hits - hits_before,
+            batch_misses=scorer.pair_misses - misses_before,
+            batch_profiles=scorer.profile_count - profiles_before,
+        )
+
+
+# Per-process worker state, set once by the pool initializer. With the
+# default fork start method on Linux the stores are inherited, not
+# pickled, so initialization is cheap even for large catalogs.
+_WORKER_RUNNER: Optional[ChunkRunner] = None
+
+
+def _init_process_worker(
+    external: RecordStore,
+    local: RecordStore,
+    comparator: RecordComparator,
+    decider: Decider,
+    cache_size: int,
+    scoring: str = "pairwise",
+) -> None:
+    global _WORKER_RUNNER
+    _WORKER_RUNNER = ChunkRunner(
+        external, local, comparator, decider, cache_size, scoring=scoring
+    )
+
+
+def _run_process_chunk(pairs: List[Pair]) -> ChunkOutcome:
+    if _WORKER_RUNNER is None:
+        raise RuntimeError("process worker used before initialization")
+    return _WORKER_RUNNER.run_chunk(pairs)
+
+
+def chunk_pairs(pairs: Iterator[Pair], size: int) -> Iterator[List[Pair]]:
+    """Drain an iterator of pairs into lists of at most *size*."""
+    chunk: List[Pair] = []
+    for pair in pairs:
+        chunk.append(pair)
+        if len(chunk) >= size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
+def pump(
+    pool: PoolExecutor,
+    fn: Callable[[List[Pair]], ChunkOutcome],
+    chunks: Iterator[List[Pair]],
+    handle: Callable[[ChunkOutcome], None],
+    workers: int,
+) -> None:
+    """Submit chunks with a bounded in-flight window; fold in order.
+
+    The window keeps all workers busy without materializing the whole
+    candidate stream as pending futures (``Executor.map`` would submit
+    everything up front).
+    """
+    window = max(2, workers * 4)
+    pending: "deque" = deque()
+    for chunk in chunks:
+        pending.append(pool.submit(fn, chunk))
+        if len(pending) >= window:
+            handle(pending.popleft().result())
+    while pending:
+        handle(pending.popleft().result())
+
+
+class _LocalExecutor(Executor):
+    """Shared serial/thread strategy: one in-process :class:`ChunkRunner`."""
+
+    threaded = False
+
+    def execute(self, request: ExecutionRequest) -> Tuple[int, int]:
+        chunks = chunk_pairs(
+            request.blocking.candidate_pairs(request.external, request.local),
+            request.config.chunk_size,
+        )
+        shared = request.shared_cache
+        if shared is not None and self.threaded and not shared.thread_safe:
+            # an unsynchronized warm cache cannot serve a thread pool;
+            # fall back to a fresh per-job thread-safe cache
+            shared = None
+        scorer = None
+        if request.scoring == "batched":
+            scorer = request.batch_scorer
+            if scorer is not None and self.threaded and not scorer.thread_safe:
+                # same rule as the warm cache: an unguarded shared scorer
+                # cannot serve a thread pool
+                scorer = None
+        runner = ChunkRunner(
+            request.external,
+            request.local,
+            request.comparator,
+            request.decider,
+            request.cache_size,
+            thread_safe=self.threaded,
+            shared_cache=shared,
+            scoring=request.scoring,
+            scorer=scorer,
+        )
+        # the comparator (and scorer) may be warm from earlier runs:
+        # report this run's lookups, not lifetime totals
+        hits_before = runner.comparator.cache_hits
+        misses_before = runner.comparator.cache_misses
+        if runner.scorer is not None:
+            batch_hits_before = runner.scorer.pair_hits
+            batch_misses_before = runner.scorer.pair_misses
+            batch_profiles_before = runner.scorer.profile_count
+        if self.threaded:
+            with ThreadPoolExecutor(max_workers=request.workers) as pool:
+                pump(pool, runner.run_chunk, chunks, request.handle, request.workers)
+        else:
+            for chunk in chunks:
+                request.handle(runner.run_chunk(chunk))
+        fold = request.fold
+        if runner.scorer is not None:
+            # the scorer is shared across the pool, so per-chunk delta
+            # snapshots may interleave under threads: overwrite the fold
+            # totals with the exact run-lifetime deltas
+            fold.batch_hits = runner.scorer.pair_hits - batch_hits_before
+            fold.batch_misses = runner.scorer.pair_misses - batch_misses_before
+            fold.batch_profiles = runner.scorer.profile_count - batch_profiles_before
+        # shared cache: exact per-run deltas live on the runner's comparator
+        return (
+            runner.comparator.cache_hits - hits_before,
+            runner.comparator.cache_misses - misses_before,
+        )
+
+
+class SerialExecutor(_LocalExecutor):
+    name = "serial"
+    threaded = False
+
+
+class ThreadExecutor(_LocalExecutor):
+    name = "thread"
+    threaded = True
+
+
+class ProcessExecutor(Executor):
+    """Chunks fanned over a :class:`ProcessPoolExecutor` (fork-friendly)."""
+
+    name = "process"
+
+    def execute(self, request: ExecutionRequest) -> Tuple[int, int]:
+        chunks = chunk_pairs(
+            request.blocking.candidate_pairs(request.external, request.local),
+            request.config.chunk_size,
+        )
+        with ProcessPoolExecutor(
+            max_workers=request.workers,
+            initializer=_init_process_worker,
+            initargs=(
+                request.external,
+                request.local,
+                request.comparator,
+                request.decider,
+                request.cache_size,
+                request.scoring,
+            ),
+        ) as pool:
+            pump(pool, _run_process_chunk, chunks, request.handle, request.workers)
+        # per-worker caches: totals are the summed per-chunk deltas
+        fold = request.fold
+        return fold.cache_hits, fold.cache_misses

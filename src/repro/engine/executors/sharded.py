@@ -1,0 +1,279 @@
+"""The shard executor: block-parallel execution over a key-space plan.
+
+Instead of the parent generating every candidate pair and pickling
+chunks to workers, a :class:`~repro.engine.shard.ShardPlan` partitions
+the blocking method's *key space* and each process worker generates the
+candidates of its own shards in-worker (stores inherited via fork —
+zero pair pickling; only compact decision wires cross the process
+boundary). The parent folds shard outcomes in deterministic shard order
+and merges the sort-key-tagged groups back into serial emission order,
+so the result is byte-identical to the serial path.
+
+:func:`run_shard_scan` is the single per-shard scan both transports
+share: the fork-pool worker here, and the serialized work-unit protocol
+(:mod:`repro.engine.executors.protocol`) that carries the same scan
+across a process or network boundary.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, List, Optional, Tuple
+
+from repro.engine.batch import BatchScorer
+from repro.engine.cache import CachedRecordComparator
+from repro.engine.executors.base import (
+    Decider,
+    DecisionWire,
+    ExecutionRequest,
+    Executor,
+    Pair,
+)
+from repro.engine.shard import ShardOutcome, ShardPlan, merge_shard_groups
+from repro.engine.stats import EngineProgress
+from repro.linking.blocking import BlockingMethod
+from repro.linking.comparators import RecordComparator
+from repro.linking.matchers import MatchStatus
+from repro.linking.records import RecordStore
+from repro.rdf.terms import Term
+
+#: Group sentinel: distinct from every sort key a blocking method can
+#: emit (keys are ints or int tuples), so the first pair always opens a
+#: fresh group.
+_NO_GROUP = object()
+
+
+def run_shard_scan(
+    blocking: BlockingMethod,
+    external: RecordStore,
+    local: RecordStore,
+    cache: CachedRecordComparator,
+    decider: Decider,
+    plan: ShardPlan,
+    shard: int,
+    scorer: Optional[BatchScorer] = None,
+) -> ShardOutcome:
+    """Generate, compare and decide one shard's candidates.
+
+    Pairs are drawn lazily from the blocking method's per-key block
+    iteration — the candidate stream never exists in the parent — and
+    runs of consecutive equal sort keys become one group, so the caller
+    can merge shard outcomes back into serial comparison order.
+    """
+    hits_before, misses_before = cache.cache_hits, cache.cache_misses
+    if scorer is not None:
+        batch_hits_before = scorer.pair_hits
+        batch_misses_before = scorer.pair_misses
+        batch_profiles_before = scorer.profile_count
+        left_profiles = scorer.columns_for(external)
+        right_profiles = scorer.columns_for(local)
+        compiled = scorer.compiled
+
+        def score(ext_id: Term, local_id: Term):
+            left_profile = left_profiles.get(ext_id)
+            right_profile = right_profiles.get(local_id)
+            if left_profile is None or right_profile is None:
+                return None
+            if compiled:
+                return scorer.decision_for(left_profile, right_profile)
+            return scorer.decision_for(
+                left_profile, right_profile, external.get(ext_id), local.get(local_id)
+            )
+    else:
+
+        def score(ext_id: Term, local_id: Term):
+            left = external.get(ext_id)
+            right = local.get(local_id)
+            if left is None or right is None:
+                return None
+            vector = cache.compare(left, right)
+            decision = decider.decide(vector)
+            return decision.status, decision.score, vector.similarities, vector.aggregate
+
+    groups: List[tuple] = []
+    match_ext_ids: List[Term] = []
+    compared = 0
+    current: object = _NO_GROUP
+    pairs: List[Pair] = []
+    wires: List[DecisionWire] = []
+    for sort_key, ext_id, local_id in blocking.shard_candidate_pairs(
+        external, local, plan, shard
+    ):
+        scored = score(ext_id, local_id)
+        if scored is None:
+            continue
+        if sort_key != current:
+            if pairs:
+                groups.append((current, pairs, wires))
+            current, pairs, wires = sort_key, [], []
+        status, decision_score, similarities, aggregate = scored
+        pairs.append((ext_id, local_id))
+        compared += 1
+        if status is not MatchStatus.NON_MATCH:
+            wires.append(
+                (
+                    ext_id,
+                    local_id,
+                    dict(similarities),
+                    aggregate,
+                    status.value,
+                    decision_score,
+                )
+            )
+            if status is MatchStatus.MATCH:
+                match_ext_ids.append(ext_id)
+    if pairs:
+        groups.append((current, pairs, wires))
+    return ShardOutcome(
+        shard=shard,
+        groups=groups,
+        compared=compared,
+        match_ext_ids=match_ext_ids,
+        cache_hits=cache.cache_hits - hits_before,
+        cache_misses=cache.cache_misses - misses_before,
+        batch_hits=scorer.pair_hits - batch_hits_before if scorer else 0,
+        batch_misses=scorer.pair_misses - batch_misses_before if scorer else 0,
+        batch_profiles=scorer.profile_count - batch_profiles_before if scorer else 0,
+    )
+
+
+# Per-process shard-executor state, set once by the pool initializer:
+# (blocking, external, local, cached comparator, decider, plan, scorer).
+# As with chunk workers, fork inheritance makes this free on Linux.
+_SHARD_STATE: Optional[tuple] = None
+
+
+def _init_shard_worker(
+    blocking: BlockingMethod,
+    external: RecordStore,
+    local: RecordStore,
+    comparator: RecordComparator,
+    decider: Decider,
+    cache_size: int,
+    plan: ShardPlan,
+    scoring: str = "pairwise",
+) -> None:
+    global _SHARD_STATE
+    cache = CachedRecordComparator(comparator, cache_size)
+    scorer = BatchScorer(comparator, decider) if scoring == "batched" else None
+    _SHARD_STATE = (blocking, external, local, cache, decider, plan, scorer)
+
+
+def _run_shard_worker(shard: int) -> ShardOutcome:
+    if _SHARD_STATE is None:
+        raise RuntimeError("shard worker used before initialization")
+    blocking, external, local, cache, decider, plan, scorer = _SHARD_STATE
+    return run_shard_scan(
+        blocking, external, local, cache, decider, plan, shard, scorer
+    )
+
+
+class ShardProgress:
+    """Parent-side per-outcome counter fold shared by the shard-plan
+    executors (fork-pool ``shard`` and subprocess ``worker``)."""
+
+    def __init__(self, request: ExecutionRequest) -> None:
+        self._request = request
+        self._compared = 0
+        self._matched_ext: set = set()
+        self._match_wires = 0
+
+    def note(self, outcome: ShardOutcome) -> None:
+        """Fold one shard outcome's counters; emit progress if asked."""
+        request = self._request
+        fold = request.fold
+        fold.chunks_done += 1  # one "chunk" per shard
+        fold.cache_hits += outcome.cache_hits
+        fold.cache_misses += outcome.cache_misses
+        fold.batch_hits += outcome.batch_hits
+        fold.batch_misses += outcome.batch_misses
+        fold.batch_profiles += outcome.batch_profiles
+        self._compared += outcome.compared
+        on_progress = request.config.on_progress
+        if on_progress is not None:
+            if request.config.best_match_only:
+                self._matched_ext.update(outcome.match_ext_ids)
+                matches = len(self._matched_ext)
+            else:
+                self._match_wires += len(outcome.match_ext_ids)
+                matches = self._match_wires
+            on_progress(
+                EngineProgress(
+                    chunks_done=fold.chunks_done,
+                    pairs_compared=self._compared,
+                    matches=matches,
+                    elapsed_seconds=time.perf_counter() - request.started,
+                )
+            )
+
+
+def merge_outcomes_into_fold(
+    request: ExecutionRequest, outcomes: Iterable[ShardOutcome]
+) -> Tuple[int, int]:
+    """Merge shard groups back into serial emission order and fold them;
+    returns the folded similarity-cache ``(hits, misses)``."""
+    fold = request.fold
+    for _sort_key, pairs, wires in merge_shard_groups(outcomes):
+        fold.compared += len(pairs)
+        fold.candidate_pairs.extend(pairs)
+        fold.fold_decisions(wires)
+    return fold.cache_hits, fold.cache_misses
+
+
+class ShardExecutor(Executor):
+    """Block-parallel execution: one shard of the key space per worker.
+
+    The plan is built in the parent (which also warms any shared block
+    index — and canopy's center pass — *before* the fork, so workers
+    inherit it); workers generate, compare and decide their own shards'
+    candidates; the parent consumes outcomes in deterministic shard
+    order and then folds the key-merged groups, reconstructing the
+    serial comparison order exactly.
+    """
+
+    name = "shard"
+    uses_shard_plan = True
+    fallback = "process"
+
+    def unsupported_reason(
+        self,
+        blocking: BlockingMethod,
+        comparator: RecordComparator,
+        decider: Decider,
+    ) -> Optional[str]:
+        supports = getattr(blocking, "supports_sharding", None)
+        if callable(supports) and supports():
+            return None
+        # no per-key block decomposition: the chunked process executor
+        # is the closest strategy that still parallelizes
+        return f"{type(blocking).__name__} has no per-key block decomposition"
+
+    def execute(self, request: ExecutionRequest) -> Tuple[int, int]:
+        config = request.config
+        plan = ShardPlan.build(
+            config.resolved_shards(),
+            request.blocking.shard_block_sizes(request.external, request.local),
+        )
+        progress = ShardProgress(request)
+        outcomes: List[ShardOutcome] = []
+        with ProcessPoolExecutor(
+            max_workers=min(request.workers, plan.shards),
+            initializer=_init_shard_worker,
+            initargs=(
+                request.blocking,
+                request.external,
+                request.local,
+                request.comparator,
+                request.decider,
+                request.cache_size,
+                plan,
+                request.scoring,
+            ),
+        ) as pool:
+            futures = [pool.submit(_run_shard_worker, s) for s in range(plan.shards)]
+            for future in futures:  # deterministic shard order
+                outcome = future.result()
+                outcomes.append(outcome)
+                progress.note(outcome)
+        return merge_outcomes_into_fold(request, outcomes)

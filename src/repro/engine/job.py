@@ -1,36 +1,22 @@
-"""The batch linking engine: streaming, chunked, parallel execution.
+"""The batch linking engine: configuration, dispatch and fallback.
 
 :class:`LinkingJob` is the execution substrate under every linking run:
-candidate pairs from a blocking method are drained into fixed-size
-chunks, each chunk is compared and decided by a worker (per-attribute
-similarities memoized through :class:`CachedRecordComparator`), and the
-chunk outcomes are folded back — in chunk order — into one
-:class:`~repro.linking.pipeline.LinkingResult`. The candidate stream is
-never materialized: chunks are submitted with a bounded in-flight
-window, so memory stays proportional to ``workers * chunk_size`` plus
-the compared-pair log the result keeps anyway.
+candidate pairs from a blocking method are compared and decided by one
+of the registered execution strategies (see
+:mod:`repro.engine.executors`), and the outcomes are folded back — in a
+deterministic order — into one
+:class:`~repro.linking.pipeline.LinkingResult`.
 
-Because workers only *compare and decide* while the fold happens in the
-parent, the result is independent of the executor: serial, thread and
-process execution produce identical matches, in identical order. Pool
-bringup and transport failures (an unpicklable payload, a sandbox that
-forbids subprocesses) fall back to serial execution and record why in
-:class:`~repro.engine.stats.EngineStats`; errors raised by comparator or
-matcher code propagate unchanged.
-
-The ``shard`` executor inverts the decomposition: instead of the parent
-generating every candidate pair and pickling chunks to workers, a
-:class:`~repro.engine.shard.ShardPlan` partitions the blocking method's
-*key space* and each process worker generates the candidates of its own
-shards in-worker (stores inherited via fork — zero pair pickling; only
-compact :data:`DecisionWire` results cross the process boundary). The
-parent folds shard outcomes in deterministic shard order and merges the
-sort-key-tagged groups back into serial emission order, so the result
-is byte-identical to the serial path. Every registered blocking method
-implements the per-key block decomposition (see
-:meth:`~repro.linking.blocking.BlockingMethod.supports_sharding`);
-duck-typed blocking doubles that do not degrade to the ``process``
-executor with the reason recorded.
+The contract every strategy honors is byte-identity: serial, thread,
+process, fork-pool shard and subprocess worker execution produce
+identical matches, in identical order. This module owns what is
+*strategy-independent*: :class:`JobConfig` (validated against the live
+executor registry, so third-party strategies plug in), the degradation
+chain (an executor that cannot run a job names why and hands off to its
+fallback — e.g. ``worker`` → ``shard`` → ``process`` — with the reasons
+recorded in :class:`~repro.engine.stats.EngineStats`), and the
+serial-fallback guard for pool-bringup and transport failures. Errors
+raised by comparator or matcher code propagate unchanged.
 """
 
 from __future__ import annotations
@@ -38,35 +24,54 @@ from __future__ import annotations
 import os
 import pickle
 import time
-from collections import deque
-from concurrent.futures import BrokenExecutor, Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import BrokenExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Optional, Protocol, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.engine.batch import BatchScorer
 from repro.engine.cache import DEFAULT_CACHE_SIZE, CachedRecordComparator
-from repro.engine.shard import ShardOutcome, ShardPlan, merge_shard_groups
+from repro.engine.executors import (
+    AUTO,
+    Decider,
+    DecisionWire,
+    ExecutionRequest,
+    FoldState,
+    Pair,
+    executor_names,
+    get_executor,
+    update_best_match,
+)
+from repro.engine.executors.base import ChunkOutcome
 from repro.engine.stats import EngineProgress, EngineStats
 from repro.linking.blocking import BlockingMethod
-from repro.linking.comparators import ComparisonVector, RecordComparator
-from repro.linking.matchers import MatchDecision, MatchStatus
+from repro.linking.comparators import RecordComparator
 from repro.linking.pipeline import LinkingResult
 from repro.linking.records import RecordStore
-from repro.rdf.terms import Term
 
-Pair = Tuple[Term, Term]
+__all__ = [
+    "EXECUTORS",
+    "SCORING",
+    "Decider",
+    "DecisionWire",
+    "JobConfig",
+    "LinkingJob",
+    "Pair",
+    "available_cpu_count",
+    "update_best_match",
+]
 
-#: Wire format of one non-NON_MATCH decision: (external id, local id,
-#: per-field similarities, aggregate, status value, score). Plain tuples
-#: keep the process executor's result pickles small.
-DecisionWire = Tuple[Term, Term, Dict[str, float], float, str, float]
-
-EXECUTORS = ("serial", "thread", "process", "shard", "auto")
+#: Snapshot of the registered strategies at import time (the built-ins).
+#: Validation uses the *live* registry — see ``JobConfig.__post_init__``
+#: — so strategies registered later are accepted without touching this.
+EXECUTORS = executor_names()
 
 #: Scoring paths: per-pair comparator dispatch, or the columnar
 #: batched scorer (see :mod:`repro.engine.batch`) — byte-identical
 #: output, memoized per record profile pair.
 SCORING = ("pairwise", "batched")
+
+#: Back-compat alias: the fold machinery lives in the executors package.
+_FoldState = FoldState
 
 
 def available_cpu_count() -> int:
@@ -92,13 +97,9 @@ def available_cpu_count() -> int:
 #: are bugs and must propagate, not silently rerun the job serially. An
 #: OSError is ambiguous (fork failure vs. user I/O), so the fallback
 #: additionally requires that no chunk completed yet — see ``run``.
+#: ``WorkerTransportError`` subclasses BrokenExecutor, so a dead worker
+#: subprocess lands here too.
 FALLBACK_ERRORS = (OSError, BrokenExecutor, pickle.PicklingError)
-
-
-class Decider(Protocol):
-    """Anything with ``decide(vector) -> MatchDecision``."""
-
-    def decide(self, vector: ComparisonVector) -> MatchDecision: ...
 
 
 @dataclass(frozen=True)
@@ -106,16 +107,21 @@ class JobConfig:
     """Execution knobs of a :class:`LinkingJob`.
 
     * ``chunk_size`` — candidate pairs per work unit (chunk executors);
-    * ``executor`` — ``serial``, ``thread``, ``process``, ``shard``
-      (block-parallel: workers generate their own shards' candidates
-      in-worker) or ``auto`` (process when more than one CPU is
-      available);
+    * ``executor`` — any registered strategy (built-ins: ``serial``,
+      ``thread``, ``process``, ``shard`` — block-parallel, workers
+      generate their own shards' candidates in-worker — and ``worker``
+      — every shard crosses a serialize→subprocess→deserialize
+      boundary) or ``auto`` (process when more than one CPU is
+      available). Validated against the live registry, so executors
+      registered via
+      :func:`repro.engine.executors.register_executor` are accepted;
     * ``workers`` — worker count (default: the CPUs *available* to the
-      process, affinity/cgroup aware); 1 runs serially;
-    * ``shards`` — key-space shard count for the ``shard`` executor
+      process, affinity/cgroup aware); 1 runs serially for the pool
+      strategies (``worker`` keeps its boundary even at 1);
+    * ``shards`` — key-space shard count for the shard-plan executors
       (default: the resolved worker count). More shards than workers
       queue on the pool — useful when per-shard load is skewed; the
-      setting is inert under the other executors;
+      setting is inert under the chunk executors;
     * ``cache_size`` — LRU capacity of the similarity cache per worker
       (0 disables memoization);
     * ``scoring`` — ``pairwise`` (per-pair comparator dispatch) or
@@ -140,9 +146,10 @@ class JobConfig:
     def __post_init__(self) -> None:
         if self.chunk_size < 1:
             raise ValueError(f"chunk size must be >= 1, got {self.chunk_size}")
-        if self.executor not in EXECUTORS:
+        registered = executor_names()
+        if self.executor not in registered:
             raise ValueError(
-                f"executor must be one of {EXECUTORS}, got {self.executor!r}"
+                f"executor must be one of {registered}, got {self.executor!r}"
             )
         if self.workers is not None and self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
@@ -162,363 +169,31 @@ class JobConfig:
         return max(1, available_cpu_count())
 
     def resolved_shards(self) -> int:
-        """The shard executor's key-space shard count (workers when
+        """The shard-plan executors' key-space shard count (workers when
         unset — one shard per worker)."""
         if self.shards is not None:
             return self.shards
         return self.resolved_workers()
 
     def resolved_executor(self) -> str:
-        """The concrete strategy (``auto`` resolved, 1 worker = serial)."""
+        """The concrete strategy: ``auto`` resolved from the machine
+        shape, and 1 worker collapsed to serial for the strategies whose
+        only value is parallelism (``worker`` opts out — its value is
+        the serialization boundary)."""
         executor = self.executor
-        if executor == "auto":
+        if executor == AUTO:
             executor = "process" if self.resolved_workers() > 1 else "serial"
-        if executor != "serial" and self.resolved_workers() < 2:
+        if (
+            executor != "serial"
+            and self.resolved_workers() < 2
+            and get_executor(executor).collapses_single_worker
+        ):
             executor = "serial"
         return executor
 
 
-@dataclass
-class _ChunkOutcome:
-    """What one worker produced for one chunk."""
-
-    pairs: List[Pair]
-    decisions: List[DecisionWire]
-    cache_hits: int
-    cache_misses: int
-    batch_hits: int = 0
-    batch_misses: int = 0
-    batch_profiles: int = 0
-
-
-class _ChunkRunner:
-    """Compares and decides the pairs of a chunk against two stores."""
-
-    def __init__(
-        self,
-        external: RecordStore,
-        local: RecordStore,
-        comparator: RecordComparator,
-        decider: Decider,
-        cache_size: int,
-        thread_safe: bool = False,
-        shared_cache: Optional[CachedRecordComparator] = None,
-        scoring: str = "pairwise",
-        scorer: Optional[BatchScorer] = None,
-    ) -> None:
-        self._external = external
-        self._local = local
-        # a caller-provided warm cache survives across runs and deltas;
-        # without one the runner builds its own, cold. Batched runs
-        # keep the instance for the counter API but never consult it —
-        # its hit/miss counters stay at this run's starting values.
-        self.comparator = shared_cache or CachedRecordComparator(
-            comparator, cache_size, thread_safe=thread_safe
-        )
-        self.scorer = scorer
-        if scoring == "batched" and self.scorer is None:
-            self.scorer = BatchScorer(comparator, decider, thread_safe=thread_safe)
-        self._decider = decider
-
-    def run_chunk(self, pairs: List[Pair]) -> _ChunkOutcome:
-        if self.scorer is not None:
-            return self._run_chunk_batched(pairs)
-        compared: List[Pair] = []
-        decisions: List[DecisionWire] = []
-        cache = self.comparator
-        hits_before, misses_before = cache.cache_hits, cache.cache_misses
-        for ext_id, local_id in pairs:
-            left = self._external.get(ext_id)
-            right = self._local.get(local_id)
-            if left is None or right is None:
-                continue
-            vector = cache.compare(left, right)
-            decision = self._decider.decide(vector)
-            compared.append((ext_id, local_id))
-            if decision.status is not MatchStatus.NON_MATCH:
-                decisions.append(
-                    (
-                        ext_id,
-                        local_id,
-                        dict(vector.similarities),
-                        vector.aggregate,
-                        decision.status.value,
-                        decision.score,
-                    )
-                )
-        return _ChunkOutcome(
-            pairs=compared,
-            decisions=decisions,
-            cache_hits=cache.cache_hits - hits_before,
-            cache_misses=cache.cache_misses - misses_before,
-        )
-
-    def _run_chunk_batched(self, pairs: List[Pair]) -> _ChunkOutcome:
-        scorer = self.scorer
-        hits_before, misses_before = scorer.pair_hits, scorer.pair_misses
-        profiles_before = scorer.profile_count
-        compared, decisions = scorer.score_chunk(pairs, self._external, self._local)
-        # per-chunk deltas, exact for serial and per-process workers
-        # (the thread executor overwrites fold totals with the shared
-        # scorer's run-lifetime deltas — see LinkingJob._attempt)
-        return _ChunkOutcome(
-            pairs=compared,
-            decisions=decisions,
-            cache_hits=0,
-            cache_misses=0,
-            batch_hits=scorer.pair_hits - hits_before,
-            batch_misses=scorer.pair_misses - misses_before,
-            batch_profiles=scorer.profile_count - profiles_before,
-        )
-
-
-# Per-process worker state, set once by the pool initializer. With the
-# default fork start method on Linux the stores are inherited, not
-# pickled, so initialization is cheap even for large catalogs.
-_WORKER_RUNNER: Optional[_ChunkRunner] = None
-
-
-def _init_process_worker(
-    external: RecordStore,
-    local: RecordStore,
-    comparator: RecordComparator,
-    decider: Decider,
-    cache_size: int,
-    scoring: str = "pairwise",
-) -> None:
-    global _WORKER_RUNNER
-    _WORKER_RUNNER = _ChunkRunner(
-        external, local, comparator, decider, cache_size, scoring=scoring
-    )
-
-
-def _run_process_chunk(pairs: List[Pair]) -> _ChunkOutcome:
-    if _WORKER_RUNNER is None:
-        raise RuntimeError("process worker used before initialization")
-    return _WORKER_RUNNER.run_chunk(pairs)
-
-
-# Per-process shard-executor state, set once by the pool initializer:
-# (blocking, external, local, cached comparator, decider, plan). As with
-# chunk workers, fork inheritance makes this free on Linux.
-_SHARD_STATE: Optional[tuple] = None
-
-
-def _init_shard_worker(
-    blocking: BlockingMethod,
-    external: RecordStore,
-    local: RecordStore,
-    comparator: RecordComparator,
-    decider: Decider,
-    cache_size: int,
-    plan: ShardPlan,
-    scoring: str = "pairwise",
-) -> None:
-    global _SHARD_STATE
-    cache = CachedRecordComparator(comparator, cache_size)
-    scorer = BatchScorer(comparator, decider) if scoring == "batched" else None
-    _SHARD_STATE = (blocking, external, local, cache, decider, plan, scorer)
-
-
-#: Group sentinel: distinct from every sort key a blocking method can
-#: emit (keys are ints or int tuples), so the first pair always opens a
-#: fresh group.
-_NO_GROUP = object()
-
-
-def _run_shard_worker(shard: int) -> ShardOutcome:
-    """Generate, compare and decide one shard's candidates in-worker.
-
-    Pairs are drawn lazily from the blocking method's per-key block
-    iteration — the candidate stream never exists in the parent — and
-    runs of consecutive equal sort keys become one group, so the parent
-    can merge shard outcomes back into serial comparison order.
-    """
-    if _SHARD_STATE is None:
-        raise RuntimeError("shard worker used before initialization")
-    blocking, external, local, cache, decider, plan, scorer = _SHARD_STATE
-    hits_before, misses_before = cache.cache_hits, cache.cache_misses
-    if scorer is not None:
-        batch_hits_before = scorer.pair_hits
-        batch_misses_before = scorer.pair_misses
-        batch_profiles_before = scorer.profile_count
-        left_profiles = scorer.columns_for(external)
-        right_profiles = scorer.columns_for(local)
-        compiled = scorer.compiled
-
-        def score(ext_id: Term, local_id: Term):
-            left_profile = left_profiles.get(ext_id)
-            right_profile = right_profiles.get(local_id)
-            if left_profile is None or right_profile is None:
-                return None
-            if compiled:
-                return scorer.decision_for(left_profile, right_profile)
-            return scorer.decision_for(
-                left_profile, right_profile, external.get(ext_id), local.get(local_id)
-            )
-    else:
-
-        def score(ext_id: Term, local_id: Term):
-            left = external.get(ext_id)
-            right = local.get(local_id)
-            if left is None or right is None:
-                return None
-            vector = cache.compare(left, right)
-            decision = decider.decide(vector)
-            return decision.status, decision.score, vector.similarities, vector.aggregate
-
-    groups: List[tuple] = []
-    match_ext_ids: List[Term] = []
-    compared = 0
-    current: object = _NO_GROUP
-    pairs: List[Pair] = []
-    wires: List[DecisionWire] = []
-    for sort_key, ext_id, local_id in blocking.shard_candidate_pairs(
-        external, local, plan, shard
-    ):
-        scored = score(ext_id, local_id)
-        if scored is None:
-            continue
-        if sort_key != current:
-            if pairs:
-                groups.append((current, pairs, wires))
-            current, pairs, wires = sort_key, [], []
-        status, decision_score, similarities, aggregate = scored
-        pairs.append((ext_id, local_id))
-        compared += 1
-        if status is not MatchStatus.NON_MATCH:
-            wires.append(
-                (
-                    ext_id,
-                    local_id,
-                    dict(similarities),
-                    aggregate,
-                    status.value,
-                    decision_score,
-                )
-            )
-            if status is MatchStatus.MATCH:
-                match_ext_ids.append(ext_id)
-    if pairs:
-        groups.append((current, pairs, wires))
-    return ShardOutcome(
-        shard=shard,
-        groups=groups,
-        compared=compared,
-        match_ext_ids=match_ext_ids,
-        cache_hits=cache.cache_hits - hits_before,
-        cache_misses=cache.cache_misses - misses_before,
-        batch_hits=scorer.pair_hits - batch_hits_before if scorer else 0,
-        batch_misses=scorer.pair_misses - batch_misses_before if scorer else 0,
-        batch_profiles=scorer.profile_count - batch_profiles_before if scorer else 0,
-    )
-
-
-def _chunked(pairs: Iterator[Pair], size: int) -> Iterator[List[Pair]]:
-    """Drain an iterator of pairs into lists of at most *size*."""
-    chunk: List[Pair] = []
-    for pair in pairs:
-        chunk.append(pair)
-        if len(chunk) >= size:
-            yield chunk
-            chunk = []
-    if chunk:
-        yield chunk
-
-
-def update_best_match(best: Dict[Term, MatchDecision], decision: MatchDecision) -> None:
-    """One step of the Unique Name Assumption fold: keep the top-scoring
-    match per external record, score ties broken by the lexicographically
-    smallest local id.
-
-    The tie-break is deliberately a function of the decision *set*, not
-    of arrival order — "first seen wins" was only executor-invariant
-    because every fold happened to be chunk-ordered, and the shard
-    executor's block-ordered generation would have broken it. With the
-    explicit ``(score desc, local id asc)`` ordering, any fold order
-    over the same decisions selects the same winner.
-
-    Shared by the batch fold and the streaming replay
-    (:meth:`~repro.engine.streaming.StreamingLinkingJob.result`) — the
-    byte-identity guarantee between the two modes rests on both
-    executing exactly this selection.
-    """
-    ext_id = decision.vector.left.id
-    incumbent = best.get(ext_id)
-    if incumbent is None or decision.score > incumbent.score:
-        best[ext_id] = decision
-    elif decision.score == incumbent.score and str(decision.vector.right.id) < str(
-        incumbent.vector.right.id
-    ):
-        best[ext_id] = decision
-
-
-class _FoldState:
-    """Folds chunk (or merged shard) outcomes — in order — into results.
-
-    Replicates the serial pipeline's matching semantics exactly: under
-    ``best_match_only`` score ties break on the smallest local id (see
-    :func:`update_best_match`), and the final match order is
-    first-occurrence order of the external ids.
-    """
-
-    def __init__(
-        self, external: RecordStore, local: RecordStore, best_only: bool
-    ) -> None:
-        self._external = external
-        self._local = local
-        self._best_only = best_only
-        self._best: Dict[Term, MatchDecision] = {}
-        self.matches: List[MatchDecision] = []
-        self.possible: List[MatchDecision] = []
-        self.candidate_pairs: List[Pair] = []
-        self.compared = 0
-        self.chunks_done = 0
-        self.cache_hits = 0
-        self.cache_misses = 0
-        self.batch_hits = 0
-        self.batch_misses = 0
-        self.batch_profiles = 0
-
-    def fold(self, outcome: _ChunkOutcome) -> None:
-        self.compared += len(outcome.pairs)
-        self.candidate_pairs.extend(outcome.pairs)
-        self.cache_hits += outcome.cache_hits
-        self.cache_misses += outcome.cache_misses
-        self.batch_hits += outcome.batch_hits
-        self.batch_misses += outcome.batch_misses
-        self.batch_profiles += outcome.batch_profiles
-        self.fold_decisions(outcome.decisions)
-        self.chunks_done += 1
-
-    def fold_decisions(self, decisions: List[DecisionWire]) -> None:
-        for ext_id, local_id, similarities, aggregate, status, score in decisions:
-            vector = ComparisonVector(
-                left=self._external.get(ext_id),
-                right=self._local.get(local_id),
-                similarities=similarities,
-                aggregate=aggregate,
-            )
-            decision = MatchDecision(
-                vector=vector, status=MatchStatus(status), score=score
-            )
-            if decision.status is MatchStatus.MATCH:
-                if self._best_only:
-                    update_best_match(self._best, decision)
-                else:
-                    self.matches.append(decision)
-            else:
-                self.possible.append(decision)
-
-    def match_count(self) -> int:
-        return len(self._best) if self._best_only else len(self.matches)
-
-    def final_matches(self) -> List[MatchDecision]:
-        return list(self._best.values()) if self._best_only else self.matches
-
-
 class LinkingJob:
-    """A complete linking run as a chunked, parallel batch job.
+    """A complete linking run dispatched to a registered executor.
 
     >>> job = LinkingJob(blocking, comparator, matcher,
     ...                  JobConfig(executor="process", chunk_size=512))
@@ -562,27 +237,28 @@ class LinkingJob:
         """The execution configuration."""
         return self._config
 
-    def _supports_sharding(self) -> bool:
-        """Whether the blocking method offers per-key block iteration
-        (getattr: duck-typed blocking doubles need not subclass)."""
-        supports = getattr(self._blocking, "supports_sharding", None)
-        return bool(callable(supports) and supports())
-
     def run(self, external: RecordStore, local: RecordStore) -> LinkingResult:
         """Execute the job and return the result with engine stats."""
         config = self._config
         started = time.perf_counter()
         executor = config.resolved_executor()
-        workers = 1 if executor == "serial" else config.resolved_workers()
+        impl = get_executor(executor)
         fallbacks: List[str] = []
-        if executor == "shard" and not self._supports_sharding():
-            # no per-key block decomposition: the chunked process
-            # executor is the closest strategy that still parallelizes
-            fallbacks.append(
-                f"shard: {type(self._blocking).__name__} has no per-key "
-                "block decomposition; ran process"
+        # the degradation chain: an executor that cannot run this job
+        # names why and hands off to its declared fallback (e.g. worker
+        # → shard when a spec cannot cross the wire, shard → process
+        # when the blocking has no per-key decomposition)
+        while True:
+            reason = impl.unsupported_reason(
+                self._blocking, self._comparator, self._decider
             )
-            executor = "process"
+            if reason is None:
+                break
+            target = impl.fallback or "serial"
+            fallbacks.append(f"{impl.name}: {reason}; ran {target}")
+            executor = target
+            impl = get_executor(executor)
+        workers = 1 if executor == "serial" else config.resolved_workers()
         scoring = config.scoring
         if scoring == "batched" and not BatchScorer.supports(self._comparator):
             # a comparator subclass with custom comparison hooks computes
@@ -593,10 +269,10 @@ class LinkingJob:
                 "per-pair comparison; ran pairwise"
             )
             scoring = "pairwise"
-        fold = _FoldState(external, local, config.best_match_only)
+        fold = FoldState(external, local, config.best_match_only)
         try:
             hits, misses = self._attempt(
-                executor, workers, scoring, external, local, fold, started
+                impl, workers, scoring, external, local, fold, started
             )
         except FALLBACK_ERRORS as exc:
             # An OSError after a chunk already completed is more likely a
@@ -609,21 +285,22 @@ class LinkingJob:
                 raise
             fallbacks.append(f"{type(exc).__name__}: {exc}")
             executor, workers = "serial", 1
-            fold = _FoldState(external, local, config.best_match_only)
+            impl = get_executor(executor)
+            fold = FoldState(external, local, config.best_match_only)
             hits, misses = self._attempt(
-                executor, workers, scoring, external, local, fold, started
+                impl, workers, scoring, external, local, fold, started
             )
         fallback_reason = "; ".join(fallbacks) if fallbacks else None
         elapsed = time.perf_counter() - started
         # index-backed blocking methods report their shared index after
         # the candidate stream has been drained (getattr: duck-typed
         # blocking doubles in tests need not subclass BlockingMethod).
-        # Shard runs probe the index in the workers, so the parent-side
-        # report would be stale (a previous run's) or empty — skip it
-        # rather than misattribute.
+        # Shard-plan runs probe the index in the workers, so the
+        # parent-side report would be stale (a previous run's) or
+        # empty — skip it rather than misattribute.
         stats_fn = getattr(self._blocking, "index_stats", None)
         index_stats = (
-            stats_fn() if callable(stats_fn) and executor != "shard" else None
+            stats_fn() if callable(stats_fn) and not impl.uses_shard_plan else None
         )
         stats = EngineStats(
             executor=executor,
@@ -634,7 +311,7 @@ class LinkingJob:
             elapsed_seconds=elapsed,
             cache_hits=hits,
             cache_misses=misses,
-            shard_count=config.resolved_shards() if executor == "shard" else 0,
+            shard_count=config.resolved_shards() if impl.uses_shard_plan else 0,
             fallback_reason=fallback_reason,
             index_build_seconds=index_stats.build_seconds if index_stats else 0.0,
             index_probe_seconds=index_stats.probe_seconds if index_stats else 0.0,
@@ -644,6 +321,8 @@ class LinkingJob:
             batch_profiles=fold.batch_profiles,
             batch_pair_hits=fold.batch_hits,
             batch_pair_misses=fold.batch_misses,
+            work_units=fold.work_units,
+            work_unit_bytes=fold.work_unit_bytes,
         )
         result = LinkingResult(
             matches=fold.final_matches(),
@@ -657,17 +336,17 @@ class LinkingJob:
 
     def _attempt(
         self,
-        executor: str,
+        impl,
         workers: int,
         scoring: str,
         external: RecordStore,
         local: RecordStore,
-        fold: _FoldState,
+        fold: FoldState,
         started: float,
     ) -> Tuple[int, int]:
         on_progress = self._config.on_progress
 
-        def handle(outcome: _ChunkOutcome) -> None:
+        def handle(outcome: ChunkOutcome) -> None:
             fold.fold(outcome)
             if on_progress is not None:
                 on_progress(
@@ -679,171 +358,20 @@ class LinkingJob:
                     )
                 )
 
-        if executor == "shard":
-            return self._attempt_shard(workers, scoring, external, local, fold, started)
-
-        chunks = _chunked(
-            self._blocking.candidate_pairs(external, local), self._config.chunk_size
-        )
-        if executor == "process":
-            with ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_init_process_worker,
-                initargs=(
-                    external,
-                    local,
-                    self._comparator,
-                    self._decider,
-                    self._cache_size,
-                    scoring,
-                ),
-            ) as pool:
-                _pump(pool, _run_process_chunk, chunks, handle, workers)
-            # per-worker caches: totals are the summed per-chunk deltas
-            return fold.cache_hits, fold.cache_misses
-
-        shared = self._shared_cache
-        if shared is not None and executor == "thread" and not shared.thread_safe:
-            # an unsynchronized warm cache cannot serve a thread pool;
-            # fall back to a fresh per-job thread-safe cache
-            shared = None
-        scorer = None
-        if scoring == "batched":
-            scorer = self._batch_scorer
-            if scorer is not None and executor == "thread" and not scorer.thread_safe:
-                # same rule as the warm cache: an unguarded shared scorer
-                # cannot serve a thread pool
-                scorer = None
-        runner = _ChunkRunner(
-            external,
-            local,
-            self._comparator,
-            self._decider,
-            self._cache_size,
-            thread_safe=executor == "thread",
-            shared_cache=shared,
+        request = ExecutionRequest(
+            blocking=self._blocking,
+            comparator=self._comparator,
+            decider=self._decider,
+            external=external,
+            local=local,
+            fold=fold,
+            config=self._config,
             scoring=scoring,
-            scorer=scorer,
+            workers=workers,
+            cache_size=self._cache_size,
+            handle=handle,
+            started=started,
+            shared_cache=self._shared_cache,
+            batch_scorer=self._batch_scorer,
         )
-        # the comparator (and scorer) may be warm from earlier runs:
-        # report this run's lookups, not lifetime totals
-        hits_before = runner.comparator.cache_hits
-        misses_before = runner.comparator.cache_misses
-        if runner.scorer is not None:
-            batch_hits_before = runner.scorer.pair_hits
-            batch_misses_before = runner.scorer.pair_misses
-            batch_profiles_before = runner.scorer.profile_count
-        if executor == "thread":
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                _pump(pool, runner.run_chunk, chunks, handle, workers)
-        else:
-            for chunk in chunks:
-                handle(runner.run_chunk(chunk))
-        if runner.scorer is not None:
-            # the scorer is shared across the pool, so per-chunk delta
-            # snapshots may interleave under threads: overwrite the fold
-            # totals with the exact run-lifetime deltas
-            fold.batch_hits = runner.scorer.pair_hits - batch_hits_before
-            fold.batch_misses = runner.scorer.pair_misses - batch_misses_before
-            fold.batch_profiles = runner.scorer.profile_count - batch_profiles_before
-        # shared cache: exact per-run deltas live on the runner's comparator
-        return (
-            runner.comparator.cache_hits - hits_before,
-            runner.comparator.cache_misses - misses_before,
-        )
-
-    def _attempt_shard(
-        self,
-        workers: int,
-        scoring: str,
-        external: RecordStore,
-        local: RecordStore,
-        fold: _FoldState,
-        started: float,
-    ) -> Tuple[int, int]:
-        """Block-parallel execution: one shard of the key space per worker.
-
-        The plan is built in the parent (which also warms any shared
-        block index — and canopy's center pass — *before* the fork, so
-        workers inherit it); workers generate, compare and decide their
-        own shards' candidates; the parent consumes outcomes in
-        deterministic shard order and then folds the key-merged groups,
-        reconstructing the serial comparison order exactly.
-        """
-        config = self._config
-        on_progress = config.on_progress
-        plan = ShardPlan.build(
-            config.resolved_shards(), self._blocking.shard_block_sizes(external, local)
-        )
-        outcomes: List[ShardOutcome] = []
-        compared_so_far = 0
-        matched_ext: set = set()
-        match_wires = 0
-        with ProcessPoolExecutor(
-            max_workers=min(workers, plan.shards),
-            initializer=_init_shard_worker,
-            initargs=(
-                self._blocking,
-                external,
-                local,
-                self._comparator,
-                self._decider,
-                self._cache_size,
-                plan,
-                scoring,
-            ),
-        ) as pool:
-            futures = [pool.submit(_run_shard_worker, s) for s in range(plan.shards)]
-            for future in futures:  # deterministic shard order
-                outcome = future.result()
-                outcomes.append(outcome)
-                fold.chunks_done += 1  # one "chunk" per shard
-                fold.cache_hits += outcome.cache_hits
-                fold.cache_misses += outcome.cache_misses
-                fold.batch_hits += outcome.batch_hits
-                fold.batch_misses += outcome.batch_misses
-                fold.batch_profiles += outcome.batch_profiles
-                compared_so_far += outcome.compared
-                if on_progress is not None:
-                    if config.best_match_only:
-                        matched_ext.update(outcome.match_ext_ids)
-                        matches = len(matched_ext)
-                    else:
-                        match_wires += len(outcome.match_ext_ids)
-                        matches = match_wires
-                    on_progress(
-                        EngineProgress(
-                            chunks_done=fold.chunks_done,
-                            pairs_compared=compared_so_far,
-                            matches=matches,
-                            elapsed_seconds=time.perf_counter() - started,
-                        )
-                    )
-        for _sort_key, pairs, wires in merge_shard_groups(outcomes):
-            fold.compared += len(pairs)
-            fold.candidate_pairs.extend(pairs)
-            fold.fold_decisions(wires)
-        return fold.cache_hits, fold.cache_misses
-
-
-def _pump(
-    pool: Executor,
-    fn: Callable[[List[Pair]], _ChunkOutcome],
-    chunks: Iterator[List[Pair]],
-    handle: Callable[[_ChunkOutcome], None],
-    workers: int,
-) -> None:
-    """Submit chunks with a bounded in-flight window; fold in order.
-
-    The window keeps all workers busy without materializing the whole
-    candidate stream as pending futures (``Executor.map`` would submit
-    everything up front).
-    """
-    window = max(2, workers * 4)
-    pending: "deque" = deque()
-    for chunk in chunks:
-        pending.append(pool.submit(fn, chunk))
-        if len(pending) >= window:
-            handle(pending.popleft().result())
-    while pending:
-        handle(pending.popleft().result())
+        return impl.execute(request)

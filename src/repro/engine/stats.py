@@ -67,6 +67,13 @@ class EngineStats:
     The ``index_*`` fields report the blocking method's shared inverted
     index (see :mod:`repro.index`) when one was used: build/probe wall
     time and posting-list sizes. They stay zero for scan-based blocking.
+
+    The transport counters prove serialization actually happened:
+    ``work_units`` counts shard work units that crossed a
+    serialize→deserialize boundary (the ``worker`` executor — zero for
+    in-process strategies) and ``work_unit_bytes`` the JSON bytes they
+    cost in both directions. A ``worker`` run with ``work_units == 0``
+    silently stayed in-process — the differential tests gate on this.
     """
 
     executor: str
@@ -87,6 +94,8 @@ class EngineStats:
     batch_profiles: int = 0
     batch_pair_hits: int = 0
     batch_pair_misses: int = 0
+    work_units: int = 0
+    work_unit_bytes: int = 0
 
     @property
     def pairs_per_second(self) -> float:
@@ -139,6 +148,11 @@ class EngineStats:
                 f"(mean {mean_posting:.1f}), "
                 f"build {self.index_build_seconds * 1000:.1f}ms, "
                 f"probe {self.index_probe_seconds * 1000:.1f}ms"
+            )
+        if self.work_units:
+            lines.append(
+                f"transport: {self.work_units} work units serialized "
+                f"({self.work_unit_bytes:,} bytes round-tripped)"
             )
         if self.fallback_reason:
             lines.append(f"fallback: {self.fallback_reason}")

@@ -372,6 +372,8 @@ class StreamingLinkingJob:
             batch_profiles=sum(s.batch_profiles for s in per_delta),
             batch_pair_hits=sum(s.batch_pair_hits for s in per_delta),
             batch_pair_misses=sum(s.batch_pair_misses for s in per_delta),
+            work_units=sum(s.work_units for s in per_delta),
+            work_unit_bytes=sum(s.work_unit_bytes for s in per_delta),
         )
 
     def result(self) -> LinkingResult:

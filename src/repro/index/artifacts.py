@@ -16,7 +16,12 @@ components plus one manifest — so an engine session opens in O(1):
 * ``ontology.nt`` — the ontology (rule-based blocking needs it), via
   the existing RDF round-trip;
 * ``cache.json`` — :class:`~repro.engine.cache.CachedRecordComparator`
-  cache contents, LRU order preserved.
+  cache contents, LRU order preserved;
+* ``training.json`` — the :class:`~repro.index.TrainingFeatureIndex`
+  vocabulary and postings plus the learner pin (properties, threshold,
+  segmenter, seen links), so a warm session resumes *incremental
+  re-learning* where the bundle build stopped instead of replaying the
+  whole training set.
 
 Atomicity and integrity: every component is written through
 :func:`~repro.ioutils.atomic_write_text`, and ``manifest.json`` —
@@ -56,6 +61,7 @@ INDEXES_NAME = "indexes.json"
 RULES_NAME = "rules.json"
 ONTOLOGY_NAME = "ontology.nt"
 CACHE_NAME = "cache.json"
+TRAINING_NAME = "training.json"
 
 
 class ArtifactError(ValueError):
@@ -244,6 +250,191 @@ def record_key_index_from_payload(payload: Mapping[str, Any]) -> RecordKeyIndex:
 
 
 # ---------------------------------------------------------------------------
+# training payloads (warm-start incremental re-learning)
+# ---------------------------------------------------------------------------
+
+def segmenter_to_payload(segmenter) -> Dict[str, Any]:
+    """A segmenter as a declarative spec (the bundleable subset).
+
+    Only the stock segmentation strategies under their default
+    normalization round-trip — the same declarative-spec discipline the
+    work-unit protocol applies to blocking methods: state that cannot
+    be rebuilt from a spec is rejected at *write* time, never silently
+    mis-restored at load time.
+    """
+    from repro.text.normalize import NormalizationConfig
+    from repro.text.segmentation import (
+        NGramSegmenter,
+        SeparatorSegmenter,
+        TokenSegmenter,
+    )
+
+    if getattr(segmenter, "normalization", None) != NormalizationConfig():
+        raise ArtifactError(
+            f"unbundleable segmenter {segmenter!r}: only stock segmenters "
+            f"under default normalization can be serialized"
+        )
+    if isinstance(segmenter, SeparatorSegmenter):
+        return {
+            "kind": "separator",
+            "separators": segmenter.separators,
+            "min_length": segmenter.min_length,
+        }
+    if isinstance(segmenter, NGramSegmenter):
+        return {"kind": "ngram", "n": segmenter.n, "pad": segmenter.pad}
+    if isinstance(segmenter, TokenSegmenter):
+        return {
+            "kind": "token",
+            "stopwords": sorted(segmenter.stopwords),
+            "min_length": segmenter.min_length,
+        }
+    raise ArtifactError(
+        f"unbundleable segmenter {type(segmenter).__name__}: only "
+        f"SeparatorSegmenter, NGramSegmenter and TokenSegmenter serialize"
+    )
+
+
+def segmenter_from_payload(payload: Mapping[str, Any]):
+    """Rebuild a segmenter from :func:`segmenter_to_payload` output."""
+    from repro.text.segmentation import (
+        NGramSegmenter,
+        SeparatorSegmenter,
+        TokenSegmenter,
+    )
+
+    kind = payload.get("kind")
+    try:
+        if kind == "separator":
+            return SeparatorSegmenter(
+                separators=payload["separators"],
+                min_length=int(payload["min_length"]),
+            )
+        if kind == "ngram":
+            return NGramSegmenter(n=int(payload["n"]), pad=bool(payload["pad"]))
+        if kind == "token":
+            return TokenSegmenter(
+                stopwords=frozenset(payload["stopwords"]),
+                min_length=int(payload["min_length"]),
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ArtifactError(f"malformed segmenter payload: {payload!r}") from exc
+    raise ArtifactError(f"unknown segmenter kind in payload: {kind!r}")
+
+
+@dataclass
+class TrainingState:
+    """Serialized incremental-learner state, decoupled from the ontology.
+
+    ``index`` is the live :class:`~repro.index.TrainingFeatureIndex`;
+    the rest is the learner pin a resumed
+    :class:`~repro.core.incremental.IncrementalRuleLearner` needs to
+    keep emitting the exact batch-learner rule set: the expert's
+    property selection, the support threshold semantics, and the links
+    already ingested (``seen``, as raw term pairs — duplicates arriving
+    after a resume must still be skipped).
+    """
+
+    index: Any
+    properties: tuple
+    support_threshold: float
+    strict_threshold: bool
+    seen: List[Any]
+
+
+def training_state_to_payload(state: TrainingState) -> Dict[str, Any]:
+    """The training component body: index postings + learner pin."""
+    index = state.index
+    pair_features: List[Any] = []
+    pair_postings: List[List[int]] = []
+    for (prop, segment), _, posting in index.pairs.features():
+        pair_features.append([term_to_payload(prop), segment])
+        pair_postings.append(posting_to_payload(posting))
+    class_features: List[Any] = []
+    class_postings: List[List[int]] = []
+    for cls, _, posting in index.classes.features():
+        class_features.append(term_to_payload(cls))
+        class_postings.append(posting_to_payload(posting))
+    return {
+        "segmenter": segmenter_to_payload(index.segmenter),
+        "properties": [term_to_payload(prop) for prop in state.properties],
+        "support_threshold": state.support_threshold,
+        "strict_threshold": state.strict_threshold,
+        "rows": index.rows,
+        "build_seconds": index.build_seconds,
+        "pairs": {"features": pair_features, "postings": pair_postings},
+        "classes": {"features": class_features, "postings": class_postings},
+        "row_classes": [list(fids) for fids in index._row_classes],
+        "occurrences": dict(index.occurrences),
+        "seen": [
+            [term_to_payload(external), term_to_payload(local)]
+            for external, local in state.seen
+        ],
+    }
+
+
+def training_state_from_payload(payload: Mapping[str, Any]) -> TrainingState:
+    """Rebuild the training state; posting order reassigns the same ids."""
+    from repro.index.training import TrainingFeatureIndex
+
+    try:
+        index = TrainingFeatureIndex(segmenter_from_payload(payload["segmenter"]))
+        pairs = payload["pairs"]
+        for feature, rows in zip(pairs["features"], pairs["postings"]):
+            prop = term_from_payload(feature[0])
+            for row in rows:
+                index.pairs.add((prop, feature[1]), row)
+        classes = payload["classes"]
+        for feature, rows in zip(classes["features"], classes["postings"]):
+            cls = term_from_payload(feature)
+            for row in rows:
+                index.classes.add(cls, row)
+        row_classes = [
+            tuple(int(fid) for fid in fids) for fids in payload["row_classes"]
+        ]
+        rows = int(payload["rows"])
+        index.occurrences.update(
+            {segment: int(count) for segment, count in payload["occurrences"].items()}
+        )
+        index.build_seconds = float(payload.get("build_seconds", 0.0))
+        seen = [
+            (term_from_payload(external), term_from_payload(local))
+            for external, local in payload["seen"]
+        ]
+        properties = tuple(
+            term_from_payload(prop) for prop in payload["properties"]
+        )
+        state = TrainingState(
+            index=index,
+            properties=properties,
+            support_threshold=float(payload["support_threshold"]),
+            strict_threshold=bool(payload["strict_threshold"]),
+            seen=seen,
+        )
+    except (KeyError, TypeError, ValueError, IndexError) as exc:
+        raise ArtifactError(f"malformed training payload: {exc}") from exc
+    if len(row_classes) != rows:
+        raise ArtifactError(
+            f"malformed training payload: {rows} rows but "
+            f"{len(row_classes)} row-class entries"
+        )
+    if len(seen) != rows:
+        raise ArtifactError(
+            f"malformed training payload: {rows} rows but {len(seen)} seen links"
+        )
+    class_count = len(index.classes)
+    for fids in row_classes:
+        for fid in fids:
+            if not 0 <= fid < class_count:
+                raise ArtifactError(
+                    f"malformed training payload: row-class id {fid} out of "
+                    f"range (have {class_count} class features)"
+                )
+    index._row_classes = row_classes
+    index.rows = rows
+    return state
+
+
+# ---------------------------------------------------------------------------
 # the bundle
 # ---------------------------------------------------------------------------
 
@@ -256,6 +447,7 @@ class ArtifactBundle:
     rules: Any = None
     ontology: Any = None
     comparator_cache: Optional[Dict[str, Any]] = None
+    training: Optional[TrainingState] = None
     config: Dict[str, Any] = field(default_factory=dict)
     manifest: Dict[str, Any] = field(default_factory=dict)
 
@@ -281,6 +473,7 @@ def write_bundle(
     rules=None,
     ontology=None,
     comparator_cache=None,
+    training=None,
     config: Optional[Mapping[str, Any]] = None,
 ) -> Path:
     """Write an artifact bundle directory; returns its path.
@@ -288,7 +481,8 @@ def write_bundle(
     Components land first (each atomically), the digest-carrying
     manifest last — the commit point. *comparator_cache* may be a
     :class:`~repro.engine.cache.CachedRecordComparator` (its contents
-    are exported) or an already-exported payload dict.
+    are exported) or an already-exported payload dict; *training* may
+    be a :class:`TrainingState` or an already-exported payload dict.
     """
     from repro.core.serialize import rules_to_json
     from repro.ontology.loader import ontology_to_graph
@@ -327,6 +521,13 @@ def write_bundle(
             else comparator_cache
         )
         components[CACHE_NAME] = json.dumps(payload, sort_keys=True) + "\n"
+    if training is not None:
+        payload = (
+            training_state_to_payload(training)
+            if isinstance(training, TrainingState)
+            else training
+        )
+        components[TRAINING_NAME] = json.dumps(payload, sort_keys=True) + "\n"
 
     for name, text in components.items():
         atomic_write_text(path / name, text)
@@ -449,12 +650,18 @@ def load_bundle(path: Path | str) -> ArtifactBundle:
         else None
     )
     comparator_cache = parsed(CACHE_NAME) if CACHE_NAME in texts else None
+    training = (
+        training_state_from_payload(parsed(TRAINING_NAME))
+        if TRAINING_NAME in texts
+        else None
+    )
     return ArtifactBundle(
         store=store,
         indexes=indexes,
         rules=rules,
         ontology=ontology,
         comparator_cache=comparator_cache,
+        training=training,
         config=dict(manifest.get("config", {})),
         manifest=manifest,
     )
@@ -480,6 +687,7 @@ def inspect_bundle(path: Path | str) -> Dict[str, Any]:
         },
         "rules": len(bundle.rules) if bundle.rules is not None else 0,
         "ontology_classes": len(bundle.ontology) if bundle.ontology else 0,
+        "training_links": bundle.training.index.rows if bundle.training else 0,
         "cached_similarities": len(cache.get("similarities", ())),
         "cached_normalizations": len(cache.get("normalized", ())),
         "components": sorted(bundle.manifest.get("components", {})),

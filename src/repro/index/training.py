@@ -66,6 +66,11 @@ class TrainingFeatureIndex:
         #: cumulative wall time spent inside :meth:`ingest`.
         self.build_seconds = 0.0
 
+    @property
+    def segmenter(self) -> SegmentFunction:
+        """The segmentation function this index was built with."""
+        return self._segmenter
+
     # ------------------------------------------------------------------
     # build / incremental ingestion
     # ------------------------------------------------------------------

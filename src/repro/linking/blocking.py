@@ -237,6 +237,12 @@ def _transform_key(
     return transform(record.value(field_name))
 
 
+def _normalized_field_key(field_name: str, record: Record) -> str:
+    """Module-level so ``SortedNeighbourhood.on_field`` keys pickle and
+    introspect (the work-unit protocol reads the partial's args back)."""
+    return normalize_value(record.value(field_name))
+
+
 class StandardBlocking(BlockingMethod):
     """Exact-key blocking on a derived blocking key.
 
@@ -405,10 +411,13 @@ class SortedNeighbourhood(BlockingMethod):
 
     @classmethod
     def on_field(cls, field_name: str, window_size: int = 5) -> "SortedNeighbourhood":
-        """Sort by the normalized value of *field_name*."""
-        def key(record: Record) -> str:
-            return normalize_value(record.value(field_name))
+        """Sort by the normalized value of *field_name*.
 
+        The key is a partial over a module-level function — picklable on
+        spawn platforms, and introspectable, so the work-unit protocol
+        can serialize the blocking configuration for remote workers.
+        """
+        key = functools.partial(_normalized_field_key, field_name)
         return cls(key, window_size)
 
     def _tagged(

@@ -64,6 +64,16 @@ class ThresholdMatcher:
         self._match = match_threshold
         self._possible = possible_threshold
 
+    @property
+    def match_threshold(self) -> float:
+        """The MATCH band's lower bound."""
+        return self._match
+
+    @property
+    def possible_threshold(self) -> float | None:
+        """The POSSIBLE band's lower bound (``None`` disables the band)."""
+        return self._possible
+
     def decide(self, vector: ComparisonVector) -> MatchDecision:
         """Classify one comparison vector."""
         score = vector.aggregate

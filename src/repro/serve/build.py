@@ -73,15 +73,25 @@ def build_bundle(
 
     rules = None
     ontology = None
+    training = None
     if blocking in ("rules", "rules-strict"):
-        from repro.core.learner import LearnerConfig, RuleLearner
+        from repro.core.incremental import IncrementalRuleLearner
+        from repro.core.learner import LearnerConfig
 
-        rules = RuleLearner(
+        # learn through the incremental learner (provably identical to
+        # the batch learner) so the grown feature index can be bundled:
+        # a warm session resumes expert-validation ingestion from here
+        # instead of replaying the whole training set
+        learner = IncrementalRuleLearner(
             LearnerConfig(
                 properties=(PART_NUMBER,), support_threshold=support_threshold
-            )
-        ).learn(catalog.to_training_set())
+            ),
+            catalog.ontology,
+        )
+        learner.add_training_set(catalog.to_training_set())
+        rules = learner.rules()
         ontology = catalog.ontology
+        training = learner.to_state()
 
     if use_index and blocking in _INDEX_WARMING:
         # shard_block_sizes only reads the local side; probing it with
@@ -123,6 +133,7 @@ def build_bundle(
         rules=rules,
         ontology=ontology,
         comparator_cache=comparator_cache,
+        training=training,
         config=config,
     )
     return read_manifest(path)

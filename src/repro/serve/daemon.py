@@ -22,6 +22,12 @@ Protocol (all JSON):
   comparand). Without ``"bundle"`` the registry default answers.
 * ``POST /delta`` — body ``{"stream": name, "records": [...],
   "bundle": name?}``; ingests a delta into a named cumulative stream.
+* ``POST /work`` — body is one checksummed
+  :class:`~repro.engine.executors.protocol.ShardWorkUnit` envelope
+  (plus ``"bundle"``): the daemon acts as a remote shard worker,
+  executing the unit against the bundle's resident store — after the
+  unit's store fingerprint is verified — and answering with the
+  worker-result envelope, behind the same queue backpressure.
 
 Error mapping: malformed/empty JSON → 400, unknown bundle → 404,
 unknown path → 404, body over ``max_body_bytes`` → 413 (rejected
@@ -73,6 +79,7 @@ def link_response(result) -> Dict[str, Any]:
 
 
 def _make_handler(daemon: "LinkDaemon"):
+    from repro.engine.executors.protocol import WorkUnitError
     from repro.index.artifacts import ArtifactError, record_store_from_payload
 
     registry = daemon.registry
@@ -144,6 +151,8 @@ def _make_handler(daemon: "LinkDaemon"):
                     handle = self._handle_link
                 elif self.path == "/delta":
                     handle = self._handle_delta
+                elif self.path == "/work":
+                    handle = self._handle_work
                 else:
                     self._reply(404, {"error": f"unknown path {self.path!r}"})
                     return
@@ -158,7 +167,7 @@ def _make_handler(daemon: "LinkDaemon"):
                 )
             except UnknownBundleError as exc:
                 self._reply(404, {"error": str(exc)})
-            except (ServeError, ArtifactError) as exc:
+            except (ServeError, ArtifactError, WorkUnitError) as exc:
                 self._reply(400, {"error": str(exc)})
             except Exception as exc:  # pragma: no cover - defensive
                 self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
@@ -187,6 +196,11 @@ def _make_handler(daemon: "LinkDaemon"):
                     "matches": delta.matches,
                 }
                 return response
+
+        def _handle_work(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+            bundle = payload.pop("bundle", None)
+            with registry.lease(_bundle_name(bundle)) as session:
+                return session.run_work_unit(payload)
 
     return LinkRequestHandler
 

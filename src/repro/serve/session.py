@@ -159,6 +159,7 @@ class LinkSession:
         self._lock = threading.Lock()
         self._requests = 0
         self._multiplexed = 0
+        self._work_units = 0
         self._streams: Dict[str, Any] = {}
 
     # ------------------------------------------------------------------
@@ -321,6 +322,54 @@ class LinkSession:
             )
         return JobConfig(executor="serial")
 
+    def incremental_learner(self):
+        """A warm-started incremental rule learner over the bundled state.
+
+        Resumes from the bundle's serialized
+        :class:`~repro.index.TrainingFeatureIndex` — ``rules()`` on the
+        returned learner reproduces the bundled rule set exactly, and
+        ``add_links`` on new expert validations grows it from there
+        without replaying the original training set.
+        """
+        from repro.core.incremental import IncrementalRuleLearner
+
+        if self._bundle.training is None:
+            raise ServeError(
+                "bundle carries no training state; rebuild it with a "
+                "rules blocking (`repro serve build --blocking rules`)"
+            )
+        if self._bundle.ontology is None:
+            raise ServeError(
+                "bundle carries training state but no ontology; rebuild it"
+            )
+        return IncrementalRuleLearner.from_state(
+            self._bundle.training, self._bundle.ontology
+        )
+
+    def run_work_unit(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Act as a remote shard worker: execute one serialized work unit.
+
+        The unit's ``local_fingerprint`` must pin exactly this session's
+        resident store — a unit built against a different catalog is
+        rejected (:class:`~repro.engine.executors.protocol.WorkUnitError`,
+        mapped to 400 by the daemon) before any scan work happens. The
+        outcome payload is the same envelope ``repro worker run-unit``
+        prints, so a coordinator cannot tell a subprocess worker from a
+        daemon-hosted one.
+        """
+        from repro.engine.executors.protocol import (
+            execute_work_unit,
+            work_unit_from_payload,
+            worker_result_to_payload,
+        )
+
+        unit = work_unit_from_payload(payload)
+        outcome = execute_work_unit(unit, local=self._local)
+        with self._lock:
+            self._requests += 1
+            self._work_units += 1
+        return worker_result_to_payload(outcome)
+
     def delta(self, stream: str, records: Iterable, job_config=None):
         """Ingest a delta of external records into a named stream.
 
@@ -363,6 +412,7 @@ class LinkSession:
             streams = sorted(self._streams)
             requests = self._requests
             multiplexed = self._multiplexed
+            work_units = self._work_units
         return {
             "multiplex": {
                 "threshold": self._multiplex_threshold,
@@ -376,6 +426,7 @@ class LinkSession:
             "rules": len(self._bundle.rules) if self._bundle.rules is not None else 0,
             "requests": requests,
             "streams": streams,
+            "work_units": work_units,
             "cache": {
                 "capacity": self._comparator.cache_capacity,
                 "hits": self._comparator.cache_hits,

@@ -5,6 +5,7 @@ from types import SimpleNamespace
 import pytest
 
 from repro.engine import EngineStats, JobConfig, LinkingJob
+import repro.engine.executors.chunked as chunked_module
 import repro.engine.job as job_module
 from repro.linking import (
     FieldComparator,
@@ -272,7 +273,7 @@ class TestFallback:
         def explode(*args, **kwargs):
             raise OSError("no subprocesses in this sandbox")
 
-        monkeypatch.setattr(job_module, "ProcessPoolExecutor", explode)
+        monkeypatch.setattr(chunked_module, "ProcessPoolExecutor", explode)
         job = LinkingJob(
             FullIndex(),
             comparator,
@@ -306,7 +307,7 @@ class TestFallback:
         def explode(*args, **kwargs):
             raise pickle.PicklingError("decider cannot cross the boundary")
 
-        monkeypatch.setattr(job_module, "ProcessPoolExecutor", explode)
+        monkeypatch.setattr(chunked_module, "ProcessPoolExecutor", explode)
         result = LinkingJob(
             FullIndex(),
             comparator,

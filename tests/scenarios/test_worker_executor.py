@@ -1,0 +1,85 @@
+"""Worker-executor invariance over the full scenario matrix.
+
+The acceptance bar for the work-unit protocol: ``executor="worker"``
+reproduces the serial ``LinkingResult`` byte-for-byte on **every**
+registered scenario — and every shard actually crosses the
+serialize→subprocess→deserialize boundary, asserted through the
+``EngineStats`` transport counters (a degraded run would report
+``work_units == 0`` and pass a naive identity check vacuously).
+
+The streaming layer pins the same invariant on delta ingestion: each
+delta is one batch job under the worker executor, and the cumulative
+result must match both the serial streaming run and the one-shot batch
+run.
+"""
+
+import pytest
+
+from repro.engine import JobConfig, LinkingJob, StreamingLinkingJob
+from repro.scenarios import get_scenario, run_scenario
+from repro.scenarios.registry import scenario_names
+
+WORKER_CONFIG = JobConfig(executor="worker", workers=2, shards=2, chunk_size=128)
+SERIAL_CONFIG = JobConfig(executor="serial", chunk_size=128)
+
+
+def _run(built, config):
+    return LinkingJob(
+        built.make_blocking(), built.comparator, built.matcher, config
+    ).run(built.external, built.local)
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_worker_is_byte_identical_on_every_scenario(name):
+    built = get_scenario(name).build()
+    serial = _run(built, SERIAL_CONFIG)
+    worker = _run(built, WORKER_CONFIG)
+    assert worker.matches == serial.matches
+    assert worker.possible == serial.possible
+    assert worker.candidate_pairs == serial.candidate_pairs
+    assert worker.compared == serial.compared
+    # no degradation: the protocol serialized every registered
+    # scenario's blocking, and every shard crossed the wire
+    assert worker.stats.executor == "worker"
+    assert worker.stats.fallback_reason is None
+    assert worker.stats.work_units == worker.stats.shard_count == 2
+    assert worker.stats.work_unit_bytes > 0
+
+
+@pytest.mark.parametrize(
+    "name", ("electronics-tiny-prefix", "electronics-deep-rules")
+)
+def test_worker_streaming_leg_matches_batch(name):
+    """The runner's internal batch-vs-streamed identity check holds when
+    every delta executes through the worker protocol (including the
+    rule-driven scenario's incremental-learner streaming leg)."""
+    report = run_scenario(name, job_config=WORKER_CONFIG)
+    assert report.streaming_identical
+
+
+def test_streaming_deltas_cross_the_wire():
+    """Every streaming delta's units serialize: the merged stats sum the
+    per-delta transport counters, and the cumulative result matches the
+    serial batch run."""
+    built = get_scenario("electronics-tiny-prefix").build()
+    serial = _run(built, SERIAL_CONFIG)
+
+    job = StreamingLinkingJob(
+        built.local,
+        built.comparator,
+        built.matcher,
+        WORKER_CONFIG,
+        blocking=built.make_blocking(),
+    )
+    records = list(built.external)
+    half = len(records) // 2
+    job.ingest(records[:half])
+    job.ingest(records[half:])
+    result = job.result()
+
+    assert result.matches == serial.matches
+    assert result.possible == serial.possible
+    assert result.compared == serial.compared
+    # two deltas x two shards, each serialized independently
+    assert result.stats.work_units == 4
+    assert result.stats.work_unit_bytes > 0

@@ -175,3 +175,25 @@ class TestStats:
         assert stats["requests"] == 1
         assert stats["cache"]["capacity"] > 0
         assert 0.0 <= stats["cache"]["hit_rate"] <= 1.0
+
+
+class TestWarmLearning:
+    def test_rules_bundle_resumes_incremental_learning(self, tmp_path, materials):
+        from repro.core.serialize import rules_to_json
+
+        build_bundle(
+            tmp_path / "rules-bundle", preset="tiny", seed=SEED, blocking="rules"
+        )
+        bundle = load_bundle(tmp_path / "rules-bundle")
+        warm = LinkSession(bundle)
+        learner = warm.incremental_learner()
+        # resumed emission reproduces the bundled rule set exactly...
+        assert rules_to_json(learner.rules()) == rules_to_json(bundle.rules)
+        # ...and the dedupe set survived: replaying the original
+        # training set ingests nothing new
+        _, catalog, _ = materials
+        assert learner.add_training_set(catalog.to_training_set()) == 0
+
+    def test_prefix_bundle_has_no_training_state(self, session):
+        with pytest.raises(ServeError, match="no training state"):
+            session.incremental_learner()

@@ -1,0 +1,129 @@
+"""``POST /work``: the daemon as a remote shard worker.
+
+A coordinator ships lean work units (store fingerprint instead of an
+inline local store) and the daemon executes them against its resident
+bundle store — behind the same admission queue as ``/link``. The
+contract: the reply envelope equals what an in-process execution of the
+same unit produces, foreign-store units are refused with 400 before any
+scan work, and corrupt envelopes never reach the engine.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.engine.executors.protocol import (
+    build_work_units,
+    execute_work_unit,
+    work_unit_to_payload,
+    worker_result_from_payload,
+    worker_result_to_payload,
+)
+from repro.engine.shard import ShardPlan
+from repro.linking import (
+    FieldComparator,
+    QGramBlocking,
+    RecordComparator,
+    RecordStore,
+    ThresholdMatcher,
+)
+from repro.serve import ServeError, build_bundle, request_json, serve_bundle
+from repro.serve.daemon import request_raw
+
+SEED = 37
+
+
+@pytest.fixture(scope="module")
+def daemon(tmp_path_factory):
+    root = tmp_path_factory.mktemp("serve-work")
+    build_bundle(root / "bundle", preset="tiny", seed=SEED, blocking="qgram")
+    with serve_bundle(root / "bundle") as running:
+        yield running
+
+
+@pytest.fixture(scope="module")
+def units(daemon):
+    """Lean units (no inline store) pinned to the daemon's bundle store."""
+    from repro.datagen.catalog import PART_NUMBER, ElectronicCatalogGenerator
+    from repro.datagen.config import CatalogConfig
+    from repro.experiments.throughput import provider_batch
+
+    catalog = ElectronicCatalogGenerator(CatalogConfig.tiny(seed=SEED)).generate()
+    graph, _ = provider_batch(catalog, 20, seed=SEED)
+    external = RecordStore.from_graph(graph, {"pn": PART_NUMBER})
+    return build_work_units(
+        QGramBlocking("pn", q=2, threshold=0.8),
+        RecordComparator([FieldComparator("pn")]),
+        ThresholdMatcher(match_threshold=0.9),
+        external,
+        daemon.session.local_store,
+        ShardPlan.build(2),
+        "pairwise",
+        4096,
+        inline_local=False,
+    )
+
+
+class TestRemoteWorker:
+    def test_reply_equals_in_process_execution(self, daemon, units):
+        host, port = daemon.address
+        local = daemon.session.local_store
+        for unit in units:
+            reply = request_json(
+                host, port, "POST", "/work", payload=work_unit_to_payload(unit)
+            )
+            expected = execute_work_unit(unit, local=local)
+            assert reply == worker_result_to_payload(expected)
+            assert worker_result_from_payload(reply) == expected
+
+    def test_work_units_counter_rides_session_stats(self, daemon, units):
+        host, port = daemon.address
+        before = request_json(host, port, "GET", "/stats")
+        request_json(
+            host, port, "POST", "/work", payload=work_unit_to_payload(units[0])
+        )
+        after = request_json(host, port, "GET", "/stats")
+        assert (
+            after["sessions"]["default"]["work_units"]
+            == before["sessions"]["default"]["work_units"] + 1
+        )
+
+    def test_foreign_store_unit_is_400(self, daemon, units):
+        host, port = daemon.address
+        foreign = dataclasses.replace(units[0], local_fingerprint="f" * 64)
+        status, _, body = request_raw(
+            host, port, "POST", "/work", payload=work_unit_to_payload(foreign)
+        )
+        assert status == 400
+        assert "fingerprint mismatch" in body["error"]
+
+    def test_corrupt_envelope_is_400(self, daemon, units):
+        host, port = daemon.address
+        payload = work_unit_to_payload(units[0])
+        payload["checksum"] = "0" * 64
+        status, _, body = request_raw(host, port, "POST", "/work", payload=payload)
+        assert status == 400
+        assert "checksum mismatch" in body["error"]
+
+    def test_stale_schema_version_is_400(self, daemon, units):
+        host, port = daemon.address
+        payload = work_unit_to_payload(units[0])
+        payload["schema_version"] = 999
+        status, _, body = request_raw(host, port, "POST", "/work", payload=payload)
+        assert status == 400
+        assert "stale envelope" in body["error"]
+
+    def test_unknown_bundle_is_404(self, daemon, units):
+        host, port = daemon.address
+        payload = work_unit_to_payload(units[0])
+        payload["bundle"] = "no-such-bundle"
+        with pytest.raises(ServeError, match="404"):
+            request_json(host, port, "POST", "/work", payload=payload)
+
+    def test_non_envelope_body_is_400(self, daemon):
+        host, port = daemon.address
+        status, _, body = request_raw(
+            host, port, "POST", "/work", payload={"records": []}
+        )
+        assert status == 400
+        assert "envelope" in body["error"]
